@@ -1,0 +1,118 @@
+package frugal
+
+import (
+	"io"
+	"testing"
+
+	"frugal/internal/bench"
+)
+
+// One benchmark per table and figure of the paper. Each iteration
+// regenerates the experiment's full data (quick sweep); run with
+//
+//	go test -bench 'Benchmark(Table|Fig|Exp)' -benchtime=1x .
+//
+// for a single regeneration pass, or use cmd/frugal-bench for the
+// rendered tables at full sweep resolution.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := r.Run(true)
+		if len(out) == 0 {
+			b.Fatal("empty experiment output")
+		}
+	}
+}
+
+// BenchmarkTable1GPUCharacteristics regenerates Table 1.
+func BenchmarkTable1GPUCharacteristics(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2Datasets regenerates Table 2.
+func BenchmarkTable2Datasets(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkFig3aMotivationThroughput regenerates Fig 3a (HugeCTR on A30 vs
+// RTX 3090).
+func BenchmarkFig3aMotivationThroughput(b *testing.B) { benchExperiment(b, "fig3a") }
+
+// BenchmarkFig3bAllToAllBandwidth regenerates Fig 3b.
+func BenchmarkFig3bAllToAllBandwidth(b *testing.B) { benchExperiment(b, "fig3b") }
+
+// BenchmarkFig3cBreakdown regenerates Fig 3c.
+func BenchmarkFig3cBreakdown(b *testing.B) { benchExperiment(b, "fig3c") }
+
+// BenchmarkExp1Microbenchmark regenerates Fig 8 (Exp #1).
+func BenchmarkExp1Microbenchmark(b *testing.B) { benchExperiment(b, "exp1") }
+
+// BenchmarkExp2P2FStall regenerates Fig 9 (Exp #2).
+func BenchmarkExp2P2FStall(b *testing.B) { benchExperiment(b, "exp2") }
+
+// BenchmarkExp3UVALatency regenerates Fig 10 (Exp #3).
+func BenchmarkExp3UVALatency(b *testing.B) { benchExperiment(b, "exp3") }
+
+// BenchmarkExp4TwoLevelPQ regenerates Fig 11 (Exp #4). Wall-clock
+// counterparts of the queue contrast live in internal/pq's benchmarks.
+func BenchmarkExp4TwoLevelPQ(b *testing.B) { benchExperiment(b, "exp4") }
+
+// BenchmarkExp5Contributions regenerates Fig 12 (Exp #5).
+func BenchmarkExp5Contributions(b *testing.B) { benchExperiment(b, "exp5") }
+
+// BenchmarkExp6KG regenerates Fig 13 (Exp #6).
+func BenchmarkExp6KG(b *testing.B) { benchExperiment(b, "exp6") }
+
+// BenchmarkExp7REC regenerates Fig 14 (Exp #7).
+func BenchmarkExp7REC(b *testing.B) { benchExperiment(b, "exp7") }
+
+// BenchmarkExp8Scalability regenerates Fig 15 (Exp #8).
+func BenchmarkExp8Scalability(b *testing.B) { benchExperiment(b, "exp8") }
+
+// BenchmarkExp9CostEfficiency regenerates Fig 16 (Exp #9).
+func BenchmarkExp9CostEfficiency(b *testing.B) { benchExperiment(b, "exp9") }
+
+// BenchmarkExp10FlushThreads regenerates Fig 17 (Exp #10).
+func BenchmarkExp10FlushThreads(b *testing.B) { benchExperiment(b, "exp10") }
+
+// BenchmarkExp11ModelSensitivity regenerates Fig 18 (Exp #11).
+func BenchmarkExp11ModelSensitivity(b *testing.B) { benchExperiment(b, "exp11") }
+
+// ----------------------------------------------------------------------
+// Real-runtime benchmarks: wall-clock training throughput of the actual
+// concurrent runtime (goroutine GPUs, real P²F machinery), per engine.
+
+func benchRuntime(b *testing.B, engine Engine) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		job, err := NewMicrobenchmark(Config{
+			Engine: engine, NumGPUs: 4, Seed: int64(i),
+		}, MicroOptions{KeySpace: 50_000, Batch: 512, Steps: 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := job.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SamplesPerSec, "samples/s")
+	}
+}
+
+// BenchmarkRuntimeFrugal measures the real P²F runtime end to end.
+func BenchmarkRuntimeFrugal(b *testing.B) { benchRuntime(b, EngineFrugal) }
+
+// BenchmarkRuntimeFrugalSync measures the write-through runtime.
+func BenchmarkRuntimeFrugalSync(b *testing.B) { benchRuntime(b, EngineFrugalSync) }
+
+// BenchmarkRuntimeDirect measures the no-cache runtime.
+func BenchmarkRuntimeDirect(b *testing.B) { benchRuntime(b, EngineDirect) }
+
+// BenchmarkRunAllQuick regenerates the whole evaluation in quick mode —
+// the one-stop reproduction pass.
+func BenchmarkRunAllQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RunAllExperiments(io.Discard, true)
+	}
+}

@@ -1,0 +1,43 @@
+// Command frugal-bench regenerates the paper's evaluation: every table
+// and figure, rendered as text tables with the paper's expected bands
+// annotated.
+//
+// Usage:
+//
+//	frugal-bench                 # run everything at full sweep resolution
+//	frugal-bench -quick          # faster, coarser sweeps
+//	frugal-bench -exp exp1       # one experiment
+//	frugal-bench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"frugal"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (table1, table2, fig3a-c, exp1-11, or 'all')")
+		quick = flag.Bool("quick", false, "coarser sweeps and fewer simulated steps")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range frugal.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "all" {
+		frugal.RunAllExperiments(os.Stdout, *quick)
+		return
+	}
+	if err := frugal.RunExperiment(os.Stdout, *exp, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

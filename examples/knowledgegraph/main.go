@@ -1,0 +1,54 @@
+// Knowledge-graph example: train all four graph-embedding models of the
+// paper's Exp #11 (TransE, DistMult, ComplEx, SimplE) on a synthetic
+// FB15k-like triple stream with the Frugal engine, using the DGL-KE
+// negative-sampling objective.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"frugal"
+)
+
+func main() {
+	fmt.Println("Graph embedding on synthetic FB15k — 2 GPUs, 500 steps, dim 16")
+	fmt.Printf("%-10s %12s %12s %12s\n", "model", "first loss", "last loss", "samples/s")
+
+	for _, m := range []string{"TransE", "DistMult", "ComplEx", "SimplE"} {
+		lr := float32(0.5)
+		if m == "SimplE" {
+			// SimplE's role-split halves see half the interactions per
+			// dimension; give it a proportionally larger step.
+			lr = 1.0
+		}
+		job, err := frugal.NewKnowledgeGraph(frugal.Config{
+			Engine:           frugal.EngineFrugal,
+			NumGPUs:          2,
+			CacheRatio:       0.05,
+			LR:               lr,
+			CheckConsistency: true,
+			Seed:             11,
+		}, frugal.DatasetFB15k, frugal.KGOptions{
+			Model:     m,
+			Scale:     100, // ~6k entities
+			Batch:     64,
+			NegSample: 32,
+			Steps:     500,
+			Dim:       16, // dim 400 in the paper; 16 keeps the example fast
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := job.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.3f %12.3f %12.0f\n",
+			m, res.Losses[0], res.Losses[len(res.Losses)-1], res.SamplesPerSec)
+	}
+
+	fmt.Println("\nEvery model trains through the same embedding runtime: the")
+	fmt.Println("scoring function only changes the gradients, which is why the")
+	fmt.Println("paper's Frugal gains are insensitive to the model (Fig 18a).")
+}

@@ -1,0 +1,51 @@
+// Recommendation example: train DLRM on a synthetic Criteo-like dataset
+// with all three engines and compare their behaviour — the functional
+// counterpart of the paper's Exp #7. All engines are synchronous-
+// consistent, so they converge to (numerically almost) the same model;
+// what differs is how updates travel to host memory.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"frugal"
+)
+
+func main() {
+	fmt.Println("DLRM on synthetic Criteo — engine comparison (2 GPUs, 150 steps)")
+	fmt.Printf("%-12s %10s %12s %12s %10s %10s\n",
+		"engine", "last loss", "samples/s", "gate stall", "flushed", "cache hit")
+
+	for _, engine := range []frugal.Engine{frugal.EngineDirect, frugal.EngineFrugalSync, frugal.EngineFrugal} {
+		cfg := frugal.Config{
+			Engine:           engine,
+			NumGPUs:          2,
+			CacheRatio:       0.05,
+			CheckConsistency: true,
+			Seed:             7,
+		}
+		job, err := frugal.NewRecommendation(cfg, frugal.DatasetCriteo, frugal.RECOptions{
+			Scale: 1_000_000,
+			Batch: 64,
+			Steps: 150,
+			// A small top net keeps the example quick; drop Hidden for the
+			// paper's 512-512-256-1.
+			Hidden: []int{64, 32},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := job.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %10.4f %12.0f %12v %10d %9.1f%%\n",
+			engine, res.Losses[len(res.Losses)-1], res.SamplesPerSec,
+			res.StallTime.Round(1000), res.Flushed, 100*res.CacheStats.HitRatio())
+	}
+
+	fmt.Println("\nAll engines see identical parameter values at every step")
+	fmt.Println("(synchronous consistency), so the loss columns match closely;")
+	fmt.Println("only the Frugal engine flushes updates through the P²F queue.")
+}

@@ -1,0 +1,500 @@
+// Package frugal is a from-scratch Go implementation of Frugal, the
+// embedding-model training system for commodity GPUs from "Frugal:
+// Efficient and Economic Embedding Model Training with Commodity GPUs"
+// (ASPLOS 2025).
+//
+// The library trains real embedding models (DLRM for recommendation;
+// TransE/DistMult/ComplEx/SimplE for knowledge graphs) on a simulated
+// multi-GPU server: each "GPU" is a trainer goroutine with a private
+// embedding cache, host memory is a shared parameter slab, and the
+// paper's priority-based proactively flushing (P²F) runtime — lookahead
+// sample queue, g-entry metadata, two-level concurrent priority queue,
+// background flushing threads, and the synchronous-consistency gate —
+// runs for real in between. Three engines are available:
+//
+//   - EngineFrugal:     the paper's system (P²F, UVA-style host reads).
+//   - EngineFrugalSync: the write-through Frugal-Sync baseline.
+//   - EngineDirect:     a PyTorch-like no-cache baseline.
+//
+// The paper's evaluation (every table and figure) is reproducible through
+// RunExperiment / the cmd/frugal-bench binary, which drive a calibrated
+// virtual-time hardware model (PCIe links without P2P, bounced
+// collectives, root-complex contention). See DESIGN.md and
+// EXPERIMENTS.md.
+//
+// Quickstart:
+//
+//	cfg := frugal.Config{NumGPUs: 4, CacheRatio: 0.05}
+//	job, err := frugal.NewRecommendation(cfg, frugal.DatasetAvazu, frugal.RECOptions{
+//		Scale: 100_000, Batch: 64, Steps: 200,
+//	})
+//	if err != nil { ... }
+//	res, err := job.Run()
+package frugal
+
+import (
+	"fmt"
+	"io"
+
+	"frugal/internal/bench"
+	"frugal/internal/data"
+	"frugal/internal/graph"
+	"frugal/internal/model"
+	"frugal/internal/runtime"
+)
+
+// Engine selects the training data path.
+type Engine = runtime.Engine
+
+// The available engines.
+const (
+	// EngineFrugal is the paper's system: sharded per-GPU caches, direct
+	// (UVA-style) host-memory reads, and updates flushed to host memory
+	// proactively, in priority order, by background threads.
+	EngineFrugal = runtime.EngineFrugal
+	// EngineFrugalSync is the write-through baseline of §4.1.
+	EngineFrugalSync = runtime.EngineFrugalSync
+	// EngineDirect is a no-cache baseline that reads and writes host
+	// memory directly (the PyTorch baseline's data path).
+	EngineDirect = runtime.EngineDirect
+)
+
+// Config shapes a training job. The zero value selects EngineFrugal on a
+// single GPU with the paper's §4.1 defaults (5% cache, lookahead 10,
+// 8 flushing threads).
+type Config struct {
+	// Engine selects the data path (default EngineFrugal).
+	Engine Engine
+	// NumGPUs is the number of simulated GPUs (trainer goroutines).
+	NumGPUs int
+	// CacheRatio sizes each GPU's embedding cache as a fraction of the
+	// table (default 0.05).
+	CacheRatio float64
+	// LR is the embedding learning rate (default 0.05).
+	LR float32
+	// Lookahead is the sample-queue depth L (default 10).
+	Lookahead int
+	// FlushThreads is the background flusher count (default 8).
+	FlushThreads int
+	// Optimizer selects the embedding optimizer: OptimizerSGD (default)
+	// or OptimizerAdagrad (row-wise Adagrad; the accumulator update rides
+	// the P²F flush path to host memory).
+	Optimizer Optimizer
+	// CheckConsistency verifies the §3.3 synchronous-consistency
+	// invariant after every gate pass (cheap; on by default in examples).
+	CheckConsistency bool
+	// Seed drives parameter initialisation and synthetic data.
+	Seed int64
+}
+
+// Optimizer selects the embedding optimizer.
+type Optimizer = runtime.Optimizer
+
+// The embedding optimizers.
+const (
+	// OptimizerSGD applies row -= lr·grad.
+	OptimizerSGD = runtime.OptSGD
+	// OptimizerAdagrad applies row-wise Adagrad (one accumulated
+	// squared-gradient scalar per row).
+	OptimizerAdagrad = runtime.OptAdagrad
+)
+
+func (c Config) runtimeConfig() runtime.Config {
+	return runtime.Config{
+		Engine:           c.Engine,
+		Optimizer:        c.Optimizer,
+		NumGPUs:          c.NumGPUs,
+		CacheRatio:       c.CacheRatio,
+		LR:               c.LR,
+		Lookahead:        c.Lookahead,
+		FlushThreads:     c.FlushThreads,
+		CheckConsistency: c.CheckConsistency,
+		Seed:             c.Seed,
+	}
+}
+
+// Result reports a finished training run: per-step losses, wall time,
+// stall time, cache statistics, and flush accounting.
+type Result = runtime.Result
+
+// Dataset describes one of the paper's Table 2 datasets (shape parameters
+// for the synthetic stand-in generators).
+type Dataset = data.Spec
+
+// The Table 2 dataset registry.
+var (
+	DatasetFB15k    = data.FB15k
+	DatasetFreebase = data.Freebase
+	DatasetWikiKG   = data.WikiKG
+	DatasetAvazu    = data.Avazu
+	DatasetCriteo   = data.Criteo
+	DatasetCriteoTB = data.CriteoTB
+)
+
+// Datasets returns the Table 2 registry.
+func Datasets() []Dataset { return data.Specs() }
+
+// DatasetByName resolves a Table 2 dataset by name.
+func DatasetByName(name string) (Dataset, error) { return data.SpecByName(name) }
+
+// TrainingJob is a configured training run.
+type TrainingJob struct {
+	job *runtime.Job
+}
+
+// Run executes the job to completion.
+func (j *TrainingJob) Run() (Result, error) { return j.job.Run() }
+
+// HostRow returns a copy of one embedding row from host memory (for
+// inspection after training).
+func (j *TrainingJob) HostRow(key uint64) []float32 { return j.job.Host().Snapshot(key) }
+
+// SaveCheckpoint writes the embedding table (and optimizer state, when
+// Adagrad is in use) to w. Call after Run returns — the P²F epilogue has
+// drained every pending update into host memory by then.
+func (j *TrainingJob) SaveCheckpoint(w io.Writer) error { return j.job.Host().Save(w) }
+
+// RestoreCheckpoint loads an embedding table saved by SaveCheckpoint,
+// warm-starting the job. Call before Run. The checkpoint's shape (rows ×
+// dim) must match the job's.
+func (j *TrainingJob) RestoreCheckpoint(r io.Reader) error { return j.job.Host().Load(r) }
+
+// RECOptions configures a recommendation (DLRM) job.
+type RECOptions struct {
+	// Scale divides the dataset's ID space for laptop-scale runs
+	// (default 100 000; use 1 for the full published shape).
+	Scale int64
+	// Batch is the global batch size (default: the dataset's).
+	Batch int
+	// Steps bounds the run length (default 200).
+	Steps int64
+	// Hidden overrides the top-MLP hidden sizes (default 512-512-256).
+	Hidden []int
+}
+
+// NewRecommendation builds a DLRM training job over a synthetic stand-in
+// for a Table 2 REC dataset.
+func NewRecommendation(cfg Config, ds Dataset, opt RECOptions) (*TrainingJob, error) {
+	if ds.Kind != data.REC {
+		return nil, fmt.Errorf("frugal: %s is not a recommendation dataset", ds.Name)
+	}
+	if opt.Scale <= 0 {
+		opt.Scale = 100_000
+	}
+	if opt.Steps <= 0 {
+		opt.Steps = 200
+	}
+	spec := ds.Scaled(opt.Scale)
+	stream, err := data.NewRECStream(spec, cfg.Seed+1, opt.Batch, opt.Steps)
+	if err != nil {
+		return nil, err
+	}
+	job, err := runtime.NewREC(cfg.runtimeConfig(), stream, opt.Hidden, opt.Steps)
+	if err != nil {
+		return nil, err
+	}
+	return &TrainingJob{job: job}, nil
+}
+
+// KGOptions configures a knowledge-graph embedding job.
+type KGOptions struct {
+	// Model is one of TransE, DistMult, ComplEx, SimplE (default TransE).
+	Model string
+	// Gamma is the TransE margin (default 12).
+	Gamma float32
+	// Scale divides the graph size (default 10 000; 1 = published shape).
+	Scale int64
+	// Batch is the triples per global batch (default: the dataset's).
+	Batch int
+	// NegSample is the shared negatives per batch (default 200).
+	NegSample int
+	// Steps bounds the run length (default 200).
+	Steps int64
+	// Dim overrides the embedding dimension (default: the dataset's 400;
+	// smaller dims make quick runs cheap).
+	Dim int
+}
+
+// NewKnowledgeGraph builds a KG embedding job over a synthetic stand-in
+// for a Table 2 KG dataset.
+func NewKnowledgeGraph(cfg Config, ds Dataset, opt KGOptions) (*TrainingJob, error) {
+	if ds.Kind != data.KG {
+		return nil, fmt.Errorf("frugal: %s is not a knowledge-graph dataset", ds.Name)
+	}
+	if opt.Model == "" {
+		opt.Model = "TransE"
+	}
+	if opt.Scale <= 0 {
+		opt.Scale = 10_000
+	}
+	if opt.Steps <= 0 {
+		opt.Steps = 200
+	}
+	tm, err := model.KGModelByName(opt.Model)
+	if err != nil {
+		return nil, err
+	}
+	if te, ok := tm.(*model.TransE); ok && opt.Gamma > 0 {
+		te.Gamma = opt.Gamma
+	}
+	spec := ds.Scaled(opt.Scale)
+	if opt.Dim > 0 {
+		spec.EmbDim = opt.Dim
+	}
+	stream, err := data.NewKGStream(spec, cfg.Seed+1, opt.Batch, opt.NegSample, opt.Steps)
+	if err != nil {
+		return nil, err
+	}
+	rc := cfg.runtimeConfig()
+	rc.Dim = spec.EmbDim
+	job, err := runtime.NewKG(rc, stream, tm, opt.Steps)
+	if err != nil {
+		return nil, err
+	}
+	return &TrainingJob{job: job}, nil
+}
+
+// MicroOptions configures an embedding-only microbenchmark job (the
+// workload family of Exp #1).
+type MicroOptions struct {
+	// Distribution is uniform, zipf-0.9 or zipf-0.99 (default zipf-0.9).
+	Distribution string
+	// KeySpace is the number of distinct keys (default 100 000).
+	KeySpace uint64
+	// Dim is the embedding dimension (default 32).
+	Dim int
+	// Batch is keys per step (default 256).
+	Batch int
+	// Steps bounds the run (default 100).
+	Steps int64
+}
+
+// NewMicrobenchmark builds a pure-embedding training job: every key in a
+// batch is read, given a synthetic gradient, and written back through the
+// engine's update path. It is the fastest way to exercise the P²F
+// machinery end to end.
+func NewMicrobenchmark(cfg Config, opt MicroOptions) (*TrainingJob, error) {
+	if opt.Distribution == "" {
+		opt.Distribution = string(data.DistZipf09)
+	}
+	if opt.KeySpace == 0 {
+		opt.KeySpace = 100_000
+	}
+	if opt.Dim <= 0 {
+		opt.Dim = 32
+	}
+	if opt.Batch <= 0 {
+		opt.Batch = 256
+	}
+	if opt.Steps <= 0 {
+		opt.Steps = 100
+	}
+	gen, err := data.NewGen(data.Distribution(opt.Distribution), cfg.Seed+1, opt.KeySpace)
+	if err != nil {
+		return nil, err
+	}
+	trace := data.NewSyntheticTrace(gen, opt.Batch, opt.Steps)
+	rc := cfg.runtimeConfig()
+	rc.Rows = int64(opt.KeySpace)
+	rc.Dim = opt.Dim
+	job, err := runtime.NewMicro(rc, trace, opt.Steps)
+	if err != nil {
+		return nil, err
+	}
+	return &TrainingJob{job: job}, nil
+}
+
+// GNNOptions configures a graph-learning (GraphSAGE-style link
+// prediction) job over a synthetic power-law graph.
+type GNNOptions struct {
+	// Nodes is the graph size (default 10 000).
+	Nodes int
+	// Attach is the preferential-attachment degree (default 3).
+	Attach int
+	// Fanout is the sampled neighbors per node (default 5).
+	Fanout int
+	// Dim is the node-embedding dimension (default 32).
+	Dim int
+	// Edges is the positive edges per global step (default 128).
+	Edges int
+	// Steps bounds the run (default 200).
+	Steps int64
+}
+
+// NewGraphLearning builds the third application family the paper's
+// introduction motivates: GraphSAGE-style link prediction where every
+// gradient lands in node embeddings and travels the P²F flush path.
+func NewGraphLearning(cfg Config, opt GNNOptions) (*TrainingJob, error) {
+	if opt.Nodes <= 0 {
+		opt.Nodes = 10_000
+	}
+	if opt.Attach <= 0 {
+		opt.Attach = 3
+	}
+	if opt.Fanout <= 0 {
+		opt.Fanout = 5
+	}
+	if opt.Dim <= 0 {
+		opt.Dim = 32
+	}
+	if opt.Steps <= 0 {
+		opt.Steps = 200
+	}
+	g, err := graph.Generate(cfg.Seed+1, opt.Nodes, opt.Attach)
+	if err != nil {
+		return nil, err
+	}
+	sampler, err := graph.NewSampler(g, cfg.Seed+2, opt.Fanout)
+	if err != nil {
+		return nil, err
+	}
+	rc := cfg.runtimeConfig()
+	rc.Dim = opt.Dim
+	job, err := runtime.NewGNN(rc, g, sampler, opt.Edges, opt.Steps)
+	if err != nil {
+		return nil, err
+	}
+	return &TrainingJob{job: job}, nil
+}
+
+// KGEval reports link-prediction quality: for each held-out triple the
+// true tail is ranked against `Candidates` random entities by the scoring
+// function over the trained embeddings.
+type KGEval struct {
+	// MRR is the mean reciprocal rank of the true tail (1.0 = always
+	// first; 1/(Candidates+1) ≈ random).
+	MRR float64
+	// HitsAt10 is the fraction of triples whose true tail ranks in the
+	// top 10.
+	HitsAt10 float64
+	// Triples and Candidates record the evaluation size.
+	Triples    int
+	Candidates int
+}
+
+// EvaluateKnowledgeGraph measures link-prediction quality of a trained KG
+// job on freshly drawn held-out triples (same synthetic distribution,
+// disjoint random stream). Pass the same cfg/ds/opt used to build the job
+// so the entity/relation spaces line up. Call after Run.
+func EvaluateKnowledgeGraph(job *TrainingJob, cfg Config, ds Dataset, opt KGOptions,
+	triples, candidates int) (KGEval, error) {
+
+	if ds.Kind != data.KG {
+		return KGEval{}, fmt.Errorf("frugal: %s is not a knowledge-graph dataset", ds.Name)
+	}
+	if opt.Model == "" {
+		opt.Model = "TransE"
+	}
+	if opt.Scale <= 0 {
+		opt.Scale = 10_000
+	}
+	if triples <= 0 {
+		triples = 200
+	}
+	if candidates <= 0 {
+		candidates = 50
+	}
+	tm, err := model.KGModelByName(opt.Model)
+	if err != nil {
+		return KGEval{}, err
+	}
+	spec := ds.Scaled(opt.Scale)
+	// Held-out triples: a fresh stream far from the training seed.
+	stream, err := data.NewKGStream(spec, cfg.Seed+9973, triples, 1, 1)
+	if err != nil {
+		return KGEval{}, err
+	}
+	batch, ok := stream.NextBatch()
+	if !ok {
+		return KGEval{}, fmt.Errorf("frugal: empty evaluation stream")
+	}
+	negGen := data.NewUniform(cfg.Seed+31337, uint64(spec.Vertices))
+
+	ev := KGEval{Triples: len(batch.Heads), Candidates: candidates}
+	for i := range batch.Heads {
+		h := job.HostRow(batch.Heads[i])
+		r := job.HostRow(batch.Rels[i])
+		tRow := job.HostRow(batch.Tails[i])
+		trueScore := tm.Score(h, r, tRow)
+		rank := 1
+		for c := 0; c < candidates; c++ {
+			cand := job.HostRow(negGen.Next())
+			if tm.Score(h, r, cand) > trueScore {
+				rank++
+			}
+		}
+		ev.MRR += 1 / float64(rank)
+		if rank <= 10 {
+			ev.HitsAt10++
+		}
+	}
+	ev.MRR /= float64(ev.Triples)
+	ev.HitsAt10 /= float64(ev.Triples)
+	return ev, nil
+}
+
+// ReplayOptions configures a trace-replay job.
+type ReplayOptions struct {
+	// Dim is the embedding dimension (default 32).
+	Dim int
+	// Rows overrides the table height (default: max key in the trace + 1).
+	Rows int64
+	// Steps bounds the run (default: the whole trace).
+	Steps int64
+}
+
+// NewReplay builds a microbenchmark-style training job that replays a
+// recorded key trace (the format cmd/frugal-datagen -trace emits: one
+// batch per line, keys space-separated). Recorded production traces can
+// thus drive the real runtime directly.
+func NewReplay(cfg Config, r io.Reader, opt ReplayOptions) (*TrainingJob, error) {
+	trace, err := data.ReadKeyTrace(r)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Dim <= 0 {
+		opt.Dim = 32
+	}
+	rows := opt.Rows
+	if rows <= 0 {
+		rows = int64(trace.MaxKey()) + 1
+	}
+	rc := cfg.runtimeConfig()
+	rc.Rows = rows
+	rc.Dim = opt.Dim
+	job, err := runtime.NewMicro(rc, trace, opt.Steps)
+	if err != nil {
+		return nil, err
+	}
+	return &TrainingJob{job: job}, nil
+}
+
+// Experiment identifies one reproducible table or figure of the paper.
+type Experiment struct {
+	ID    string // e.g. "table1", "fig3b", "exp1" … "exp11"
+	Title string
+}
+
+// Experiments lists every reproducible table and figure.
+func Experiments() []Experiment {
+	var out []Experiment
+	for _, r := range bench.Runners() {
+		out = append(out, Experiment{ID: r.ID, Title: r.Title})
+	}
+	return out
+}
+
+// RunExperiment regenerates one table or figure, writing its rendered
+// rows/series to w. quick trades sweep resolution for speed.
+func RunExperiment(w io.Writer, id string, quick bool) error {
+	r, ok := bench.ByID(id)
+	if !ok {
+		return fmt.Errorf("frugal: unknown experiment %q (see Experiments())", id)
+	}
+	fmt.Fprintf(w, "######## %s — %s ########\n\n", r.ID, r.Title)
+	_, err := io.WriteString(w, r.Run(quick))
+	return err
+}
+
+// RunAllExperiments regenerates every table and figure in order.
+func RunAllExperiments(w io.Writer, quick bool) { bench.RunAll(w, quick) }

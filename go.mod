@@ -1,0 +1,3 @@
+module frugal
+
+go 1.22

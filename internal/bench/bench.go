@@ -1,0 +1,76 @@
+// Package bench contains one runner per table and figure of the paper's
+// evaluation. Each runner re-executes the corresponding experiment on the
+// virtual-time simulator (internal/sim) or directly on the hardware model
+// (internal/hw) and renders the same rows/series the paper reports.
+// EXPERIMENTS.md records the expected shapes next to a captured run.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Runner regenerates one table or figure. quick trades sweep resolution
+// and simulated steps for speed (used by `go test` and -short runs).
+type Runner struct {
+	ID    string // e.g. "exp1", "fig3b", "table1"
+	Title string
+	Run   func(quick bool) string
+}
+
+var registry []Runner
+
+func register(id, title string, run func(bool) string) {
+	registry = append(registry, Runner{ID: id, Title: title, Run: run})
+}
+
+// Runners returns every registered experiment in presentation order.
+func Runners() []Runner {
+	out := append([]Runner{}, registry...)
+	sort.SliceStable(out, func(i, j int) bool { return orderOf(out[i].ID) < orderOf(out[j].ID) })
+	return out
+}
+
+// orderOf sorts table1, table2, fig3a…, exp1…exp11.
+func orderOf(id string) int {
+	switch {
+	case strings.HasPrefix(id, "table"):
+		return 0 + int(id[len(id)-1]-'0')
+	case strings.HasPrefix(id, "fig3"):
+		return 10 + int(id[len(id)-1]-'a')
+	case strings.HasPrefix(id, "exp"):
+		n := 0
+		fmt.Sscanf(id[3:], "%d", &n)
+		return 20 + n
+	default:
+		return 100
+	}
+}
+
+// ByID finds a runner.
+func ByID(id string) (Runner, bool) {
+	for _, r := range Runners() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// RunAll executes every experiment and writes the rendered output.
+func RunAll(w io.Writer, quick bool) {
+	for _, r := range Runners() {
+		fmt.Fprintf(w, "\n######## %s — %s ########\n\n", r.ID, r.Title)
+		fmt.Fprint(w, r.Run(quick))
+	}
+}
+
+// simSteps returns (warmup, measure) iteration counts.
+func simSteps(quick bool) (int, int) {
+	if quick {
+		return 6, 8
+	}
+	return 15, 25
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "fig3a", "fig3b", "fig3c",
+		"exp1", "exp2", "exp3", "exp4", "exp5", "exp6",
+		"exp7", "exp8", "exp9", "exp10", "exp11",
+		"ext1", "ext2", "ext3",
+	}
+	got := Runners()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d runners, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("runner %d = %q, want %q (presentation order)", i, got[i].ID, id)
+		}
+		if got[i].Title == "" || got[i].Run == nil {
+			t.Fatalf("runner %q incomplete", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if r, ok := ByID("exp3"); !ok || r.ID != "exp3" {
+		t.Fatal("ByID(exp3) failed")
+	}
+	if _, ok := ByID("exp99"); ok {
+		t.Fatal("unknown id must miss")
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	// The static tables are cheap; run them fully.
+	t1 := Table1(true)
+	for _, want := range []string{"A100", "RTX 4090", "A30", "RTX 3090", "PCIe P2P", "5.3x"} {
+		if !strings.Contains(t1, want) {
+			t.Fatalf("table1 missing %q:\n%s", want, t1)
+		}
+	}
+	t2 := Table2(true)
+	for _, want := range []string{"FB15k", "CriteoTB", "110.3 GB", "882.0M"} {
+		if !strings.Contains(t2, want) {
+			t.Fatalf("table2 missing %q:\n%s", want, t2)
+		}
+	}
+}
+
+func TestExp3Renders(t *testing.T) {
+	// exp3 runs straight off the hardware model — fast enough for a unit
+	// test and representative of the experiment plumbing.
+	out := Exp3(true)
+	for _, want := range []string{"CPU-involved", "UVA-enabled", "paper: 3.1-3.4x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exp3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3bRenders(t *testing.T) {
+	out := Fig3b(true)
+	for _, want := range []string{"A30 (datacenter)", "RTX 3090 (commodity)", "100M"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig3b missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimBackedExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sim-backed experiment is seconds-scale")
+	}
+	out := Exp2(true)
+	for _, want := range []string{"SyncFlushing", "P2F", "stall reduction"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exp2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTicks(t *testing.T) {
+	got := ticks([]int{1, 20, 300})
+	if len(got) != 3 || got[0] != "1" || got[2] != "300" {
+		t.Fatalf("ticks = %v", got)
+	}
+}

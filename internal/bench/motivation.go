@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"frugal/internal/data"
+	"frugal/internal/hw"
+	"frugal/internal/sim"
+	"frugal/internal/stats"
+)
+
+func init() {
+	register("fig3a", "Motivation: HugeCTR throughput, 4xA30 vs 4xRTX 3090", Fig3a)
+	register("fig3b", "Motivation: all_to_all bandwidth, A30 vs RTX 3090", Fig3b)
+	register("fig3c", "Motivation: time breakdown of one training iteration", Fig3c)
+}
+
+// runSim builds and runs one simulator, panicking on configuration errors
+// (experiment configs are static).
+func runSim(sys sim.System, w sim.Workload, quick bool) sim.Summary {
+	s, err := sim.NewSimulator(sys, w)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	warm, measure := simSteps(quick)
+	return s.Run(warm, measure)
+}
+
+// avazuLike returns the Fig 3 / Exp #7 DLRM workload at a given batch.
+func avazuLike(batch int) sim.Workload { return sim.RECWorkload(data.Avazu, batch, 0) }
+
+// Fig3a sweeps batch size for HugeCTR on datacenter vs commodity GPUs.
+func Fig3a(quick bool) string {
+	batches := []int{128, 1024, 2048, 4096, 6144}
+	if quick {
+		batches = []int{128, 1024, 4096}
+	}
+	tb := &stats.Table{
+		Title:  "Fig 3a — DLRM/Avazu training throughput (HugeCTR, 4 GPUs)",
+		XLabel: "batch size", YLabel: "samples/s",
+		XTicks: ticks(batches),
+	}
+	var a30, rtx []float64
+	for _, b := range batches {
+		a30 = append(a30, runSim(sim.System{Kind: sim.SysHugeCTR, GPU: hw.A30, NumGPUs: 4}, avazuLike(b), quick).Throughput)
+		rtx = append(rtx, runSim(sim.System{Kind: sim.SysHugeCTR, GPU: hw.RTX3090, NumGPUs: 4}, avazuLike(b), quick).Throughput)
+	}
+	tb.AddSeries("A30 (datacenter)", a30)
+	tb.AddSeries("RTX 3090 (commodity)", rtx)
+	worst := 0.0
+	for i := range a30 {
+		if drop := 1 - rtx[i]/a30[i]; drop > worst {
+			worst = drop
+		}
+	}
+	tb.Note("max commodity throughput drop: %.0f%% (paper: up to 37%%)", worst*100)
+	return tb.Render()
+}
+
+// Fig3b sweeps all_to_all transfer size on both GPU classes.
+func Fig3b(bool) string {
+	sizes := []int64{1 << 20, 4 << 20, 16 << 20, 64 << 20, 100 << 20}
+	labels := []string{"1M", "4M", "16M", "64M", "100M"}
+	tb := &stats.Table{
+		Title:  "Fig 3b — all_to_all collective bandwidth (4 GPUs)",
+		XLabel: "transfer size (bytes)", YLabel: "GB/s",
+		XTicks: labels,
+	}
+	dc := hw.MustTopology(hw.A30, 4, hw.DefaultParams())
+	com := hw.MustTopology(hw.RTX3090, 4, hw.DefaultParams())
+	var a30, rtx []float64
+	for _, sz := range sizes {
+		a30 = append(a30, dc.AllToAllBandwidth(sz))
+		rtx = append(rtx, com.AllToAllBandwidth(sz))
+	}
+	tb.AddSeries("A30 (datacenter)", a30)
+	tb.AddSeries("RTX 3090 (commodity)", rtx)
+	tb.Note("commodity/datacenter at 100M: %.0f%% (paper: 54%%)", 100*rtx[len(rtx)-1]/a30[len(a30)-1])
+	return tb.Render()
+}
+
+// Fig3c renders the per-iteration breakdown on both GPU classes.
+func Fig3c(quick bool) string {
+	batches := []int{128, 256, 512, 1024, 1536, 2048, 4096}
+	if quick {
+		batches = []int{128, 1024, 4096}
+	}
+	var sb strings.Builder
+	for _, spec := range []hw.GPUSpec{hw.A30, hw.RTX3090} {
+		tb := &stats.Table{
+			Title:  fmt.Sprintf("Fig 3c — iteration breakdown, HugeCTR on 4x %s", spec.Name),
+			XLabel: "batch size", YLabel: "seconds per component",
+			XTicks: ticks(batches),
+		}
+		series := map[stats.Component][]float64{}
+		for _, b := range batches {
+			sum := runSim(sim.System{Kind: sim.SysHugeCTR, GPU: spec, NumGPUs: 4}, avazuLike(b), quick)
+			for _, c := range stats.Components() {
+				series[c] = append(series[c], sum.Iter.Get(c))
+			}
+		}
+		for _, c := range stats.Components() {
+			tb.AddSeries(string(c), series[c])
+		}
+		sb.WriteString(tb.Render())
+	}
+	return sb.String()
+}
+
+func ticks(batches []int) []string {
+	out := make([]string, len(batches))
+	for i, b := range batches {
+		out[i] = fmt.Sprint(b)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"frugal/internal/data"
+	"frugal/internal/hw"
+)
+
+func init() {
+	register("table1", "Main characteristics: commodity vs datacenter GPUs", Table1)
+	register("table2", "Datasets used in the real-world applications", Table2)
+}
+
+// Table1 renders the Table 1 comparison (A100 vs RTX 4090 headline, plus
+// the evaluation parts A30 and RTX 3090).
+func Table1(bool) string {
+	var sb strings.Builder
+	specs := hw.Specs()
+	fmt.Fprintf(&sb, "%-24s", "")
+	for _, g := range specs {
+		fmt.Fprintf(&sb, "%14s", g.Name)
+	}
+	sb.WriteByte('\n')
+	row := func(label string, f func(hw.GPUSpec) string) {
+		fmt.Fprintf(&sb, "%-24s", label)
+		for _, g := range specs {
+			fmt.Fprintf(&sb, "%14s", f(g))
+		}
+		sb.WriteByte('\n')
+	}
+	row("Class", func(g hw.GPUSpec) string { return g.Class.String() })
+	row("Tensor FP16 (TFLOPS)", func(g hw.GPUSpec) string { return fmt.Sprintf("%.0f", g.FP16TFLOPS) })
+	row("Tensor FP32 (TFLOPS)", func(g hw.GPUSpec) string { return fmt.Sprintf("%.0f", g.FP32TFLOPS) })
+	row("Memory capacity (GB)", func(g hw.GPUSpec) string { return fmt.Sprintf("%.0f", g.MemGB) })
+	row("Link bandwidth (GB/s)", func(g hw.GPUSpec) string {
+		link := "PCIe"
+		if g.NVLink {
+			link = "NVLink"
+		}
+		return fmt.Sprintf("%.0f (%s)", g.LinkGBps, link)
+	})
+	row("PCIe P2P", func(g hw.GPUSpec) string { return yesNo(g.PCIeP2P) })
+	row("UVA to host / peers", func(g hw.GPUSpec) string {
+		return yesNo(g.UVAToHost) + "/" + yesNo(g.UVAToPeer)
+	})
+	row("Price ($)", func(g hw.GPUSpec) string { return fmt.Sprintf("%.0f", g.PriceUSD) })
+	row("$ per FP32-TFLOPS", func(g hw.GPUSpec) string {
+		return fmt.Sprintf("%.0f", g.DollarPerFP32TFLOPS())
+	})
+	ratio := hw.A100.DollarPerFP32TFLOPS() / hw.RTX4090.DollarPerFP32TFLOPS()
+	fmt.Fprintf(&sb, "  · RTX 4090 cost-performance is %.1fx the A100's ($/TFLOPS ratio; paper: 5.4x)\n", ratio)
+	return sb.String()
+}
+
+// Table2 renders the dataset registry.
+func Table2(bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-4s %-10s %12s %12s %11s %10s %13s %12s\n",
+		"Kind", "Dataset", "#Vertexes", "#Edges", "#Relations", "#Features", "#IDs/#Samples", "Model size")
+	for _, s := range data.Specs() {
+		if s.Kind == data.KG {
+			fmt.Fprintf(&sb, "%-4s %-10s %12s %12s %11s %10s %13s %12s\n",
+				s.Kind, s.Name, human(s.Vertices), human(s.Edges), human(s.Relations), "-", "-",
+				humanBytes(s.ModelSizeBytes))
+		} else {
+			fmt.Fprintf(&sb, "%-4s %-10s %12s %12s %11s %10d %13s %12s\n",
+				s.Kind, s.Name, "-", "-", "-", s.Features,
+				human(s.IDs)+"/"+human(s.Samples), humanBytes(s.ModelSizeBytes))
+		}
+	}
+	sb.WriteString("  · KG: TransE, dim 400, neg batch 200, batch 1200 (FB15k) / 2000 (others)\n")
+	sb.WriteString("  · REC: DLRM, dim 32, DNN 512-512-256-1, batch 1024\n")
+	return sb.String()
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func human(v int64) string {
+	switch {
+	case v >= 1_000_000_000:
+		return fmt.Sprintf("%.2fB", float64(v)/1e9)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(v)/1e6)
+	case v >= 1_000:
+		return fmt.Sprintf("%.0fk", float64(v)/1e3)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+func humanBytes(v int64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(v)/float64(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.0f MB", float64(v)/float64(1<<20))
+	default:
+		return fmt.Sprintf("%d B", v)
+	}
+}

@@ -1,0 +1,109 @@
+// Package cache implements the per-GPU embedding cache used by Frugal and
+// the HugeCTR-style baseline (§2.1, Fig 2b): a set-associative,
+// frequency-aware table of hot embedding rows held in (simulated) device
+// memory.
+//
+// Frugal uses a sharding placement — key k is cached only on its owner GPU
+// — and keeps the cache consistent with host memory through versioning:
+// every flushed update bumps the key's global version, and a cached row
+// whose fill version is older counts as a miss, falling back to the
+// (gate-protected, therefore fresh) host row. DESIGN.md records this as
+// our completion of the paper's design for remote partial gradients.
+//
+// The package has two layers: Meta (the directory — all placement,
+// eviction, versioning and statistics logic, no storage) and Cache (Meta
+// plus the float32 row slab). Neither is safe for concurrent use; device
+// caches in the paper are private per training process too.
+package cache
+
+import "fmt"
+
+// Ways is the set associativity of the cache.
+const Ways = 8
+
+const emptyKey = ^uint64(0)
+
+type slot struct {
+	key     uint64
+	version uint64
+	freq    uint32
+}
+
+// Cache is one GPU's embedding cache: a Meta directory plus row storage
+// for `Rows()` embeddings of dimension dim in a contiguous slab.
+type Cache struct {
+	*Meta
+	dim  int
+	slab []float32
+}
+
+// New builds a cache with room for at least `rows` embedding rows of
+// dimension dim. rows is rounded up to a multiple of the associativity; a
+// rows value < Ways still yields one full set.
+func New(rows, dim int) (*Cache, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("cache: dim must be positive, got %d", dim)
+	}
+	meta, err := NewMeta(rows)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{
+		Meta: meta,
+		dim:  dim,
+		slab: make([]float32, meta.Rows()*dim),
+	}, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(rows, dim int) *Cache {
+	c, err := New(rows, dim)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Dim returns the embedding dimension.
+func (c *Cache) Dim() int { return c.dim }
+
+func (c *Cache) row(slotIdx int) []float32 {
+	return c.slab[slotIdx*c.dim : (slotIdx+1)*c.dim]
+}
+
+// Lookup returns the cached row for key when present AND at least as new
+// as wantVersion. A present-but-stale row counts as a miss (and is
+// invalidated) because host memory holds newer flushed updates.
+// The returned slice aliases cache storage; callers may mutate it in place
+// (that is how local updates are applied) but must not retain it across a
+// subsequent Insert, which may reuse the slot.
+func (c *Cache) Lookup(key uint64, wantVersion uint64) ([]float32, bool) {
+	i := c.probe(key, wantVersion)
+	if i < 0 {
+		return nil, false
+	}
+	return c.row(i), true
+}
+
+// Insert fills the row for key at the given version, evicting the
+// least-frequently-used slot of the set when full (HugeCTR-style
+// frequency admission). It returns the slice the caller must copy the row
+// into, plus the evicted key (or ok=false when no eviction happened).
+func (c *Cache) Insert(key uint64, version uint64) (dst []float32, evicted uint64, wasEviction bool) {
+	i, ev, was := c.fill(key, version)
+	return c.row(i), ev, was
+}
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Hits, Misses, StaleHits, Inserted, Evicted int64
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any access.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

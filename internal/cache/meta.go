@@ -1,0 +1,175 @@
+package cache
+
+import "fmt"
+
+// Meta is the bookkeeping half of the embedding cache: the set-associative
+// directory with frequency-aware eviction and version-based freshness, but
+// no row storage. The performance simulator uses it to track hit rates
+// over key spaces far too large to materialise (CriteoTB's 882 M rows);
+// Cache composes it with a row slab for the real runtime.
+type Meta struct {
+	sets     int
+	slots    []slot
+	hits     int64
+	misses   int64
+	stale    int64
+	inserted int64
+	evicted  int64
+}
+
+// NewMeta builds a directory with room for at least `rows` entries.
+func NewMeta(rows int) (*Meta, error) {
+	if rows <= 0 {
+		return nil, fmt.Errorf("cache: rows must be positive, got %d", rows)
+	}
+	sets := (rows + Ways - 1) / Ways
+	m := &Meta{sets: sets, slots: make([]slot, sets*Ways)}
+	for i := range m.slots {
+		m.slots[i].key = emptyKey
+	}
+	return m, nil
+}
+
+// MustNewMeta is NewMeta for static configurations.
+func MustNewMeta(rows int) *Meta {
+	m, err := NewMeta(rows)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Rows returns the directory capacity in entries.
+func (m *Meta) Rows() int { return m.sets * Ways }
+
+func (m *Meta) set(key uint64) int {
+	h := key
+	h ^= h >> 33
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return int(h % uint64(m.sets))
+}
+
+// probe returns the slot index of a live, fresh entry for key, or -1.
+// Present-but-stale entries are invalidated and counted.
+func (m *Meta) probe(key uint64, wantVersion uint64) int {
+	base := m.set(key) * Ways
+	for i := base; i < base+Ways; i++ {
+		s := &m.slots[i]
+		if s.key != key {
+			continue
+		}
+		if s.version < wantVersion {
+			s.key = emptyKey
+			m.stale++
+			m.misses++
+			return -1
+		}
+		s.freq++
+		m.hits++
+		return i
+	}
+	m.misses++
+	return -1
+}
+
+// Probe reports whether key is cached at a version ≥ wantVersion,
+// updating hit/miss statistics.
+func (m *Meta) Probe(key uint64, wantVersion uint64) bool {
+	return m.probe(key, wantVersion) >= 0
+}
+
+// Contains reports presence at any version without touching statistics.
+func (m *Meta) Contains(key uint64) bool {
+	base := m.set(key) * Ways
+	for i := base; i < base+Ways; i++ {
+		if m.slots[i].key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// fill claims a slot for key at version, evicting the least-frequently
+// used entry of the set when necessary, and returns the slot index plus
+// eviction info.
+func (m *Meta) fill(key uint64, version uint64) (slotIdx int, evicted uint64, wasEviction bool) {
+	base := m.set(key) * Ways
+	victim := -1
+	var victimFreq uint32 = ^uint32(0)
+	for i := base; i < base+Ways; i++ {
+		s := &m.slots[i]
+		if s.key == key {
+			s.version = version
+			s.freq++
+			return i, 0, false
+		}
+		if s.key == emptyKey {
+			if victim == -1 || m.slots[victim].key != emptyKey {
+				victim = i
+				victimFreq = 0
+			}
+			continue
+		}
+		if victim != -1 && m.slots[victim].key == emptyKey {
+			continue // prefer empty slots over any eviction
+		}
+		if victim == -1 || s.freq < victimFreq {
+			victim = i
+			victimFreq = s.freq
+		}
+	}
+	s := &m.slots[victim]
+	wasEviction = s.key != emptyKey
+	evicted = s.key
+	s.key = key
+	s.version = version
+	s.freq = 1
+	m.inserted++
+	if wasEviction {
+		m.evicted++
+	}
+	return victim, evicted, wasEviction
+}
+
+// Fill records key at version (the slab-less insert used by the
+// simulator). It returns the evicted key, if any.
+func (m *Meta) Fill(key uint64, version uint64) (evicted uint64, wasEviction bool) {
+	_, ev, was := m.fill(key, version)
+	return ev, was
+}
+
+// Bump updates the stored version of a cached key; reports presence.
+func (m *Meta) Bump(key uint64, version uint64) bool {
+	base := m.set(key) * Ways
+	for i := base; i < base+Ways; i++ {
+		if m.slots[i].key == key {
+			m.slots[i].version = version
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops key if present.
+func (m *Meta) Invalidate(key uint64) bool {
+	base := m.set(key) * Ways
+	for i := base; i < base+Ways; i++ {
+		if m.slots[i].key == key {
+			m.slots[i].key = emptyKey
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Meta) Stats() Stats {
+	return Stats{Hits: m.hits, Misses: m.misses, StaleHits: m.stale,
+		Inserted: m.inserted, Evicted: m.evicted}
+}
+
+// ResetStats clears the counters.
+func (m *Meta) ResetStats() {
+	m.hits, m.misses, m.stale, m.inserted, m.evicted = 0, 0, 0, 0, 0
+}

@@ -1,0 +1,153 @@
+package data
+
+import "fmt"
+
+// Kind distinguishes the two application families of the evaluation.
+type Kind string
+
+// Dataset kinds.
+const (
+	KG  Kind = "KG"  // knowledge-graph embedding (DGL-KE territory)
+	REC Kind = "REC" // recommendation models (HugeCTR territory)
+)
+
+// Spec describes one dataset of Table 2. The published shape numbers are
+// kept verbatim for the Table 2 reproduction; synthetic generators scale
+// them down with ScaleFactor while preserving shape (feature count, skew,
+// IDs-per-sample).
+type Spec struct {
+	Name string
+	Kind Kind
+
+	// KG shape (Table 2 top half).
+	Vertices  int64
+	Edges     int64
+	Relations int64
+
+	// REC shape (Table 2 bottom half).
+	Features int
+	IDs      int64
+	Samples  int64
+
+	// ModelSizeBytes is the published model size.
+	ModelSizeBytes int64
+
+	// EmbDim and DefaultBatch follow §4.1 (dim 400 for KG/TransE, dim 32
+	// for REC/DLRM; batch 1200/2000 for KG, 1024 for REC).
+	EmbDim       int
+	DefaultBatch int
+
+	// Skew is the Zipf exponent used by the synthetic stand-in trace.
+	// Real CTR datasets are heavily skewed; graphs follow power-law
+	// degree distributions.
+	Skew float64
+}
+
+const (
+	mb  = int64(1) << 20
+	gbi = int64(1) << 30
+)
+
+// The Table 2 registry. Numbers are the paper's.
+var (
+	FB15k = Spec{
+		Name: "FB15k", Kind: KG,
+		Vertices: 592_000, Edges: 15_000, Relations: 1_300,
+		ModelSizeBytes: 52 * mb,
+		EmbDim:         400, DefaultBatch: 1200, Skew: 0.9,
+	}
+	Freebase = Spec{
+		Name: "Freebase", Kind: KG,
+		Vertices: 338_000_000, Edges: 86_100_000, Relations: 14_800,
+		ModelSizeBytes: 688 * gbi / 10,
+		EmbDim:         400, DefaultBatch: 2000, Skew: 0.9,
+	}
+	WikiKG = Spec{
+		Name: "WikiKG", Kind: KG,
+		Vertices: 87_000_000, Edges: 504_000_000, Relations: 1_300,
+		ModelSizeBytes: 34 * gbi,
+		EmbDim:         400, DefaultBatch: 2000, Skew: 0.9,
+	}
+	Avazu = Spec{
+		Name: "Avazu", Kind: REC,
+		Features: 22, IDs: 49_000_000, Samples: 40_000_000,
+		ModelSizeBytes: 58 * gbi / 10,
+		EmbDim:         32, DefaultBatch: 1024, Skew: 0.95,
+	}
+	Criteo = Spec{
+		Name: "Criteo", Kind: REC,
+		Features: 26, IDs: 34_000_000, Samples: 45_000_000,
+		ModelSizeBytes: 41 * gbi / 10,
+		EmbDim:         32, DefaultBatch: 1024, Skew: 0.95,
+	}
+	CriteoTB = Spec{
+		Name: "CriteoTB", Kind: REC,
+		Features: 26, IDs: 882_000_000, Samples: 4_370_000_000,
+		ModelSizeBytes: 1103 * gbi / 10,
+		EmbDim:         32, DefaultBatch: 1024, Skew: 0.95,
+	}
+)
+
+// Specs returns the Table 2 registry in publication order.
+func Specs() []Spec { return []Spec{FB15k, Freebase, WikiKG, Avazu, Criteo, CriteoTB} }
+
+// SpecByName looks a dataset up by name.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("data: unknown dataset %q", name)
+}
+
+// KeySpace returns the total embedding-key space of the dataset: entities
+// plus relations for KG (relation keys live above the entity range), or
+// the ID-space size for REC.
+func (s Spec) KeySpace() uint64 {
+	if s.Kind == KG {
+		return uint64(s.Vertices + s.Relations)
+	}
+	return uint64(s.IDs)
+}
+
+// Scaled returns a copy with ID spaces and sample counts divided by
+// factor (≥ 1), preserving feature counts, dims, batch sizes and skew —
+// the laptop-scale stand-in recorded in DESIGN.md. Populations never drop
+// below a floor that keeps the workload meaningful.
+func (s Spec) Scaled(factor int64) Spec {
+	if factor <= 1 {
+		return s
+	}
+	out := s
+	div := func(v, floor int64) int64 {
+		v /= factor
+		if v < floor {
+			return floor
+		}
+		return v
+	}
+	if s.Kind == KG {
+		out.Vertices = div(s.Vertices, 10_000)
+		out.Edges = div(s.Edges, 10_000)
+		out.Relations = div(s.Relations, 100)
+	} else {
+		out.IDs = div(s.IDs, 100_000)
+		out.Samples = div(s.Samples, 100_000)
+	}
+	out.ModelSizeBytes = int64(out.KeySpace()) * int64(s.EmbDim) * 4
+	return out
+}
+
+// RowBytes returns the size of one embedding row.
+func (s Spec) RowBytes() int64 { return int64(s.EmbDim) * 4 }
+
+// KeysPerSample returns how many embedding lookups one training sample
+// performs: one per categorical feature for REC; head + relation + tail
+// for a KG triple (negative samples are accounted separately).
+func (s Spec) KeysPerSample() int {
+	if s.Kind == KG {
+		return 3
+	}
+	return s.Features
+}

@@ -1,0 +1,96 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadKeyTrace: arbitrary input must either parse into a replayable
+// trace or fail cleanly — never panic, never mis-parse.
+func FuzzReadKeyTrace(f *testing.F) {
+	f.Add("1 2 3\n4 5 6\n")
+	f.Add("")
+	f.Add("18446744073709551615\n")
+	f.Add("1 x\n")
+	f.Add("  7  \n\n8\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadKeyTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// A successful parse must replay exactly Steps() non-empty batches.
+		n := int64(0)
+		for {
+			b, ok := tr.Next()
+			if !ok {
+				break
+			}
+			if len(b) == 0 {
+				t.Fatal("parsed an empty batch")
+			}
+			n++
+		}
+		if n != tr.Steps() {
+			t.Fatalf("replayed %d batches, Steps() = %d", n, tr.Steps())
+		}
+	})
+}
+
+// FuzzRoundtrip: any well-formed batch list survives a write→parse cycle.
+func FuzzTraceRoundtrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 {
+			return
+		}
+		var sb bytes.Buffer
+		var want [][]uint64
+		for i := 0; i < len(raw); i += 4 {
+			end := i + 4
+			if end > len(raw) {
+				end = len(raw)
+			}
+			var batch []uint64
+			for j, b := range raw[i:end] {
+				if j > 0 {
+					sb.WriteByte(' ')
+				}
+				k := uint64(b)
+				batch = append(batch, k)
+				sb.WriteString(strings.TrimSpace(strings.Repeat(" ", 0) + itoa(k)))
+			}
+			sb.WriteByte('\n')
+			want = append(want, batch)
+		}
+		tr, err := ReadKeyTrace(&sb)
+		if err != nil {
+			t.Fatalf("well-formed trace rejected: %v", err)
+		}
+		for _, wb := range want {
+			got, ok := tr.Next()
+			if !ok || len(got) != len(wb) {
+				t.Fatal("replay shape mismatch")
+			}
+			for i := range wb {
+				if got[i] != wb[i] {
+					t.Fatal("replay content mismatch")
+				}
+			}
+		}
+	})
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,263 @@
+// Package lfht implements the lock-free hash table used as the second
+// level of Frugal's two-level priority queue (§3.4). Each priority slot of
+// the queue owns one table holding the g-entries that currently carry that
+// priority; enqueue inserts here, adjustPriority moves entries between two
+// tables, and the flusher threads pop arbitrary entries concurrently.
+//
+// The paper builds on a write-optimized dynamic hash table (FAST '19 [34]).
+// This implementation keeps the properties that matter for the P²F
+// algorithm — lock-free inserts/deletes/pops with O(1) expected cost and no
+// central point of contention — using a segmented design: a fixed directory
+// of 2^k segments (sized from a capacity hint), each an atomic singly
+// linked list with logical deletion. Capacity is dynamic because the lists
+// grow and shrink with the population; the directory spreads contention so
+// that concurrent operations on different keys rarely touch the same cache
+// line.
+package lfht
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// node is one key/value cell. A node is logically deleted by CAS-ing
+// state from live to dead; physical unlinking happens opportunistically
+// during later traversals. Values are immutable once inserted (the P²F
+// controller mutates the *GEntry a value points to, never the mapping).
+type node[V any] struct {
+	key   uint64
+	val   V
+	next  atomic.Pointer[node[V]]
+	state atomic.Int32 // 0 = live, 1 = logically deleted
+}
+
+func (n *node[V]) live() bool { return n.state.Load() == 0 }
+
+// kill logically deletes the node; reports whether this caller won the race.
+func (n *node[V]) kill() bool { return n.state.CompareAndSwap(0, 1) }
+
+// Map is a concurrent hash map from uint64 keys to values of type V.
+// The zero value is not usable; construct with New or NewWithHint.
+type Map[V any] struct {
+	segments []atomic.Pointer[node[V]]
+	mask     uint64
+	count    atomic.Int64
+	cursor   atomic.Uint64 // rotating start segment for PopAny fairness
+}
+
+// DefaultSegments is the directory size used by New.
+const DefaultSegments = 256
+
+// New returns an empty map with the default directory size.
+func New[V any]() *Map[V] { return NewWithHint[V](DefaultSegments * 4) }
+
+// NewWithHint returns an empty map sized for roughly `hint` resident
+// entries (directory of ~hint/4 segments, clamped to [16, 1<<18], rounded
+// up to a power of two).
+func NewWithHint[V any](hint int) *Map[V] {
+	segs := hint / 4
+	if segs < 16 {
+		segs = 16
+	}
+	if segs > 1<<18 {
+		segs = 1 << 18
+	}
+	segs = 1 << bits.Len(uint(segs-1)) // next power of two
+	return &Map[V]{
+		segments: make([]atomic.Pointer[node[V]], segs),
+		mask:     uint64(segs - 1),
+	}
+}
+
+// hash mixes the key (fibonacci hashing) so sequential embedding keys
+// spread across segments.
+func hash(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	return k
+}
+
+func (m *Map[V]) segment(key uint64) *atomic.Pointer[node[V]] {
+	return &m.segments[hash(key)&m.mask]
+}
+
+// Insert adds key→val. If a live node with the same key already exists the
+// insert still succeeds (the table is a multiset over keys); the P²F layer
+// guarantees one live mapping per key per table. Lock-free: a single CAS
+// at the segment head.
+func (m *Map[V]) Insert(key uint64, val V) {
+	n := &node[V]{key: key, val: val}
+	head := m.segment(key)
+	for {
+		old := head.Load()
+		n.next.Store(old)
+		if head.CompareAndSwap(old, n) {
+			m.count.Add(1)
+			return
+		}
+	}
+}
+
+// GetOrInsert returns the value mapped to key, creating it with mk when
+// absent. The second result reports whether the value already existed.
+// Lock-free: inserts happen only at a segment head, so a successful CAS on
+// an unchanged head proves no concurrent insert of the same key slipped in.
+// mk may be called and its result discarded when the CAS loop retries.
+func (m *Map[V]) GetOrInsert(key uint64, mk func() V) (V, bool) {
+	head := m.segment(key)
+	for {
+		top := head.Load()
+		for n := top; n != nil; n = n.next.Load() {
+			if n.key == key && n.live() {
+				return n.val, true
+			}
+		}
+		n := &node[V]{key: key, val: mk()}
+		n.next.Store(top)
+		if head.CompareAndSwap(top, n) {
+			m.count.Add(1)
+			return n.val, false
+		}
+	}
+}
+
+// Get returns the value of the first live node with the given key.
+func (m *Map[V]) Get(key uint64) (V, bool) {
+	for n := m.segment(key).Load(); n != nil; n = n.next.Load() {
+		if n.key == key && n.live() {
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Delete logically removes one live node with the given key and reports
+// whether a node was removed.
+func (m *Map[V]) Delete(key uint64) bool {
+	head := m.segment(key)
+	for n := head.Load(); n != nil; n = n.next.Load() {
+		if n.key == key && n.kill() {
+			m.count.Add(-1)
+			m.unlink(head)
+			return true
+		}
+	}
+	return false
+}
+
+// unlink opportunistically removes a prefix of dead nodes from a segment.
+// Only head-prefix unlinking is attempted: it needs a single CAS and keeps
+// the traversal wait-free for readers.
+func (m *Map[V]) unlink(head *atomic.Pointer[node[V]]) {
+	for {
+		first := head.Load()
+		if first == nil || first.live() {
+			return
+		}
+		next := first.next.Load()
+		if !head.CompareAndSwap(first, next) {
+			return // someone else is maintaining this segment
+		}
+	}
+}
+
+// PopAny removes and returns an arbitrary live entry, or ok=false when the
+// table is (momentarily) empty. Concurrent poppers start at a rotating
+// cursor so they drain different segments — this is what gives the
+// two-level PQ its dequeue scalability.
+func (m *Map[V]) PopAny() (key uint64, val V, ok bool) {
+	if m.count.Load() == 0 {
+		var zero V
+		return 0, zero, false
+	}
+	segs := uint64(len(m.segments))
+	start := m.cursor.Add(1)
+	for i := uint64(0); i < segs; i++ {
+		head := &m.segments[(start+i)&m.mask]
+		for n := head.Load(); n != nil; n = n.next.Load() {
+			if n.kill() {
+				m.count.Add(-1)
+				m.unlink(head)
+				return n.key, n.val, true
+			}
+		}
+	}
+	var zero V
+	return 0, zero, false
+}
+
+// PopBatch removes up to max live entries, appending their values to dst
+// and returning the extended slice. Batching amortises the segment scan —
+// the "batched Dequeue" optimisation of Fig 7.
+func (m *Map[V]) PopBatch(dst []V, max int) []V {
+	if max <= 0 || m.count.Load() == 0 {
+		return dst
+	}
+	segs := uint64(len(m.segments))
+	start := m.cursor.Add(1)
+	taken := 0
+	for i := uint64(0); i < segs && taken < max; i++ {
+		head := &m.segments[(start+i)&m.mask]
+		for n := head.Load(); n != nil && taken < max; n = n.next.Load() {
+			if n.kill() {
+				m.count.Add(-1)
+				dst = append(dst, n.val)
+				taken++
+			}
+		}
+		m.unlink(head)
+	}
+	return dst
+}
+
+// DrainN visits up to max live entries, invoking fn on each BEFORE the
+// node is removed, then kills the node (exactly once across concurrent
+// callers; the count reflects only successful kills). The visit-then-kill
+// order is what keeps an entry visible to observers until fn has finished
+// with it — the property Frugal's consistency gate relies on. Concurrent
+// callers may invoke fn twice for one node; fn must be idempotent.
+func (m *Map[V]) DrainN(max int, fn func(key uint64, val V)) int {
+	if max <= 0 || m.count.Load() == 0 {
+		return 0
+	}
+	segs := uint64(len(m.segments))
+	start := m.cursor.Add(1)
+	done := 0
+	for i := uint64(0); i < segs && done < max; i++ {
+		head := &m.segments[(start+i)&m.mask]
+		for n := head.Load(); n != nil && done < max; n = n.next.Load() {
+			if !n.live() {
+				continue
+			}
+			fn(n.key, n.val)
+			if n.kill() {
+				m.count.Add(-1)
+				done++
+			}
+		}
+		m.unlink(head)
+	}
+	return done
+}
+
+// Len returns the number of live entries (exact in quiescence, approximate
+// under concurrency).
+func (m *Map[V]) Len() int { return int(m.count.Load()) }
+
+// Empty reports whether the table holds no live entries.
+func (m *Map[V]) Empty() bool { return m.count.Load() == 0 }
+
+// Range calls fn for every live entry until fn returns false. The snapshot
+// is weakly consistent: entries inserted or deleted concurrently may or may
+// not be observed.
+func (m *Map[V]) Range(fn func(key uint64, val V) bool) {
+	for i := range m.segments {
+		for n := m.segments[i].Load(); n != nil; n = n.next.Load() {
+			if n.live() && !fn(n.key, n.val) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,494 @@
+// Package p2f implements Frugal's priority-based proactively flushing
+// algorithm (§3.3) and the controller process around it (§3.2, Fig 5): the
+// sample (lookahead) queue, the update staging path, the per-parameter
+// g-entry directory, background flushing threads, and the synchronous-
+// consistency gate that blocks a training step s until the front of the
+// priority queue is strictly greater than s.
+//
+// The package is hardware-agnostic: it drives real goroutines and real
+// data structures, and delegates the actual application of updates to a
+// FlushSink (the runtime applies them to the host-memory parameter slab;
+// the simulator charges virtual time for them).
+package p2f
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"frugal/internal/lfht"
+	"frugal/internal/pq"
+)
+
+// KeyDelta is one parameter update produced by a trainer's backward pass.
+// StateDelta carries the optimizer-state increment alongside the row delta
+// (0 under plain SGD).
+type KeyDelta struct {
+	Key        uint64
+	Delta      []float32
+	StateDelta float32
+}
+
+// Batch is one prefetched global training batch from the sample queue.
+type Batch struct {
+	Step int64
+	Keys []uint64
+}
+
+// FlushSink receives the pending updates of one parameter when a flushing
+// thread drains its g-entry. Implementations apply them to host memory.
+// Flush is called with the g-entry lock held, serialising flushes per key.
+type FlushSink interface {
+	Flush(key uint64, updates []pq.Update)
+}
+
+// FlushSinkFunc adapts a function to the FlushSink interface.
+type FlushSinkFunc func(key uint64, updates []pq.Update)
+
+// Flush calls f.
+func (f FlushSinkFunc) Flush(key uint64, updates []pq.Update) { f(key, updates) }
+
+// TraceSource provides the upcoming global batches, in training order.
+// Implementations must be safe for use by the single prefetch goroutine.
+type TraceSource interface {
+	// Next returns the keys of the next global batch, or ok=false when the
+	// trace is exhausted.
+	Next() (keys []uint64, ok bool)
+}
+
+// Options configures a Controller.
+type Options struct {
+	// MaxStep is the number of training steps; step numbers are
+	// 0 … MaxStep-1. Required.
+	MaxStep int64
+	// Lookahead is L, the prefetch depth of the sample queue (§3.2;
+	// default 10).
+	Lookahead int
+	// FlushThreads is the number of background flushing threads
+	// (default 8, the paper's evaluation default).
+	FlushThreads int
+	// Trainers is the number of training processes that commit updates
+	// each step (one per GPU; default 1).
+	Trainers int
+	// Sink applies flushed updates to host memory. Required.
+	Sink FlushSink
+	// Source supplies the batch trace. Required.
+	Source TraceSource
+	// Queue overrides the priority queue implementation (default: a
+	// TwoLevelPQ sized for MaxStep). Exp #4 passes a TreeHeap here.
+	Queue pq.Queue
+	// DequeueBatchSize bounds each flusher's batched dequeue (default 64).
+	DequeueBatchSize int
+	// DirectoryHint sizes the g-entry directory (expected distinct hot
+	// keys; default 1<<16).
+	DirectoryHint int
+}
+
+func (o *Options) normalize() error {
+	if o.MaxStep <= 0 {
+		return fmt.Errorf("p2f: MaxStep must be positive, got %d", o.MaxStep)
+	}
+	if o.Sink == nil {
+		return errors.New("p2f: Sink is required")
+	}
+	if o.Source == nil {
+		return errors.New("p2f: Source is required")
+	}
+	if o.Lookahead <= 0 {
+		o.Lookahead = 10
+	}
+	if o.FlushThreads <= 0 {
+		o.FlushThreads = 8
+	}
+	if o.Trainers <= 0 {
+		o.Trainers = 1
+	}
+	if o.DequeueBatchSize <= 0 {
+		o.DequeueBatchSize = 64
+	}
+	if o.DirectoryHint <= 0 {
+		o.DirectoryHint = 1 << 16
+	}
+	return nil
+}
+
+// Stats aggregates observable behaviour of the controller, for the
+// experiment harness and tests.
+type Stats struct {
+	// StallTime is the total time trainers spent blocked in WaitForStep.
+	StallTime time.Duration
+	// Stalls counts WaitForStep calls that actually blocked.
+	Stalls int64
+	// FlushedUpdates counts individual ⟨step, Δ⟩ updates flushed.
+	FlushedUpdates int64
+	// DeferredFlushes counts g-entries that were flushed from the ∞
+	// priority slot — updates P²F successfully pushed off the critical
+	// path (the k₃ case of Fig 6).
+	DeferredFlushes int64
+	// UrgentFlushes counts g-entries flushed with a finite priority.
+	UrgentFlushes int64
+	// PrefetchedSteps is the number of batches registered in read sets.
+	PrefetchedSteps int64
+	// CommittedSteps is the number of fully committed steps.
+	CommittedSteps int64
+}
+
+// Controller orchestrates P²F: it owns the g-entry directory, the priority
+// queue, the prefetch goroutine filling the sample queue, and the flusher
+// pool. One Controller serves all training processes of a job.
+type Controller struct {
+	opt   Options
+	queue pq.Queue
+	dir   *lfht.Map[*pq.GEntry]
+
+	sample chan Batch // the sample queue: capacity = Lookahead
+
+	mu            sync.Mutex
+	gate          *sync.Cond
+	commits       map[int64]int
+	committedStep int64 // all trainers have committed steps ≤ this
+
+	stopping atomic.Bool
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	started  bool
+
+	stallNanos      atomic.Int64
+	stalls          atomic.Int64
+	flushedUpdates  atomic.Int64
+	deferredFlushes atomic.Int64
+	urgentFlushes   atomic.Int64
+	prefetchedSteps atomic.Int64
+}
+
+// NewController validates opt and builds a controller. Call Start to launch
+// the prefetch and flusher goroutines.
+func NewController(opt Options) (*Controller, error) {
+	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	q := opt.Queue
+	if q == nil {
+		var err error
+		q, err = pq.NewTwoLevelPQ(pq.TwoLevelOptions{
+			MaxStep:   opt.MaxStep,
+			TableHint: opt.DirectoryHint / 16,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	c := &Controller{
+		opt:           opt,
+		queue:         q,
+		dir:           lfht.NewWithHint[*pq.GEntry](opt.DirectoryHint),
+		sample:        make(chan Batch, opt.Lookahead),
+		commits:       make(map[int64]int),
+		committedStep: -1,
+		stop:          make(chan struct{}),
+	}
+	c.gate = sync.NewCond(&c.mu)
+	return c, nil
+}
+
+// Queue exposes the controller's priority queue (tests, harness).
+func (c *Controller) Queue() pq.Queue { return c.queue }
+
+// Start launches the prefetch goroutine and the flusher pool.
+func (c *Controller) Start() {
+	if c.started {
+		panic("p2f: Controller started twice")
+	}
+	c.started = true
+	c.wg.Add(1)
+	go c.prefetchLoop()
+	for i := 0; i < c.opt.FlushThreads; i++ {
+		c.wg.Add(1)
+		go c.flusherLoop()
+	}
+}
+
+// Stop terminates the background goroutines. Pending (deferred) updates
+// that were never drained stay in the queue; call DrainAll first to flush
+// everything, as the paper's epilogue does ("after training, the system
+// waits for flushing threads to write all deferred parameter updates").
+func (c *Controller) Stop() {
+	if c.stopping.Swap(true) {
+		return
+	}
+	close(c.stop)
+	c.broadcast()
+	c.wg.Wait()
+}
+
+func (c *Controller) broadcast() {
+	c.mu.Lock()
+	c.gate.Broadcast()
+	c.mu.Unlock()
+}
+
+// ----------------------------------------------------------------------
+// Prefetch (sample queue)
+
+// prefetchLoop pulls batches from the trace source, registers their keys'
+// future reads in the g-entry directory, and publishes the batch on the
+// sample queue. The channel's capacity is the lookahead depth L, so the
+// loop naturally stays exactly L steps ahead of training.
+func (c *Controller) prefetchLoop() {
+	defer c.wg.Done()
+	defer close(c.sample)
+	for step := int64(0); step < c.opt.MaxStep; step++ {
+		if c.stopping.Load() {
+			return
+		}
+		keys, ok := c.opt.Source.Next()
+		if !ok {
+			return
+		}
+		c.registerReads(step, keys)
+		c.prefetchedSteps.Add(1)
+		select {
+		case c.sample <- Batch{Step: step, Keys: keys}:
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// registerReads inserts step into the read set of every key's g-entry and
+// adjusts queued priorities (an entry with pending writes becomes more
+// urgent when an upcoming read is discovered).
+func (c *Controller) registerReads(step int64, keys []uint64) {
+	for _, k := range keys {
+		g, _ := c.dir.GetOrInsert(k, func() *pq.GEntry { return pq.NewGEntry(k) })
+		g.Mu.Lock()
+		g.AddRead(step)
+		newP := g.ComputePriority()
+		switch {
+		case g.InQueue:
+			if newP != g.Priority {
+				c.queue.AdjustPriority(g, g.Priority, newP)
+			}
+		case len(g.W) > 0:
+			// The entry is checked out by a flusher (claimed but not yet
+			// flushed). The new read makes its pending write urgent again;
+			// re-enqueueing keeps it visible to the consistency gate —
+			// without this, a read registered in the claim→flush window
+			// could slip past Top() and observe a stale host row. The
+			// flusher's eventual TakeWrites leaves a benign empty residue.
+			c.queue.Enqueue(g, newP)
+		}
+		g.Mu.Unlock()
+	}
+}
+
+// NextBatch pops the next prefetched batch from the sample queue. ok=false
+// when the trace is exhausted (or the controller is stopping).
+func (c *Controller) NextBatch() (Batch, bool) {
+	b, ok := <-c.sample
+	return b, ok
+}
+
+// ----------------------------------------------------------------------
+// Consistency gate
+
+// WaitForStep blocks until training step s may start: all trainers have
+// committed step s-1 (so every pending update is visible to the queue) and
+// the priority at the front of the queue is strictly greater than s
+// (invariant (2) of §3.3 — no g-entry has both a pending write and an
+// upcoming read at a step ≤ s). It returns the time spent blocked.
+func (c *Controller) WaitForStep(s int64) time.Duration {
+	var stalled time.Duration
+	c.mu.Lock()
+	for !c.stepReady(s) && !c.stopping.Load() {
+		start := time.Now()
+		c.gate.Wait()
+		stalled += time.Since(start)
+	}
+	c.mu.Unlock()
+	if stalled > 0 {
+		c.stallNanos.Add(int64(stalled))
+		c.stalls.Add(1)
+	}
+	// Scan-range compression: once the gate for s passes, no g-entry can
+	// carry a finite priority below s+1 anymore (§3.4).
+	if r, ok := c.queue.(interface{ RaiseLowerBound(int64) }); ok {
+		r.RaiseLowerBound(s + 1)
+	}
+	return stalled
+}
+
+// stepReady evaluates the gate condition. Caller holds c.mu.
+func (c *Controller) stepReady(s int64) bool {
+	if c.committedStep < s-1 {
+		return false
+	}
+	return c.queue.Top() > s
+}
+
+// ----------------------------------------------------------------------
+// Update staging (commit path)
+
+// CommitStep records one trainer's parameter updates for step s: each
+// key's read set drops s, the gradient joins the write set, and the
+// g-entry is (re-)queued under its new priority. When all trainers have
+// committed s the committed watermark advances and gate waiters wake.
+//
+// Synchronous training contract: all trainers must have finished *reading*
+// step s before any trainer commits it (the runtime enforces this with its
+// step barrier).
+func (c *Controller) CommitStep(s int64, updates []KeyDelta) {
+	for _, kd := range updates {
+		g, _ := c.dir.GetOrInsert(kd.Key, func() *pq.GEntry { return pq.NewGEntry(kd.Key) })
+		g.Mu.Lock()
+		g.RemoveRead(s)
+		g.AddWriteState(s, kd.Delta, kd.StateDelta)
+		newP := g.ComputePriority()
+		if g.InQueue {
+			if newP != g.Priority {
+				c.queue.AdjustPriority(g, g.Priority, newP)
+			}
+		} else {
+			c.queue.Enqueue(g, newP)
+		}
+		g.Mu.Unlock()
+	}
+	c.mu.Lock()
+	c.commits[s]++
+	if c.commits[s] == c.opt.Trainers {
+		delete(c.commits, s)
+		if s > c.committedStep {
+			c.committedStep = s
+		}
+	}
+	c.gate.Broadcast()
+	c.mu.Unlock()
+}
+
+// ReadDone removes step s from the read sets of keys that were read but
+// not updated at step s (e.g. an inference-only pass). Updated keys are
+// handled by CommitStep.
+func (c *Controller) ReadDone(s int64, keys []uint64) {
+	for _, k := range keys {
+		g, ok := c.dir.Get(k)
+		if !ok {
+			continue
+		}
+		g.Mu.Lock()
+		if g.RemoveRead(s) && g.InQueue {
+			if newP := g.ComputePriority(); newP != g.Priority {
+				c.queue.AdjustPriority(g, g.Priority, newP)
+			}
+		}
+		g.Mu.Unlock()
+	}
+}
+
+// ----------------------------------------------------------------------
+// Flusher pool
+
+// flusherLoop is one background flushing thread (§3.2 component 4): it
+// processes the highest-priority g-entries in batches, applying their
+// pending updates through the sink. ProcessBatch runs flushEntry while
+// the entry is still visible to the queue, so the consistency gate never
+// opens for a step whose parameters are mid-flush.
+func (c *Controller) flusherLoop() {
+	defer c.wg.Done()
+	for {
+		if c.stopping.Load() {
+			return
+		}
+		n := c.queue.ProcessBatch(c.opt.DequeueBatchSize, c.flushEntry)
+		if n > 0 {
+			// Flushes applied or residues culled: the gate may be open.
+			c.broadcast()
+			continue
+		}
+		time.Sleep(30 * time.Microsecond)
+	}
+}
+
+// flushEntry drains one g-entry's write set through the sink. Called by
+// ProcessBatch with g.Mu held; reports whether the entry was claimed.
+func (c *Controller) flushEntry(g *pq.GEntry, slotPriority int64) bool {
+	if !g.InQueue || g.Priority != slotPriority {
+		return false // stale residue, or a duplicate concurrent visit
+	}
+	g.InQueue = false
+	w := g.TakeWrites()
+	if len(w) == 0 {
+		return true // residue of a commit that re-queued a claimed entry
+	}
+	if slotPriority == pq.Inf {
+		c.deferredFlushes.Add(1)
+	} else {
+		c.urgentFlushes.Add(1)
+	}
+	c.opt.Sink.Flush(g.Key, w)
+	c.flushedUpdates.Add(int64(len(w)))
+	return true
+}
+
+// DrainAll blocks until every pending update has been flushed to the sink
+// — the end-of-training epilogue. It must not be called concurrently with
+// new CommitStep activity.
+func (c *Controller) DrainAll() {
+	c.mu.Lock()
+	for c.queue.Len() > 0 && !c.stopping.Load() {
+		c.gate.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// ----------------------------------------------------------------------
+// Introspection
+
+// Stats returns a snapshot of the controller's counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	committed := c.committedStep + 1
+	c.mu.Unlock()
+	return Stats{
+		StallTime:       time.Duration(c.stallNanos.Load()),
+		Stalls:          c.stalls.Load(),
+		FlushedUpdates:  c.flushedUpdates.Load(),
+		DeferredFlushes: c.deferredFlushes.Load(),
+		UrgentFlushes:   c.urgentFlushes.Load(),
+		PrefetchedSteps: c.prefetchedSteps.Load(),
+		CommittedSteps:  committed,
+	}
+}
+
+// Entry returns the g-entry for key if one exists (tests, invariants).
+func (c *Controller) Entry(key uint64) (*pq.GEntry, bool) { return c.dir.Get(key) }
+
+// CheckInvariant verifies invariant (2) of §3.3 for step s over the given
+// keys: no key that step s is about to read may still have a pending
+// (unflushed) write. It returns an error naming the first violating key.
+// The runtime calls this after the gate in tests and debug builds; it
+// must observe no violation, ever — that is the formal guarantee of P²F.
+func (c *Controller) CheckInvariant(s int64, keys []uint64) error {
+	for _, k := range keys {
+		g, ok := c.dir.Get(k)
+		if !ok {
+			continue
+		}
+		g.Mu.Lock()
+		bad := len(g.W) > 0
+		detail := ""
+		if bad {
+			detail = g.String()
+			for _, u := range g.W {
+				detail += fmt.Sprintf(" w@%d", u.Step)
+			}
+			detail += fmt.Sprintf(" inQ=%v top=%d", g.InQueue, c.queue.Top())
+		}
+		g.Mu.Unlock()
+		if bad {
+			return fmt.Errorf("p2f: consistency violation at step %d: key %d: %s", s, k, detail)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,403 @@
+package pq
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"frugal/internal/lfht"
+)
+
+// TwoLevelPQ is Frugal's customised concurrent priority queue (§3.4,
+// Fig 7). Level one is a priority index: an array with one slot per
+// possible priority value (0 … maxStep, plus one slot for ∞). Each slot
+// points to a lock-free hash table holding the g-entries that currently
+// carry that priority. All operations are O(1):
+//
+//   - Enqueue inserts into the slot table for the entry's priority.
+//   - AdjustPriority inserts into the new slot first and then deletes from
+//     the old one; dequeuers detect the transient duplicate by comparing
+//     the entry's current priority with the slot they popped it from.
+//   - Dequeue scans the priority index for the first non-empty slot. With
+//     scan-range compression (on by default) the scan is restricted to
+//     [lower bound, upper bound] ∪ {∞}, where the lower bound is raised to
+//     each dequeued priority (a g-entry's priority never decreases) and
+//     the upper bound tracks the largest finite priority ever enqueued
+//     (≤ current step + lookahead L).
+//
+// Locking protocol: Enqueue and AdjustPriority require the caller to hold
+// g.Mu across the call; this makes the entry's Priority field and its slot
+// membership change atomically with respect to dequeuers, which validate
+// under the same lock. Dequeue/DequeueBatch/Top take no caller locks.
+type TwoLevelPQ struct {
+	maxStep int64
+	slots   []atomic.Pointer[lfht.Map[*GEntry]]
+	hint    int
+
+	count atomic.Int64
+
+	// Scan-range compression state (§3.4 optimisation).
+	compress bool
+	lower    atomic.Int64 // smallest slot a finite-priority entry may occupy
+	upper    atomic.Int64 // largest finite priority ever enqueued
+
+	// stalePops counts residue nodes culled during dequeue validation;
+	// exposed for tests and the ablation bench.
+	stalePops atomic.Int64
+}
+
+// TwoLevelOptions configures a TwoLevelPQ.
+type TwoLevelOptions struct {
+	// MaxStep is the largest finite priority value (the number of training
+	// steps); the priority index has MaxStep+2 slots.
+	MaxStep int64
+	// TableHint sizes each slot's hash table (expected concurrent
+	// population per priority value).
+	TableHint int
+	// DisableScanCompression turns the §3.4 scan-range optimisation off
+	// (used by the ablation benchmark).
+	DisableScanCompression bool
+}
+
+// NewTwoLevelPQ builds an empty queue for priorities in [0, MaxStep] ∪ {∞}.
+func NewTwoLevelPQ(opt TwoLevelOptions) (*TwoLevelPQ, error) {
+	if opt.MaxStep < 0 {
+		return nil, fmt.Errorf("pq: negative MaxStep %d", opt.MaxStep)
+	}
+	if opt.MaxStep > 1<<26 {
+		return nil, fmt.Errorf("pq: MaxStep %d too large for a dense priority index", opt.MaxStep)
+	}
+	hint := opt.TableHint
+	if hint <= 0 {
+		hint = 1024
+	}
+	q := &TwoLevelPQ{
+		maxStep:  opt.MaxStep,
+		slots:    make([]atomic.Pointer[lfht.Map[*GEntry]], opt.MaxStep+2),
+		hint:     hint,
+		compress: !opt.DisableScanCompression,
+	}
+	q.upper.Store(-1)
+	return q, nil
+}
+
+// MustTwoLevelPQ is NewTwoLevelPQ for configurations that cannot fail.
+func MustTwoLevelPQ(opt TwoLevelOptions) *TwoLevelPQ {
+	q, err := NewTwoLevelPQ(opt)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// slotIndex maps a priority to its index in the priority index array.
+func (q *TwoLevelPQ) slotIndex(p int64) int64 {
+	if p == Inf {
+		return q.maxStep + 1
+	}
+	if p < 0 || p > q.maxStep {
+		panic(fmt.Sprintf("pq: priority %d outside [0,%d]∪{∞}", p, q.maxStep))
+	}
+	return p
+}
+
+// table returns the hash table for a slot, creating it on first use.
+func (q *TwoLevelPQ) table(idx int64) *lfht.Map[*GEntry] {
+	if t := q.slots[idx].Load(); t != nil {
+		return t
+	}
+	fresh := lfht.NewWithHint[*GEntry](q.hint)
+	if q.slots[idx].CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return q.slots[idx].Load()
+}
+
+// peek returns the slot's table without creating it.
+func (q *TwoLevelPQ) peek(idx int64) *lfht.Map[*GEntry] {
+	return q.slots[idx].Load()
+}
+
+// casMin lowers v to x if x is smaller.
+func casMin(v *atomic.Int64, x int64) {
+	for {
+		cur := v.Load()
+		if x >= cur || v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
+
+// casMax raises v to x if x is larger.
+func casMax(v *atomic.Int64, x int64) {
+	for {
+		cur := v.Load()
+		if x <= cur || v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
+
+// Enqueue inserts g under priority p. The caller must hold g.Mu; Enqueue
+// sets g.Priority and g.InQueue itself so that slot membership and entry
+// state change atomically with respect to dequeuers.
+func (q *TwoLevelPQ) Enqueue(g *GEntry, p int64) {
+	idx := q.slotIndex(p)
+	g.Priority = p
+	g.InQueue = true
+	q.table(idx).Insert(g.Key, g)
+	q.count.Add(1)
+	if p != Inf {
+		casMin(&q.lower, p)
+		casMax(&q.upper, p)
+	}
+}
+
+// AdjustPriority moves g from priority old to new. The caller must hold
+// g.Mu. Following §3.4, the entry is inserted into the new slot *before*
+// being deleted from the old one so a concurrent dequeuer always finds at
+// least one live node; the transient duplicate is culled by validation.
+func (q *TwoLevelPQ) AdjustPriority(g *GEntry, old, new int64) {
+	if old == new {
+		return
+	}
+	oldIdx, newIdx := q.slotIndex(old), q.slotIndex(new)
+	q.table(newIdx).Insert(g.Key, g)
+	g.Priority = new
+	q.table(oldIdx).Delete(g.Key)
+	if new != Inf {
+		casMin(&q.lower, new)
+		casMax(&q.upper, new)
+	}
+}
+
+// scanBounds returns the inclusive range of finite slots a dequeue scan
+// must cover.
+func (q *TwoLevelPQ) scanBounds() (lo, hi int64) {
+	if q.compress {
+		lo, hi = q.lower.Load(), q.upper.Load()
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > q.maxStep {
+			hi = q.maxStep
+		}
+		return lo, hi
+	}
+	return 0, q.maxStep
+}
+
+// claim validates a popped candidate under its lock: the pop is good when
+// the entry still believes it lives in slot p. Returns false for residue
+// nodes left behind by AdjustPriority (or already-claimed entries).
+func (q *TwoLevelPQ) claim(g *GEntry, p int64) bool {
+	g.Mu.Lock()
+	defer g.Mu.Unlock()
+	if !g.InQueue || g.Priority != p {
+		q.stalePops.Add(1)
+		return false
+	}
+	g.InQueue = false
+	return true
+}
+
+// dequeueRange scans finite slots in [lo, hi] and claims the first live
+// entry found.
+func (q *TwoLevelPQ) dequeueRange(lo, hi int64) (*GEntry, int64, bool) {
+	for p := lo; p <= hi; p++ {
+		t := q.peek(p)
+		if t == nil || t.Empty() {
+			continue
+		}
+		for {
+			_, g, ok := t.PopAny()
+			if !ok {
+				break
+			}
+			if q.claim(g, p) {
+				q.count.Add(-1)
+				return g, p, true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// dequeueInf drains one deferred (∞ priority) entry.
+func (q *TwoLevelPQ) dequeueInf() (*GEntry, int64, bool) {
+	t := q.peek(q.maxStep + 1)
+	if t == nil {
+		return nil, 0, false
+	}
+	for {
+		_, g, ok := t.PopAny()
+		if !ok {
+			return nil, 0, false
+		}
+		if q.claim(g, Inf) {
+			q.count.Add(-1)
+			return g, Inf, true
+		}
+	}
+}
+
+// Dequeue removes and returns a minimum-priority entry. Finite priorities
+// drain before ∞ (deferred updates flush only when nothing urgent is
+// pending).
+//
+// The compressed scan range is a performance hint, not a correctness
+// invariant: a concurrent enqueue below the lower bound can race with a
+// dequeuer raising it. When the bounded scan and the ∞ slot both come up
+// empty while entries remain, Dequeue self-heals with one full-index scan
+// and resets the bound it finds.
+func (q *TwoLevelPQ) Dequeue() (*GEntry, int64, bool) {
+	if q.count.Load() == 0 {
+		return nil, 0, false
+	}
+	lo, hi := q.scanBounds()
+	if g, p, ok := q.dequeueRange(lo, hi); ok {
+		return g, p, ok
+	}
+	if g, p, ok := q.dequeueInf(); ok {
+		return g, p, ok
+	}
+	if q.compress && q.count.Load() > 0 {
+		// Fallback: an entry may live below the (racy) lower bound.
+		casMin(&q.lower, 0)
+		return q.dequeueRange(0, q.upper.Load())
+	}
+	return nil, 0, false
+}
+
+// DequeueBatch appends up to max entries to dst in priority order,
+// amortising the priority-index scan across the batch (Fig 7's batched
+// dequeue).
+func (q *TwoLevelPQ) DequeueBatch(dst []*GEntry, max int) []*GEntry {
+	if max <= 0 || q.count.Load() == 0 {
+		return dst
+	}
+	taken := 0
+	lo, hi := q.scanBounds()
+	take := func(from, to int64) {
+		for p := from; p <= to && taken < max; p++ {
+			t := q.peek(p)
+			if t == nil || t.Empty() {
+				continue
+			}
+			for taken < max {
+				_, g, ok := t.PopAny()
+				if !ok {
+					break
+				}
+				if q.claim(g, p) {
+					q.count.Add(-1)
+					dst = append(dst, g)
+					taken++
+				}
+			}
+		}
+	}
+	take(lo, hi)
+	if t := q.peek(q.maxStep + 1); t != nil {
+		for taken < max {
+			_, g, ok := t.PopAny()
+			if !ok {
+				break
+			}
+			if q.claim(g, Inf) {
+				q.count.Add(-1)
+				dst = append(dst, g)
+				taken++
+			}
+		}
+	}
+	if taken == 0 && q.compress && q.count.Load() > 0 {
+		// Same self-healing fallback as Dequeue.
+		casMin(&q.lower, 0)
+		take(0, q.upper.Load())
+	}
+	return dst
+}
+
+// ProcessBatch visits up to max minimum-priority entries in priority
+// order, invoking fn on each while its node is still live in the slot
+// table — the flush-before-dequeue protocol that keeps the consistency
+// gate sound (an urgent entry stays visible to Top until its updates have
+// reached host memory). Claimed entries (fn returned true) leave the
+// logical count; stale residues are culled for free.
+func (q *TwoLevelPQ) ProcessBatch(max int, fn func(g *GEntry, slotPriority int64) bool) int {
+	if max <= 0 || q.count.Load() == 0 {
+		return 0
+	}
+	processed := 0
+	visit := func(p int64) {
+		t := q.peek(q.slotIndex(p))
+		if t == nil || t.Empty() {
+			return
+		}
+		processed += t.DrainN(max-processed, func(_ uint64, g *GEntry) {
+			g.Mu.Lock()
+			claimed := fn(g, p)
+			g.Mu.Unlock()
+			if claimed {
+				q.count.Add(-1)
+			}
+		})
+	}
+	lo, hi := q.scanBounds()
+	for p := lo; p <= hi && processed < max; p++ {
+		visit(p)
+	}
+	if processed < max {
+		visit(Inf)
+	}
+	if processed == 0 && q.compress && q.count.Load() > 0 {
+		// Same self-healing fallback as Dequeue.
+		casMin(&q.lower, 0)
+		for p := int64(0); p <= q.upper.Load() && processed < max; p++ {
+			visit(p)
+		}
+	}
+	return processed
+}
+
+// Top returns the smallest finite priority currently in the queue, or Inf
+// when only deferred (∞) work remains. A residue node can make Top
+// transiently under-report, which is safe for the consistency gate: it
+// only blocks training longer, never lets a stale read through. Top never
+// over-reports as long as the RaiseLowerBound contract is respected.
+func (q *TwoLevelPQ) Top() int64 {
+	if q.count.Load() == 0 {
+		return Inf
+	}
+	lo, hi := q.scanBounds()
+	for p := lo; p <= hi; p++ {
+		if t := q.peek(p); t != nil && !t.Empty() {
+			return p
+		}
+	}
+	return Inf
+}
+
+// RaiseLowerBound narrows the dequeue/Top scan range from below (§3.4
+// scan-range compression). The caller must guarantee that no current or
+// future g-entry can carry a finite priority below p — in P²F this holds
+// with p = s+1 once the consistency gate for step s has passed, because
+// every read for steps ≤ s has left the read sets by then. Defensive
+// casMin in Enqueue/AdjustPriority self-heals if the contract is broken.
+func (q *TwoLevelPQ) RaiseLowerBound(p int64) {
+	if !q.compress {
+		return
+	}
+	casMax(&q.lower, p)
+}
+
+// Len returns the number of claimed-in entries (excludes residues).
+func (q *TwoLevelPQ) Len() int { return int(q.count.Load()) }
+
+// StalePops reports how many residue nodes dequeue validation has culled.
+func (q *TwoLevelPQ) StalePops() int64 { return q.stalePops.Load() }
+
+// ScanCompressionEnabled reports whether the §3.4 optimisation is active.
+func (q *TwoLevelPQ) ScanCompressionEnabled() bool { return q.compress }
+
+var _ Queue = (*TwoLevelPQ)(nil)

@@ -1,0 +1,123 @@
+package runtime
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Checkpoint format: a small binary header followed by the raw row slab
+// and (optionally) the optimizer-state slab, all little-endian float32.
+// Row versions are transient cache-coherence state and are not persisted;
+// caches start cold after a restore, which is always safe (a cold cache
+// merely misses).
+const (
+	checkpointMagic   = uint32(0xF21A6A10)
+	checkpointVersion = uint32(1)
+)
+
+type checkpointHeader struct {
+	Magic    uint32
+	Version  uint32
+	Rows     int64
+	Dim      int32
+	HasState int32
+}
+
+// Save writes the host parameter slab (and optimizer state, if enabled)
+// as a checkpoint. Call only when no training is in flight — after Run
+// returns, every flushed update is in the slab (DrainAll runs in Run's
+// epilogue).
+func (h *Host) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := checkpointHeader{
+		Magic:   checkpointMagic,
+		Version: checkpointVersion,
+		Rows:    h.rows,
+		Dim:     int32(h.dim),
+	}
+	if h.state != nil {
+		hdr.HasState = 1
+	}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("runtime: checkpoint header: %w", err)
+	}
+	if err := writeFloats(bw, h.slab); err != nil {
+		return err
+	}
+	if h.state != nil {
+		if err := writeFloats(bw, h.state); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores a checkpoint into the host slab. The checkpoint's shape
+// must match exactly; a checkpoint with optimizer state enables the
+// state slab. Call before Run.
+func (h *Host) Load(r io.Reader) error {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr checkpointHeader
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return fmt.Errorf("runtime: checkpoint header: %w", err)
+	}
+	if hdr.Magic != checkpointMagic {
+		return fmt.Errorf("runtime: not a frugal checkpoint (magic %#x)", hdr.Magic)
+	}
+	if hdr.Version != checkpointVersion {
+		return fmt.Errorf("runtime: unsupported checkpoint version %d", hdr.Version)
+	}
+	if hdr.Rows != h.rows || int(hdr.Dim) != h.dim {
+		return fmt.Errorf("runtime: checkpoint shape %dx%d does not match host %dx%d",
+			hdr.Rows, hdr.Dim, h.rows, h.dim)
+	}
+	if err := readFloats(br, h.slab); err != nil {
+		return err
+	}
+	if hdr.HasState == 1 {
+		h.EnableOptimizerState()
+		if err := readFloats(br, h.state); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFloats(w io.Writer, xs []float32) error {
+	buf := make([]byte, 4*4096)
+	for off := 0; off < len(xs); off += 4096 {
+		end := off + 4096
+		if end > len(xs) {
+			end = len(xs)
+		}
+		chunk := xs[off:end]
+		for i, v := range chunk {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+		}
+		if _, err := w.Write(buf[:len(chunk)*4]); err != nil {
+			return fmt.Errorf("runtime: checkpoint write: %w", err)
+		}
+	}
+	return nil
+}
+
+func readFloats(r io.Reader, xs []float32) error {
+	buf := make([]byte, 4*4096)
+	for off := 0; off < len(xs); off += 4096 {
+		end := off + 4096
+		if end > len(xs) {
+			end = len(xs)
+		}
+		n := (end - off) * 4
+		if _, err := io.ReadFull(r, buf[:n]); err != nil {
+			return fmt.Errorf("runtime: checkpoint read: %w", err)
+		}
+		for i := off; i < end; i++ {
+			xs[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[(i-off)*4:]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package runtime
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointLoad: arbitrary bytes must never panic the loader; they
+// either parse (only for a byte-exact valid checkpoint) or error.
+func FuzzCheckpointLoad(f *testing.F) {
+	h, _ := NewHost(4, 2)
+	var valid bytes.Buffer
+	if err := h.Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add(valid.Bytes()[:8])
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		target, _ := NewHost(4, 2)
+		_ = target.Load(bytes.NewReader(raw)) // must not panic
+	})
+}

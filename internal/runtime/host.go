@@ -1,0 +1,164 @@
+// Package runtime is Frugal's real concurrent training runtime: one
+// goroutine per simulated GPU, a shared host-memory parameter slab, the
+// P²F controller with its flusher pool, and per-GPU embedding caches. It
+// trains real models (internal/model) on real traces (internal/data) with
+// genuine concurrency — the consistency guarantees of §3.3 are enforced
+// (and race-detectable) here, while wall-clock performance figures come
+// from internal/sim.
+//
+// Three engines are implemented:
+//
+//   - EngineFrugal: the paper's system — sharded per-GPU caches, UVA-style
+//     direct host reads, updates committed through the P²F controller and
+//     flushed to host memory by background threads in priority order.
+//   - EngineFrugalSync: the Frugal-Sync baseline of §4 — same data path
+//     but a write-through policy that applies every update to host memory
+//     synchronously at commit time.
+//   - EngineDirect: the PyTorch baseline — no caches; reads and writes go
+//     straight to host memory.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"frugal/internal/pq"
+	"frugal/internal/tensor"
+)
+
+// Host is the host-memory side of the two-tier parameter hierarchy
+// (§3, Fig 5): the complete set of embedding rows, a per-row version
+// counter used for cache-freshness checks, and striped row locks for the
+// synchronous write paths.
+type Host struct {
+	rows     int64
+	dim      int
+	slab     []float32
+	state    []float32 // per-row optimizer state (Adagrad accumulator); nil for SGD
+	versions []atomic.Uint64
+	locks    []sync.Mutex // striped by key
+	applied  atomic.Int64 // updates applied (all paths)
+}
+
+const lockStripes = 1024
+
+// NewHost allocates a zero-initialised host slab for `rows` embeddings of
+// dimension dim. Use Init to fill it.
+func NewHost(rows int64, dim int) (*Host, error) {
+	if rows <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("runtime: invalid host shape rows=%d dim=%d", rows, dim)
+	}
+	const maxSlab = 1 << 33 // 8 GiB of float32s — sanity bound for tests
+	if rows*int64(dim) > maxSlab {
+		return nil, fmt.Errorf("runtime: host slab %d floats exceeds bound; use a Scaled() spec", rows*int64(dim))
+	}
+	return &Host{
+		rows:     rows,
+		dim:      dim,
+		slab:     make([]float32, rows*int64(dim)),
+		versions: make([]atomic.Uint64, rows),
+		locks:    make([]sync.Mutex, lockStripes),
+	}, nil
+}
+
+// Rows returns the row count.
+func (h *Host) Rows() int64 { return h.rows }
+
+// Dim returns the embedding dimension.
+func (h *Host) Dim() int { return h.dim }
+
+// Init fills every row using fill(key, row) — e.g. Xavier initialisation.
+func (h *Host) Init(fill func(key uint64, row []float32)) {
+	for k := int64(0); k < h.rows; k++ {
+		fill(uint64(k), h.row(uint64(k)))
+	}
+}
+
+func (h *Host) row(key uint64) []float32 {
+	i := int64(key) * int64(h.dim)
+	return h.slab[i : i+int64(h.dim)]
+}
+
+func (h *Host) lock(key uint64) *sync.Mutex { return &h.locks[key%lockStripes] }
+
+// ReadRow copies row `key` into dst — the UVA zero-copy gather of §3.1.
+// Safe without locking only when the caller holds the P²F gate guarantee
+// (no pending writes for this key); the synchronous engines use
+// ReadRowLocked instead.
+func (h *Host) ReadRow(key uint64, dst []float32) {
+	tensor.Copy(dst, h.row(key))
+}
+
+// ReadRowLocked copies row `key` into dst under the row lock.
+func (h *Host) ReadRowLocked(key uint64, dst []float32) {
+	l := h.lock(key)
+	l.Lock()
+	tensor.Copy(dst, h.row(key))
+	l.Unlock()
+}
+
+// Version returns the row's update counter.
+func (h *Host) Version(key uint64) uint64 { return h.versions[key].Load() }
+
+// EnableOptimizerState allocates the per-row optimizer accumulator slab
+// (row-wise Adagrad). Must be called before training starts.
+func (h *Host) EnableOptimizerState() {
+	if h.state == nil {
+		h.state = make([]float32, h.rows)
+	}
+}
+
+// OptState returns the row's optimizer accumulator. Like ReadRow, it is
+// safe without locking only under the gate's no-pending-writes guarantee.
+func (h *Host) OptState(key uint64) float32 {
+	if h.state == nil {
+		return 0
+	}
+	return h.state[key]
+}
+
+// ApplyDelta adds delta into row `key` (and stateDelta into its optimizer
+// accumulator) under the row lock and bumps the version — used by flusher
+// sinks and the write-through engines.
+func (h *Host) ApplyDelta(key uint64, delta []float32, stateDelta float32) {
+	l := h.lock(key)
+	l.Lock()
+	tensor.Axpy(1, delta, h.row(key))
+	if h.state != nil {
+		h.state[key] += stateDelta
+	}
+	h.versions[key].Add(1)
+	l.Unlock()
+	h.applied.Add(1)
+}
+
+// ApplyUpdates applies a g-entry's whole write set to one row under a
+// single lock acquisition (the flusher path).
+func (h *Host) ApplyUpdates(key uint64, updates []pq.Update) {
+	if len(updates) == 0 {
+		return
+	}
+	l := h.lock(key)
+	l.Lock()
+	row := h.row(key)
+	for _, u := range updates {
+		tensor.Axpy(1, u.Delta, row)
+		if h.state != nil {
+			h.state[key] += u.StateDelta
+		}
+	}
+	h.versions[key].Add(uint64(len(updates)))
+	l.Unlock()
+	h.applied.Add(int64(len(updates)))
+}
+
+// Applied returns the total number of updates applied to the slab.
+func (h *Host) Applied() int64 { return h.applied.Load() }
+
+// Snapshot copies row `key` (test helper).
+func (h *Host) Snapshot(key uint64) []float32 {
+	out := make([]float32, h.dim)
+	h.ReadRowLocked(key, out)
+	return out
+}

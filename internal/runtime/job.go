@@ -1,0 +1,361 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"frugal/internal/cache"
+	"frugal/internal/data"
+	"frugal/internal/p2f"
+	"frugal/internal/pq"
+	"frugal/internal/stats"
+	"frugal/internal/tensor"
+)
+
+// Engine selects the training data path.
+type Engine string
+
+// The runtime's engines (see the package comment).
+const (
+	EngineFrugal     Engine = "frugal"
+	EngineFrugalSync Engine = "frugal-sync"
+	EngineDirect     Engine = "direct"
+	// EngineAsync is a deliberately inconsistent baseline: workers
+	// free-run with no gate and no step barriers, so reads can observe
+	// parameters missing other workers' updates. It exists to demonstrate
+	// what §3 of the paper argues — asynchronous training forfeits the
+	// reproducible-parameter guarantee the other engines share (the
+	// divergence test measures it). Not part of the paper's evaluation.
+	EngineAsync Engine = "async"
+)
+
+// Engines lists the synchronous engines (the paper's systems).
+func Engines() []Engine { return []Engine{EngineFrugal, EngineFrugalSync, EngineDirect} }
+
+// Config shapes a training job.
+type Config struct {
+	// Engine selects the data path (default EngineFrugal).
+	Engine Engine
+	// NumGPUs is the number of trainer goroutines (default 1).
+	NumGPUs int
+	// Rows is the embedding-table height (key space). Required.
+	Rows int64
+	// Dim is the embedding dimension. Required.
+	Dim int
+	// CacheRatio sizes each GPU's cache as a fraction of Rows (§4.1
+	// default 0.05). Ignored by EngineDirect.
+	CacheRatio float64
+	// LR is the embedding learning rate (default 0.05).
+	LR float32
+	// Lookahead, FlushThreads and DequeueBatch configure the P²F
+	// controller (defaults 10 / 8 / 64). EngineFrugal only.
+	Lookahead    int
+	FlushThreads int
+	DequeueBatch int
+	// Queue overrides the controller's priority queue (Exp #4).
+	Queue pq.Queue
+	// Optimizer selects the embedding optimizer: OptSGD (default) or
+	// OptAdagrad (row-wise Adagrad; the flushing threads apply the
+	// accumulator on host memory alongside the row delta).
+	Optimizer Optimizer
+	// AdagradEps stabilises the Adagrad denominator (default 1e-6).
+	AdagradEps float32
+	// CheckConsistency verifies invariant (2) after every gate pass and
+	// fails the job on violation. Tests enable it; it is cheap enough to
+	// leave on in examples too.
+	CheckConsistency bool
+	// Seed drives parameter initialisation.
+	Seed int64
+}
+
+func (c *Config) normalize() error {
+	if c.Engine == "" {
+		c.Engine = EngineFrugal
+	}
+	switch c.Engine {
+	case EngineFrugal, EngineFrugalSync, EngineDirect, EngineAsync:
+	default:
+		return fmt.Errorf("runtime: unknown engine %q", c.Engine)
+	}
+	if c.NumGPUs <= 0 {
+		c.NumGPUs = 1
+	}
+	if c.Rows <= 0 || c.Dim <= 0 {
+		return fmt.Errorf("runtime: Rows and Dim are required (got %d, %d)", c.Rows, c.Dim)
+	}
+	if c.CacheRatio <= 0 {
+		c.CacheRatio = 0.05
+	}
+	if c.CacheRatio > 1 {
+		return fmt.Errorf("runtime: CacheRatio %v > 1", c.CacheRatio)
+	}
+	if c.LR <= 0 {
+		c.LR = 0.05
+	}
+	if c.Lookahead <= 0 {
+		c.Lookahead = 10
+	}
+	if c.FlushThreads <= 0 {
+		c.FlushThreads = 8
+	}
+	if c.DequeueBatch <= 0 {
+		c.DequeueBatch = 64
+	}
+	switch c.Optimizer {
+	case "":
+		c.Optimizer = OptSGD
+	case OptSGD, OptAdagrad:
+	default:
+		return fmt.Errorf("runtime: unknown optimizer %q", c.Optimizer)
+	}
+	if c.AdagradEps <= 0 {
+		c.AdagradEps = 1e-6
+	}
+	return nil
+}
+
+// Optimizer names an embedding optimizer.
+type Optimizer string
+
+// The embedding optimizers.
+const (
+	// OptSGD applies rows -= lr·grad.
+	OptSGD Optimizer = "sgd"
+	// OptAdagrad applies row-wise Adagrad: each row keeps one accumulated
+	// squared-gradient scalar G (mean over dimensions, the DLRM
+	// convention) and steps by lr/√(G+ε).
+	OptAdagrad Optimizer = "adagrad"
+)
+
+// shardWork is one worker's slice of a global step: the embedding keys it
+// reads (occurrence order, duplicates allowed) and the compute callback
+// that consumes the gathered rows and fills per-occurrence gradients,
+// returning the shard loss.
+type shardWork struct {
+	keys    []uint64
+	compute func(rows [][]float32, grads [][]float32) float32
+}
+
+// stepPayload carries all workers' shards for one global step.
+type stepPayload struct {
+	work []shardWork
+}
+
+// Result aggregates a finished job.
+type Result struct {
+	Steps      int64
+	Losses     []float32
+	WallTime   time.Duration
+	StallTime  time.Duration
+	CacheStats cache.Stats
+	Flushed    int64
+	Deferred   int64
+	// SamplesPerSec is wall-clock training throughput in global samples
+	// per second (the caller supplies samples per step).
+	SamplesPerSec float64
+	// TrainAUC is the area under the ROC curve of the training-time
+	// predictions (REC jobs only; 0 when the task produces none). Because
+	// predictions are made before each sample's update, this is an honest
+	// progressive-validation metric.
+	TrainAUC float64
+}
+
+// Job is a configured training run over a generic payload stream.
+type Job struct {
+	cfg     Config
+	host    *Host
+	caches  []*cache.Cache
+	ctrl    *p2f.Controller
+	trace   *data.PayloadTrace[stepPayload]
+	barrier *Barrier
+	steps   int64
+	samples int // per global step, for throughput accounting
+
+	mu     sync.Mutex
+	losses []float32
+	preds  []float64 // progressive-validation reservoir (scores)
+	labels []float64
+}
+
+// predReservoir bounds the AUC sample memory.
+const predReservoir = 1 << 16
+
+// recordPreds appends training-time predictions for the TrainAUC metric.
+func (j *Job) recordPreds(preds, labels []float32) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := range preds {
+		if len(j.preds) >= predReservoir {
+			return
+		}
+		j.preds = append(j.preds, float64(preds[i]))
+		j.labels = append(j.labels, float64(labels[i]))
+	}
+}
+
+// newJob wires the shared machinery. gen produces one stepPayload per
+// global step along with the union of keys the step touches.
+func newJob(cfg Config, steps int64, samplesPerStep int,
+	gen func() (stepPayload, []uint64, bool)) (*Job, error) {
+
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if steps <= 0 {
+		return nil, errors.New("runtime: steps must be positive")
+	}
+	host, err := NewHost(cfg.Rows, cfg.Dim)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Embedding rows use the standard 1/√dim uniform init (independent of
+	// table height — Xavier over the row count would vanish for large
+	// tables and stall multiplicative KG scorers).
+	bound := float32(1 / math.Sqrt(float64(cfg.Dim)))
+	host.Init(func(_ uint64, row []float32) {
+		tensor.UniformInit(rng, row, bound)
+	})
+
+	j := &Job{
+		cfg:     cfg,
+		host:    host,
+		trace:   data.NewPayloadTrace(gen),
+		barrier: NewBarrier(cfg.NumGPUs),
+		steps:   steps,
+		samples: samplesPerStep,
+	}
+	if cfg.Optimizer == OptAdagrad {
+		host.EnableOptimizerState()
+	}
+	if cfg.Engine != EngineDirect && cfg.Engine != EngineAsync {
+		rowsPerGPU := int(float64(cfg.Rows) * cfg.CacheRatio)
+		if rowsPerGPU < cache.Ways {
+			rowsPerGPU = cache.Ways
+		}
+		for g := 0; g < cfg.NumGPUs; g++ {
+			j.caches = append(j.caches, cache.MustNew(rowsPerGPU, cfg.Dim))
+		}
+	}
+	if cfg.Engine == EngineFrugal {
+		ctrl, err := p2f.NewController(p2f.Options{
+			MaxStep:          steps,
+			Lookahead:        cfg.Lookahead,
+			FlushThreads:     cfg.FlushThreads,
+			Trainers:         cfg.NumGPUs,
+			DequeueBatchSize: cfg.DequeueBatch,
+			Queue:            cfg.Queue,
+			Sink: p2f.FlushSinkFunc(func(key uint64, updates []pq.Update) {
+				host.ApplyUpdates(key, updates)
+			}),
+			Source: j.trace,
+		})
+		if err != nil {
+			return nil, err
+		}
+		j.ctrl = ctrl
+	}
+	return j, nil
+}
+
+// Host exposes the parameter slab (tests, examples).
+func (j *Job) Host() *Host { return j.host }
+
+// Controller exposes the P²F controller, or nil for non-Frugal engines.
+func (j *Job) Controller() *p2f.Controller { return j.ctrl }
+
+// Run executes the job to completion and returns aggregate results.
+func (j *Job) Run() (Result, error) {
+	start := time.Now()
+	if j.ctrl != nil {
+		j.ctrl.Start()
+		defer j.ctrl.Stop()
+	}
+	j.losses = make([]float32, j.steps)
+
+	chans := make([]chan stepMsg, j.cfg.NumGPUs)
+	for w := range chans {
+		chans[w] = make(chan stepMsg, 1)
+	}
+	go j.dispatch(chans)
+
+	var wg sync.WaitGroup
+	for w := 0; w < j.cfg.NumGPUs; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			j.workerLoop(w, chans[w])
+		}(w)
+	}
+	wg.Wait()
+
+	var res Result
+	if j.ctrl != nil {
+		j.ctrl.DrainAll()
+		st := j.ctrl.Stats()
+		res.StallTime = st.StallTime
+		res.Flushed = st.FlushedUpdates
+		res.Deferred = st.DeferredFlushes
+	}
+	res.WallTime = time.Since(start)
+	res.Steps = j.steps
+	res.Losses = j.losses
+	for _, c := range j.caches {
+		s := c.Stats()
+		res.CacheStats.Hits += s.Hits
+		res.CacheStats.Misses += s.Misses
+		res.CacheStats.StaleHits += s.StaleHits
+		res.CacheStats.Inserted += s.Inserted
+		res.CacheStats.Evicted += s.Evicted
+	}
+	res.SamplesPerSec = float64(j.samples) * float64(j.steps) / res.WallTime.Seconds()
+	if len(j.preds) > 0 {
+		res.TrainAUC = stats.AUC(j.preds, j.labels)
+	}
+	return res, nil
+}
+
+func (j *Job) addLoss(step int64, loss float32) {
+	j.mu.Lock()
+	j.losses[step] += loss
+	j.mu.Unlock()
+}
+
+// Barrier is a reusable synchronisation barrier for the trainers' step
+// phases (read barrier before commits; step barrier before the next gate).
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	waiting int
+	gen     uint64
+}
+
+// NewBarrier builds a barrier for n parties.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n parties have arrived.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.n {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,279 @@
+package runtime
+
+import (
+	"math"
+
+	"frugal/internal/comm"
+	"frugal/internal/p2f"
+	"frugal/internal/tensor"
+)
+
+// stepMsg is one step's work delivered to a worker.
+type stepMsg struct {
+	step    int64
+	payload stepPayload
+}
+
+// dispatch pulls steps from the sample queue (through the controller for
+// EngineFrugal, so prefetch and read-set registration stay L steps ahead)
+// and broadcasts them to the workers.
+func (j *Job) dispatch(chans []chan stepMsg) {
+	defer func() {
+		for _, ch := range chans {
+			close(ch)
+		}
+	}()
+	for i := int64(0); i < j.steps; i++ {
+		var step int64
+		if j.ctrl != nil {
+			b, ok := j.ctrl.NextBatch()
+			if !ok {
+				return
+			}
+			step = b.Step
+		} else {
+			if _, ok := j.trace.Next(); !ok {
+				return
+			}
+			step = i
+		}
+		payload := j.trace.Take(step)
+		for _, ch := range chans {
+			ch <- stepMsg{step: step, payload: payload}
+		}
+	}
+}
+
+// workerState is the per-GPU scratch reused across steps.
+type workerState struct {
+	id        int
+	rows      [][]float32 // gathered row views, aligned with shard keys
+	grads     [][]float32 // per-occurrence gradient buffers
+	scratch   [][]float32 // backing buffers for host-read rows
+	deltas    map[uint64][]float32
+	gatherVer map[uint64]uint64 // owned keys' host version at gather time
+	// gatherState is the per-key optimizer accumulator at gather time —
+	// the gate guarantees it is stable while the step reads, and reading
+	// it here (not at commit time) keeps the optimizer deterministic
+	// under concurrent flushes of other workers' partials.
+	gatherState map[uint64]float32
+}
+
+func (j *Job) newWorkerState(id int) *workerState {
+	return &workerState{
+		id:          id,
+		deltas:      make(map[uint64][]float32),
+		gatherVer:   make(map[uint64]uint64),
+		gatherState: make(map[uint64]float32),
+	}
+}
+
+func (ws *workerState) ensure(n, dim int) {
+	for len(ws.rows) < n {
+		ws.rows = append(ws.rows, nil)
+		ws.grads = append(ws.grads, make([]float32, dim))
+		ws.scratch = append(ws.scratch, make([]float32, dim))
+	}
+	for i := 0; i < n; i++ {
+		tensor.Zero(ws.grads[i])
+	}
+	for k := range ws.gatherVer {
+		delete(ws.gatherVer, k)
+	}
+	for k := range ws.gatherState {
+		delete(ws.gatherState, k)
+	}
+}
+
+// workerLoop is one trainer process (one GPU).
+func (j *Job) workerLoop(w int, ch chan stepMsg) {
+	ws := j.newWorkerState(w)
+	for msg := range ch {
+		j.step(ws, msg)
+	}
+}
+
+// step runs one synchronous training step for one worker:
+// gate → gather → read barrier → compute → commit → advance.
+func (j *Job) step(ws *workerState, msg stepMsg) {
+	shard := msg.payload.work[ws.id]
+	n := len(shard.keys)
+	ws.ensure(n, j.cfg.Dim)
+
+	// 1. Consistency gate (Frugal) — invariant (2) of §3.3.
+	if j.ctrl != nil {
+		j.ctrl.WaitForStep(msg.step)
+		if j.cfg.CheckConsistency {
+			if err := j.ctrl.CheckInvariant(msg.step, shard.keys); err != nil {
+				// A violation is a bug in the P²F machinery, not a user
+				// error; failing loudly (and unwinding the whole job)
+				// beats training on stale parameters.
+				panic(err)
+			}
+		}
+	}
+
+	// 2. Gather embedding rows.
+	j.gather(ws, shard.keys)
+
+	// 3. Read barrier: nobody commits step s until everyone has read it
+	// (the synchronous-training contract CommitStep documents). The async
+	// engine deliberately skips it — that is its inconsistency.
+	if j.cfg.Engine != EngineAsync {
+		j.barrier.Wait()
+	}
+
+	// 4. Compute forward/backward on the gathered rows.
+	loss := shard.compute(ws.rows[:n], ws.grads[:n])
+	j.addLoss(msg.step, loss)
+
+	// 5. Commit: aggregate per-key deltas and push them down the
+	// engine-specific write path.
+	j.commit(ws, msg.step, shard.keys)
+
+	// 6. Step barrier for the synchronous engines (the Frugal gate already
+	// serialises steps through the committed-step watermark).
+	if j.ctrl == nil && j.cfg.Engine != EngineAsync {
+		j.barrier.Wait()
+	}
+}
+
+// gather fills ws.rows[i] for every shard key occurrence.
+func (j *Job) gather(ws *workerState, keys []uint64) {
+	for i, k := range keys {
+		if j.cfg.Optimizer == OptAdagrad {
+			if _, seen := ws.gatherState[k]; !seen {
+				ws.gatherState[k] = j.host.OptState(k)
+			}
+		}
+		switch j.cfg.Engine {
+		case EngineDirect, EngineAsync:
+			j.host.ReadRowLocked(k, ws.scratch[i])
+			ws.rows[i] = ws.scratch[i]
+		case EngineFrugalSync:
+			j.gatherCached(ws, i, k, true)
+		case EngineFrugal:
+			j.gatherCached(ws, i, k, false)
+		}
+	}
+}
+
+// gatherCached reads one key through the sharded cache hierarchy: owned
+// keys go through the local cache (version-checked against host), foreign
+// keys are read straight from host memory (the UVA path of §3.1, safe
+// without locks under the gate's no-pending-writes guarantee). locked
+// selects the locked host read used by the write-through engine.
+func (j *Job) gatherCached(ws *workerState, i int, k uint64, locked bool) {
+	read := j.host.ReadRow
+	if locked {
+		read = j.host.ReadRowLocked
+	}
+	if comm.Owner(k, j.cfg.NumGPUs) != ws.id {
+		read(k, ws.scratch[i])
+		ws.rows[i] = ws.scratch[i]
+		return
+	}
+	c := j.caches[ws.id]
+	ver := j.host.Version(k)
+	if _, seen := ws.gatherVer[k]; !seen {
+		ws.gatherVer[k] = ver
+	}
+	// Rows are always copied out of the cache slab (the "transfer into GPU
+	// registers"): a later insert in the same gather may evict the slot
+	// and reuse its storage for a different key, so views must not alias.
+	if row, hit := c.Lookup(k, ver); hit {
+		tensor.Copy(ws.scratch[i], row)
+		ws.rows[i] = ws.scratch[i]
+		return
+	}
+	dst, _, _ := c.Insert(k, ver)
+	read(k, dst)
+	tensor.Copy(ws.scratch[i], dst)
+	ws.rows[i] = ws.scratch[i]
+}
+
+// commit aggregates the per-occurrence gradients into one per-key
+// gradient, runs the optimizer to produce a row delta (and, for Adagrad,
+// an accumulator increment), and routes both down the engine's write
+// path. The optimizer reads the gather-time host accumulator — stable
+// under the gate's no-pending-writes guarantee — so every engine, at any
+// GPU count, computes identical deltas for identical traces.
+func (j *Job) commit(ws *workerState, step int64, keys []uint64) {
+	for k := range ws.deltas {
+		delete(ws.deltas, k)
+	}
+	for i, k := range keys {
+		d, ok := ws.deltas[k]
+		if !ok {
+			d = make([]float32, j.cfg.Dim)
+			ws.deltas[k] = d
+		}
+		tensor.Axpy(1, ws.grads[i], d) // raw gradient sum per key
+	}
+
+	switch j.cfg.Engine {
+	case EngineDirect, EngineAsync:
+		for k, g := range ws.deltas {
+			d, dG := j.optimize(ws, k, g)
+			j.host.ApplyDelta(k, d, dG)
+		}
+	case EngineFrugalSync:
+		// Write-through (Frugal-Sync of §4.1): apply synchronously to
+		// host; the owner's cached copy absorbs the delta in place.
+		for k, g := range ws.deltas {
+			d, dG := j.optimize(ws, k, g)
+			j.applyLocal(ws, k, d)
+			j.host.ApplyDelta(k, d, dG)
+		}
+	case EngineFrugal:
+		upd := make([]p2f.KeyDelta, 0, len(ws.deltas))
+		for k, g := range ws.deltas {
+			d, dG := j.optimize(ws, k, g)
+			j.applyLocal(ws, k, d)
+			upd = append(upd, p2f.KeyDelta{Key: k, Delta: d, StateDelta: dG})
+		}
+		j.ctrl.CommitStep(step, upd)
+	}
+}
+
+// optimize turns a per-key raw gradient into the row delta to apply and
+// the optimizer-state increment, mutating the gradient buffer in place.
+// Adagrad operates on each worker's partial gradient (squared partials are
+// not additive), so results are deterministic per GPU count but differ
+// across GPU counts — the standard data-parallel Adagrad semantics.
+func (j *Job) optimize(ws *workerState, key uint64, g []float32) (delta []float32, stateDelta float32) {
+	switch j.cfg.Optimizer {
+	case OptAdagrad:
+		var sq float32
+		for _, v := range g {
+			sq += v * v
+		}
+		sq /= float32(len(g)) // row-wise: mean squared gradient
+		denom := float32(math.Sqrt(float64(ws.gatherState[key]+sq))) + j.cfg.AdagradEps
+		tensor.Scale(-j.cfg.LR/denom, g)
+		return g, sq
+	default: // OptSGD
+		tensor.Scale(-j.cfg.LR, g)
+		return g, 0
+	}
+}
+
+// applyLocal folds a delta into the worker's cached copy of an owned key
+// (no-op for foreign or uncached keys) and sets its version expectation to
+// gatherVersion+1: the cached copy is exactly as fresh as the host row
+// will be after this worker's own delta lands — and provably staler
+// whenever any other GPU's partial gradient for the same row lands too,
+// in which case the next Lookup refreshes from (gate-protected) host
+// memory. DESIGN.md §5 records this versioned-cache completion of the
+// paper's design.
+func (j *Job) applyLocal(ws *workerState, k uint64, d []float32) {
+	if comm.Owner(k, j.cfg.NumGPUs) != ws.id {
+		return
+	}
+	row, hit := j.caches[ws.id].Lookup(k, 0) // version-agnostic fetch
+	if !hit {
+		return
+	}
+	tensor.Axpy(1, d, row)
+	j.caches[ws.id].Bump(k, ws.gatherVer[k]+1)
+}

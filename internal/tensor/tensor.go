@@ -1,0 +1,256 @@
+// Package tensor provides the minimal dense float32 linear-algebra
+// primitives needed by embedding-model training: vector arithmetic,
+// matrix-vector and matrix-matrix products, activation functions, and
+// parameter initialisation. It depends only on the standard library.
+//
+// All operations are written against plain []float32 slices so that the
+// same routines operate on host-memory slabs, simulated GPU cache lines,
+// and gradient buffers without copies.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vec is a dense float32 vector.
+type Vec = []float32
+
+// Axpy computes dst += alpha * x elementwise. dst and x must have equal
+// length; it panics otherwise because a silent size mismatch corrupts
+// embedding rows.
+func Axpy(alpha float32, x, dst []float32) {
+	if len(x) != len(dst) {
+		panic(fmt.Sprintf("tensor: axpy length mismatch %d != %d", len(x), len(dst)))
+	}
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float32
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Add computes dst = a + b elementwise.
+func Add(a, b, dst []float32) {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Sub computes dst = a - b elementwise.
+func Sub(a, b, dst []float32) {
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Copy copies src into dst and panics on length mismatch.
+func Copy(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: copy length mismatch %d != %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+}
+
+// L2Norm returns the Euclidean norm of x.
+func L2Norm(x []float32) float32 {
+	var s float64
+	for _, v := range x {
+		s += float64(v) * float64(v)
+	}
+	return float32(math.Sqrt(s))
+}
+
+// L1Norm returns the sum of absolute values of x.
+func L1Norm(x []float32) float32 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(float64(v))
+	}
+	return float32(s)
+}
+
+// Zero clears x.
+func Zero(x []float32) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float32) float32 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += float64(v)
+	}
+	return float32(s / float64(len(x)))
+}
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix allocates a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Row returns the i-th row as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// MulVec computes dst = m * x where x has length Cols and dst length Rows.
+func (m *Matrix) MulVec(x, dst []float32) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("tensor: mulvec shape mismatch m=%dx%d x=%d dst=%d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float32
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecT computes dst = mᵀ * x where x has length Rows and dst length Cols.
+// It is used for back-propagating through a fully connected layer.
+func (m *Matrix) MulVecT(x, dst []float32) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: mulvecT shape mismatch m=%dx%d x=%d dst=%d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	Zero(dst)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, v := range row {
+			dst[j] += v * xi
+		}
+	}
+}
+
+// AddOuter accumulates m += alpha * a ⊗ b (outer product), with a of length
+// Rows and b of length Cols. It is the weight-gradient update of a dense
+// layer.
+func (m *Matrix) AddOuter(alpha float32, a, b []float32) {
+	if len(a) != m.Rows || len(b) != m.Cols {
+		panic(fmt.Sprintf("tensor: addouter shape mismatch m=%dx%d a=%d b=%d",
+			m.Rows, m.Cols, len(a), len(b)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		ai := alpha * a[i]
+		if ai == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range b {
+			row[j] += ai * v
+		}
+	}
+}
+
+// ReLU applies max(0, x) in place and returns a mask of activated units for
+// use in the backward pass (1 where x > 0, else 0).
+func ReLU(x []float32, mask []float32) {
+	for i, v := range x {
+		if v > 0 {
+			mask[i] = 1
+		} else {
+			x[i] = 0
+			mask[i] = 0
+		}
+	}
+}
+
+// ReLUBackward multiplies grad by the activation mask in place.
+func ReLUBackward(grad, mask []float32) {
+	for i := range grad {
+		grad[i] *= mask[i]
+	}
+}
+
+// Sigmoid computes the logistic function elementwise in place.
+func Sigmoid(x []float32) {
+	for i, v := range x {
+		x[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+}
+
+// SigmoidScalar computes the logistic function of a single value.
+func SigmoidScalar(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// XavierInit fills x with values uniform in ±sqrt(6/(fanIn+fanOut)),
+// the Glorot initialisation used by DLRM's embedding and MLP layers.
+func XavierInit(rng *rand.Rand, x []float32, fanIn, fanOut int) {
+	if fanIn+fanOut <= 0 {
+		panic("tensor: xavier init with non-positive fan sum")
+	}
+	bound := float32(math.Sqrt(6 / float64(fanIn+fanOut)))
+	for i := range x {
+		x[i] = (rng.Float32()*2 - 1) * bound
+	}
+}
+
+// UniformInit fills x with values uniform in [-bound, +bound].
+func UniformInit(rng *rand.Rand, x []float32, bound float32) {
+	for i := range x {
+		x[i] = (rng.Float32()*2 - 1) * bound
+	}
+}
+
+// SGDStep applies params -= lr * grad.
+func SGDStep(lr float32, grad, params []float32) {
+	Axpy(-lr, grad, params)
+}
+
+// ClipNorm rescales x in place so that its L2 norm does not exceed maxNorm,
+// and reports whether clipping occurred.
+func ClipNorm(x []float32, maxNorm float32) bool {
+	n := L2Norm(x)
+	if n <= maxNorm || n == 0 {
+		return false
+	}
+	Scale(maxNorm/n, x)
+	return true
+}
