@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over every benchmark (sanity, not measurement).
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+check: build vet test race

@@ -11,8 +11,10 @@ package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"frugal"
@@ -37,9 +39,15 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		check    = flag.Bool("check", true, "verify the synchronous-consistency invariant every step")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of text")
+		obsOn    = flag.Bool("obs", false, "enable the observability layer (metric counters + step tracing)")
+		traceOut = flag.String("trace-out", "", "write the step-event trace as JSONL to this file after the run (implies -obs)")
+		metrics  = flag.String("metrics-addr", "", "serve live metrics via expvar on this address, e.g. :6060 (implies -obs)")
 	)
 	flag.Parse()
 
+	if *traceOut != "" || *metrics != "" {
+		*obsOn = true
+	}
 	cfg := frugal.Config{
 		Engine:           frugal.Engine(*engine),
 		NumGPUs:          *gpus,
@@ -48,12 +56,23 @@ func main() {
 		FlushThreads:     *threads,
 		CheckConsistency: *check,
 		Seed:             *seed,
+		Observability:    frugal.ObsOptions{Enabled: *obsOn},
 	}
 
 	job, name, err := buildJob(cfg, *micro, *replay, *dataset, *kgModel, *dist, *keySpace, *batch, *scale, *steps)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *metrics != "" {
+		// GET /debug/vars on this address returns the live Snapshot under
+		// the "frugal" key while the job trains.
+		expvar.Publish("frugal", expvar.Func(func() any { return job.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*metrics, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics endpoint:", err)
+			}
+		}()
 	}
 	if !*jsonOut {
 		fmt.Printf("training %s with engine=%s gpus=%d steps=%d\n", name, *engine, *gpus, *steps)
@@ -63,15 +82,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *traceOut != "" {
+		if err := dumpTrace(job, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *jsonOut {
-		reportJSON(name, *engine, res)
+		reportJSON(name, *engine, res, job, *obsOn)
 		return
 	}
 	report(res)
+	if *obsOn {
+		reportObs(job.Snapshot())
+	}
+}
+
+// dumpTrace writes the job's step-event trace to path.
+func dumpTrace(job *frugal.TrainingJob, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := job.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // reportJSON emits a machine-readable run summary.
-func reportJSON(name, engine string, res frugal.Result) {
+func reportJSON(name, engine string, res frugal.Result, job *frugal.TrainingJob, obsOn bool) {
 	out := map[string]any{
 		"workload":        name,
 		"engine":          engine,
@@ -85,6 +126,9 @@ func reportJSON(name, engine string, res frugal.Result) {
 		"deferredEntries": res.Deferred,
 		"cacheHitRatio":   res.CacheStats.HitRatio(),
 		"trainAUC":        res.TrainAUC,
+	}
+	if obsOn {
+		out["metrics"] = job.Snapshot()
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -139,4 +183,17 @@ func report(res frugal.Result) {
 	cs := res.CacheStats
 	fmt.Printf("cache:            %.1f%% hit (%d hits, %d misses, %d stale, %d evictions)\n",
 		100*cs.HitRatio(), cs.Hits, cs.Misses, cs.StaleHits, cs.Evicted)
+}
+
+// reportObs prints the observability-layer breakdown after a -obs run.
+func reportObs(s frugal.Snapshot) {
+	fmt.Println("-- observability --")
+	fmt.Printf("gate:             %d passes, %d blocked (stall mean %v)\n",
+		s.GatePasses, s.GateBlocks, s.GateStall.Mean())
+	fmt.Printf("flush:            %d updates in %d g-entries (%d deferred, latency mean %v)\n",
+		s.FlushApplied, s.FlushedEntries, s.DeferredEntries, s.FlushLatency.Mean())
+	fmt.Printf("pq ops:           %d enqueue, %d dequeue, %d adjust, %d stale-pop\n",
+		s.PQEnqueues, s.PQDequeues, s.PQAdjusts, s.PQStalePops)
+	fmt.Printf("step wall mean:   %v over %d steps\n", s.StepWall.Mean(), s.StepsCompleted)
+	fmt.Printf("trace:            %d events (%d overwritten)\n", s.TraceEvents, s.TraceDropped)
 }

@@ -33,6 +33,7 @@
 package frugal
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -40,6 +41,8 @@ import (
 	"frugal/internal/data"
 	"frugal/internal/graph"
 	"frugal/internal/model"
+	"frugal/internal/obs"
+	"frugal/internal/pq"
 	"frugal/internal/runtime"
 )
 
@@ -76,6 +79,13 @@ type Config struct {
 	Lookahead int
 	// FlushThreads is the background flusher count (default 8).
 	FlushThreads int
+	// DequeueBatch bounds each flushing thread's batched dequeue — the
+	// Fig 7 batch size (default 64). EngineFrugal only.
+	DequeueBatch int
+	// Queue overrides the P²F priority-queue implementation (default: the
+	// paper's two-level PQ sized for the step count). NewTreeHeapQueue
+	// builds the Exp #4 lock-based baseline. EngineFrugal only.
+	Queue PriorityQueue
 	// Optimizer selects the embedding optimizer: OptimizerSGD (default)
 	// or OptimizerAdagrad (row-wise Adagrad; the accumulator update rides
 	// the P²F flush path to host memory).
@@ -85,7 +95,54 @@ type Config struct {
 	CheckConsistency bool
 	// Seed drives parameter initialisation and synthetic data.
 	Seed int64
+	// OnStep, when set, is invoked once per completed global training
+	// step by the last trainer to commit it, outside the gate's critical
+	// path. It must be fast and non-blocking — a slow callback stalls
+	// that trainer's next step (the gate and the flusher pool are never
+	// blocked by it). Use it for progress bars, loss curves, or feeding
+	// an external metrics pipeline.
+	OnStep func(StepStats)
+	// Observability enables the runtime metrics registry and step-event
+	// tracer (see TrainingJob.Snapshot and TrainingJob.WriteTrace). The
+	// zero value keeps every instrumentation point a no-op.
+	Observability ObsOptions
 }
+
+// ObsOptions configures the observability layer of a job.
+type ObsOptions struct {
+	// Enabled turns on metric counters and step tracing.
+	Enabled bool
+	// TraceCapacity is the event ring size, rounded up to a power of two
+	// (default 65536). The ring keeps the newest events; Snapshot reports
+	// how many were overwritten. Negative disables tracing but keeps the
+	// metric counters.
+	TraceCapacity int
+}
+
+// StepStats is the per-step progress report delivered to Config.OnStep:
+// step number, global loss, summed gate-stall time, and the flush
+// backlog (pending g-entries) at completion time.
+type StepStats = runtime.StepStats
+
+// Snapshot is a live copy of a job's observability metrics — cache
+// traffic, gate stalls, flush accounting, priority-queue operations and
+// step timings. See TrainingJob.Snapshot.
+type Snapshot = obs.Snapshot
+
+// ErrCanceled is the typed error RunContext returns when its context is
+// canceled: it wraps ctx.Err(), so errors.Is(err, context.Canceled)
+// works, and errors.As(err, &target) recovers the wrapper.
+type ErrCanceled = runtime.ErrCanceled
+
+// PriorityQueue is the P²F priority-queue contract (Config.Queue). The
+// built-in implementations are the paper's two-level PQ (the default) and
+// the TreeHeap baseline from NewTreeHeapQueue.
+type PriorityQueue = pq.Queue
+
+// NewTreeHeapQueue builds the lock-based binary-heap priority queue the
+// paper evaluates against in Exp #4, sized for `hint` expected entries.
+// Pass it as Config.Queue to reproduce that comparison on a real job.
+func NewTreeHeapQueue(hint int) PriorityQueue { return pq.NewTreeHeap(hint) }
 
 // Optimizer selects the embedding optimizer.
 type Optimizer = runtime.Optimizer
@@ -100,7 +157,7 @@ const (
 )
 
 func (c Config) runtimeConfig() runtime.Config {
-	return runtime.Config{
+	rc := runtime.Config{
 		Engine:           c.Engine,
 		Optimizer:        c.Optimizer,
 		NumGPUs:          c.NumGPUs,
@@ -108,9 +165,32 @@ func (c Config) runtimeConfig() runtime.Config {
 		LR:               c.LR,
 		Lookahead:        c.Lookahead,
 		FlushThreads:     c.FlushThreads,
+		DequeueBatch:     c.DequeueBatch,
+		Queue:            c.Queue,
 		CheckConsistency: c.CheckConsistency,
 		Seed:             c.Seed,
+		OnStep:           c.OnStep,
 	}
+	if c.Observability.Enabled {
+		// Shard the hot counters so trainers and flusher threads never
+		// contend on a cache line.
+		shards := c.NumGPUs
+		if shards < 1 {
+			shards = 1
+		}
+		if ft := c.FlushThreads; ft <= 0 {
+			if shards < 8 {
+				shards = 8 // the FlushThreads default
+			}
+		} else if ft > shards {
+			shards = ft
+		}
+		rc.Observer = obs.New(obs.Options{
+			Shards:        shards,
+			TraceCapacity: c.Observability.TraceCapacity,
+		})
+	}
+	return rc
 }
 
 // Result reports a finished training run: per-step losses, wall time,
@@ -144,6 +224,29 @@ type TrainingJob struct {
 
 // Run executes the job to completion.
 func (j *TrainingJob) Run() (Result, error) { return j.job.Run() }
+
+// RunContext executes the job until completion or ctx cancellation. On
+// cancellation every trainer goroutine stops cleanly, the P²F epilogue
+// drains all committed updates to host memory, the flusher pool shuts
+// down, and the partial Result (the fully completed prefix of steps) is
+// returned together with a *ErrCanceled wrapping ctx.Err(). An
+// already-canceled context returns before any training work starts.
+func (j *TrainingJob) RunContext(ctx context.Context) (Result, error) {
+	return j.job.RunContext(ctx)
+}
+
+// Snapshot returns a live copy of the job's observability metrics. Safe
+// to call at any time — before, during, or after a run (serve it from a
+// metrics endpoint while training). With Config.Observability disabled it
+// returns the zero Snapshot, except the live queue depths.
+func (j *TrainingJob) Snapshot() Snapshot { return j.job.Snapshot() }
+
+// WriteTrace dumps the job's step-event trace as JSONL, oldest event
+// first — gate passes and blocks, flush enqueue/dequeue/apply, cache
+// hits/misses/evictions, collective phases, step completions — for
+// offline timeline analysis. Call after the run finishes; it errors when
+// Config.Observability was not enabled.
+func (j *TrainingJob) WriteTrace(w io.Writer) error { return j.job.WriteTrace(w) }
 
 // HostRow returns a copy of one embedding row from host memory (for
 // inspection after training).

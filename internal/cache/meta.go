@@ -1,6 +1,10 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"frugal/internal/obs"
+)
 
 // Meta is the bookkeeping half of the embedding cache: the set-associative
 // directory with frequency-aware eviction and version-based freshness, but
@@ -15,6 +19,13 @@ type Meta struct {
 	stale    int64
 	inserted int64
 	evicted  int64
+
+	// obs mirrors the counters into the job's observability layer so a
+	// live Snapshot can read them race-free while the owning trainer runs
+	// (the plain int64 fields above are single-owner). gpu identifies the
+	// owning trainer's counter shard. nil obs (the default) is a no-op.
+	obs *obs.CacheObs
+	gpu int
 }
 
 // NewMeta builds a directory with room for at least `rows` entries.
@@ -42,6 +53,13 @@ func MustNewMeta(rows int) *Meta {
 // Rows returns the directory capacity in entries.
 func (m *Meta) Rows() int { return m.sets * Ways }
 
+// SetObserver attaches an observability sink (nil detaches) and the GPU
+// id used as its counter shard. Call before the cache sees traffic.
+func (m *Meta) SetObserver(o *obs.CacheObs, gpu int) {
+	m.obs = o
+	m.gpu = gpu
+}
+
 func (m *Meta) set(key uint64) int {
 	h := key
 	h ^= h >> 33
@@ -63,13 +81,16 @@ func (m *Meta) probe(key uint64, wantVersion uint64) int {
 			s.key = emptyKey
 			m.stale++
 			m.misses++
+			m.obs.Miss(m.gpu, key, true)
 			return -1
 		}
 		s.freq++
 		m.hits++
+		m.obs.Hit(m.gpu, key)
 		return i
 	}
 	m.misses++
+	m.obs.Miss(m.gpu, key, false)
 	return -1
 }
 
@@ -129,6 +150,7 @@ func (m *Meta) fill(key uint64, version uint64) (slotIdx int, evicted uint64, wa
 	if wasEviction {
 		m.evicted++
 	}
+	m.obs.Insert(m.gpu, key, evicted, wasEviction)
 	return victim, evicted, wasEviction
 }
 

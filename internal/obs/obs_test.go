@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilObserverIsNoOp drives every instrumentation hook through nil
+// receivers — the runtime's default path must never dereference them.
+func TestNilObserverIsNoOp(t *testing.T) {
+	var o *Observer
+	o.CacheSink().Hit(0, 1)
+	o.CacheSink().Miss(0, 1, true)
+	o.CacheSink().Insert(0, 1, 2, true)
+	o.GateSink().Wait(0, 0, time.Millisecond)
+	o.FlushSink().Enqueued(0, 0, 4)
+	o.FlushSink().Dequeued(0, 1, 4)
+	o.FlushSink().Applied(0, 1, 4, true, time.Microsecond)
+	o.FlushSink().SampleDepth(3)
+	o.PQSink().Enqueue(1)
+	o.PQSink().Dequeue(1)
+	o.PQSink().Adjust(1)
+	o.PQSink().StalePop(1)
+	o.StepSink().WorkerStep(0, 0, time.Millisecond)
+	o.StepSink().Completed()
+	o.TraceSink().Emit(EvGatePass, 0, 0, 0, 0)
+	if s := o.Snapshot(); !reflect.DeepEqual(s, Snapshot{}) {
+		t.Fatalf("nil observer snapshot not zero: %+v", s)
+	}
+	if ev := o.TraceSink().Events(); ev != nil {
+		t.Fatalf("nil tracer returned events: %v", ev)
+	}
+}
+
+// TestCounterSharding verifies concurrent sharded increments sum exactly.
+func TestCounterSharding(t *testing.T) {
+	c := newCounter(8)
+	const writers, per = 16, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add(w, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Total(); got != writers*per {
+		t.Fatalf("Total = %d, want %d", got, writers*per)
+	}
+	// Negative writer ids (keys cast through int) must not panic.
+	c.Add(-3, 1)
+	if got := c.Total(); got != writers*per+1 {
+		t.Fatalf("Total after negative shard = %d", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 5 || s.Sum != time.Duration(5+10+11+100+5000) {
+		t.Fatalf("count/sum = %d/%d", s.Count, s.Sum)
+	}
+	// 5,10 → ≤10; 11,100 → ≤100; nothing ≤1000; 5000 → overflow.
+	want := map[time.Duration]int64{10: 2, 100: 2, time.Duration(int64(^uint64(0) >> 1)): 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	for _, b := range s.Buckets {
+		if want[b.Le] != b.Count {
+			t.Fatalf("bucket le=%d count=%d, want %d", b.Le, b.Count, want[b.Le])
+		}
+	}
+	if got := s.Mean(); got != time.Duration(5126/5) {
+		t.Fatalf("mean = %d", got)
+	}
+}
+
+// TestSnapshotInvariants exercises a live observer the way the runtime
+// does and checks the cross-metric invariants Snapshot documents.
+func TestSnapshotInvariants(t *testing.T) {
+	o := New(Options{Shards: 4, TraceCapacity: 1024})
+	cs, fs := o.CacheSink(), o.FlushSink()
+	for gpu := 0; gpu < 4; gpu++ {
+		for i := 0; i < 100; i++ {
+			if i%3 == 0 {
+				cs.Miss(gpu, uint64(i), i%9 == 0)
+			} else {
+				cs.Hit(gpu, uint64(i))
+			}
+		}
+		fs.Enqueued(gpu, int64(gpu), 25)
+	}
+	fs.Dequeued(0, 7, 25)
+	fs.Applied(0, 7, 25, true, 40*time.Microsecond)
+	fs.Applied(1, 9, 30, false, 2*time.Millisecond)
+
+	s := o.Snapshot()
+	if s.CacheLookups != s.CacheHits+s.CacheMisses {
+		t.Fatalf("lookups %d != hits %d + misses %d", s.CacheLookups, s.CacheHits, s.CacheMisses)
+	}
+	if s.CacheLookups != 400 {
+		t.Fatalf("lookups = %d, want 400", s.CacheLookups)
+	}
+	if s.CacheStaleHits > s.CacheMisses {
+		t.Fatalf("stale %d > misses %d", s.CacheStaleHits, s.CacheMisses)
+	}
+	if s.FlushApplied > s.FlushEnqueued {
+		t.Fatalf("applied %d > enqueued %d", s.FlushApplied, s.FlushEnqueued)
+	}
+	if s.DeferredEntries+s.UrgentEntries != s.FlushedEntries {
+		t.Fatalf("deferred %d + urgent %d != entries %d",
+			s.DeferredEntries, s.UrgentEntries, s.FlushedEntries)
+	}
+	if s.FlushLatency.Count != 2 {
+		t.Fatalf("latency count = %d", s.FlushLatency.Count)
+	}
+	if s.TraceEvents == 0 || s.TraceDropped != 0 {
+		t.Fatalf("trace events/dropped = %d/%d", s.TraceEvents, s.TraceDropped)
+	}
+}

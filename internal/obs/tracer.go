@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// EventType names a step-trace event.
+type EventType uint8
+
+// The trace event vocabulary: the gate, the P²F flush path, the embedding
+// cache, the collective phase of a step, and step completion.
+const (
+	evInvalid EventType = iota
+	// EvGatePass: a trainer cleared the consistency gate for Step; Value
+	// is the stall time in nanoseconds (0 when the gate was open).
+	EvGatePass
+	// EvGateBlock: the gate wait actually stalled; Value is the stall.
+	EvGateBlock
+	// EvFlushEnqueue: a trainer committed Value pending updates at Step.
+	EvFlushEnqueue
+	// EvFlushDequeue: a flusher claimed the g-entry for Key holding Value
+	// pending updates.
+	EvFlushDequeue
+	// EvFlushApply: the claimed g-entry for Key reached host memory;
+	// Value is the apply latency in nanoseconds.
+	EvFlushApply
+	// EvCacheHit / EvCacheMiss: one cache probe for Key on GPU Src.
+	EvCacheHit
+	EvCacheMiss
+	// EvCacheEvict: Key (the victim) was evicted by a cache fill.
+	EvCacheEvict
+	// EvCollectiveStart / EvCollectiveEnd bracket the read barrier — the
+	// stand-in for the collective (allgather/allreduce) phase of a step.
+	EvCollectiveStart
+	EvCollectiveEnd
+	// EvStepDone: trainer Src finished Step; Value is its wall time.
+	EvStepDone
+)
+
+var eventNames = [...]string{
+	evInvalid:         "invalid",
+	EvGatePass:        "gate_pass",
+	EvGateBlock:       "gate_block",
+	EvFlushEnqueue:    "flush_enqueue",
+	EvFlushDequeue:    "flush_dequeue",
+	EvFlushApply:      "flush_apply",
+	EvCacheHit:        "cache_hit",
+	EvCacheMiss:       "cache_miss",
+	EvCacheEvict:      "cache_evict",
+	EvCollectiveStart: "collective_start",
+	EvCollectiveEnd:   "collective_end",
+	EvStepDone:        "step_done",
+}
+
+// String returns the JSONL type tag for the event.
+func (t EventType) String() string {
+	if int(t) < len(eventNames) {
+		return eventNames[t]
+	}
+	return "unknown"
+}
+
+// Event is one trace record. Src identifies the emitter (GPU id for
+// trainer-side events, flusher id for flush events); Step is -1 when the
+// event is not tied to a training step; the meaning of Key and Value is
+// per-type (see the EventType constants).
+type Event struct {
+	Nanos int64     // since tracer creation
+	Type  EventType //
+	Src   int32     // GPU or flusher thread id
+	Step  int64     // training step, or -1
+	Key   uint64    // parameter key, or 0
+	Value int64     // per-type payload (durations in nanoseconds, counts)
+}
+
+// Tracer is a fixed-capacity ring buffer of Events. Emit is lock-free
+// (one atomic add plus a struct store) and safe for concurrent emitters;
+// when the ring wraps, the oldest events are overwritten. Dump must only
+// run when emitters are quiescent (after the run, or during a pause) —
+// a dump concurrent with heavy emission can observe torn events.
+type Tracer struct {
+	start  time.Time
+	buf    []Event
+	mask   uint64
+	cursor atomic.Uint64
+	// clock returns nanoseconds since start; replaceable in tests for
+	// deterministic golden files.
+	clock func() int64
+}
+
+// DefaultTraceCapacity is the ring size NewTracer uses for capacity 0.
+const DefaultTraceCapacity = 1 << 16
+
+// NewTracer builds a tracer with capacity rounded up to a power of two
+// (minimum 1024; 0 selects DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	size := 1024
+	for size < capacity {
+		size <<= 1
+	}
+	t := &Tracer{start: time.Now(), buf: make([]Event, size), mask: uint64(size - 1)}
+	t.clock = func() int64 { return time.Since(t.start).Nanoseconds() }
+	return t
+}
+
+// Emit appends one event. Nil-safe: a nil tracer drops it.
+func (t *Tracer) Emit(typ EventType, src int, step int64, key uint64, value int64) {
+	if t == nil {
+		return
+	}
+	i := t.cursor.Add(1) - 1
+	t.buf[i&t.mask] = Event{
+		Nanos: t.clock(),
+		Type:  typ,
+		Src:   int32(src),
+		Step:  step,
+		Key:   key,
+		Value: value,
+	}
+}
+
+// Stats reports the number of events ever emitted and how many of them
+// the ring has overwritten.
+func (t *Tracer) Stats() (emitted, dropped int64) {
+	if t == nil {
+		return 0, 0
+	}
+	n := int64(t.cursor.Load())
+	d := n - int64(len(t.buf))
+	if d < 0 {
+		d = 0
+	}
+	return n, d
+}
+
+// Events returns the buffered events, oldest first. Call only when
+// emitters are quiescent.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	n := t.cursor.Load()
+	if n == 0 {
+		return nil
+	}
+	out := make([]Event, 0, min(n, uint64(len(t.buf))))
+	lo := uint64(0)
+	if n > uint64(len(t.buf)) {
+		lo = n - uint64(len(t.buf))
+	}
+	for i := lo; i < n; i++ {
+		out = append(out, t.buf[i&t.mask])
+	}
+	return out
+}
+
+// DumpJSONL writes the buffered events, oldest first, one JSON object per
+// line. The schema is stable (a golden-file test pins it):
+//
+//	{"ns":1200,"type":"gate_pass","src":0,"step":5,"key":0,"value":200}
+//
+// Call only when emitters are quiescent (after Run returns).
+func (t *Tracer) DumpJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range t.Events() {
+		if _, err := fmt.Fprintf(bw,
+			`{"ns":%d,"type":%q,"src":%d,"step":%d,"key":%d,"value":%d}`+"\n",
+			e.Nanos, e.Type.String(), e.Src, e.Step, e.Key, e.Value); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

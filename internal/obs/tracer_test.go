@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedClockTracer returns a small tracer whose clock ticks 100ns per
+// event, so dumps are deterministic.
+func fixedClockTracer(capacity int) *Tracer {
+	t := NewTracer(capacity)
+	var ticks int64
+	t.clock = func() int64 {
+		ticks += 100
+		return ticks
+	}
+	return t
+}
+
+// TestTraceGolden pins the JSONL trace schema: one event of every type,
+// dumped and compared byte-for-byte against testdata/trace.golden.jsonl.
+// Offline timeline tooling parses this format; changing it is a breaking
+// change that must update the golden file deliberately (-update).
+func TestTraceGolden(t *testing.T) {
+	tr := fixedClockTracer(1024)
+	tr.Emit(EvGatePass, 0, 5, 0, 0)
+	tr.Emit(EvGateBlock, 1, 6, 0, 1500)
+	tr.Emit(EvFlushEnqueue, 0, 5, 0, 32)
+	tr.Emit(EvFlushDequeue, 2, -1, 42, 3)
+	tr.Emit(EvFlushApply, 2, -1, 42, 2100)
+	tr.Emit(EvCacheHit, 0, -1, 17, 0)
+	tr.Emit(EvCacheMiss, 1, -1, 99, 0)
+	tr.Emit(EvCacheEvict, 1, -1, 23, 0)
+	tr.Emit(EvCollectiveStart, 3, 7, 0, 0)
+	tr.Emit(EvCollectiveEnd, 3, 7, 0, 0)
+	tr.Emit(EvStepDone, 0, 5, 0, 480000)
+
+	var buf bytes.Buffer
+	if err := tr.DumpJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.golden.jsonl")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace schema drifted from golden file\n got:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTracerWrap verifies the ring keeps the newest events and accounts
+// for the overwritten ones.
+func TestTracerWrap(t *testing.T) {
+	tr := fixedClockTracer(1024) // min capacity
+	total := len(tr.buf) + 100
+	for i := 0; i < total; i++ {
+		tr.Emit(EvCacheHit, 0, -1, uint64(i), 0)
+	}
+	emitted, dropped := tr.Stats()
+	if emitted != int64(total) || dropped != 100 {
+		t.Fatalf("emitted/dropped = %d/%d, want %d/100", emitted, dropped, total)
+	}
+	ev := tr.Events()
+	if len(ev) != len(tr.buf) {
+		t.Fatalf("len(events) = %d, want %d", len(ev), len(tr.buf))
+	}
+	if ev[0].Key != 100 || ev[len(ev)-1].Key != uint64(total-1) {
+		t.Fatalf("window = [%d, %d], want [100, %d]", ev[0].Key, ev[len(ev)-1].Key, total-1)
+	}
+}
+
+// TestTracerConcurrentEmit exercises concurrent emitters under -race; the
+// ring is far larger than the event volume, so no slot is shared.
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(1 << 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Emit(EvCacheHit, w, -1, uint64(i), 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if emitted, _ := tr.Stats(); emitted != 8000 {
+		t.Fatalf("emitted = %d", emitted)
+	}
+	if got := len(tr.Events()); got != 8000 {
+		t.Fatalf("buffered = %d", got)
+	}
+}

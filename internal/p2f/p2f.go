@@ -12,6 +12,7 @@
 package p2f
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"frugal/internal/lfht"
+	"frugal/internal/obs"
 	"frugal/internal/pq"
 )
 
@@ -84,6 +86,10 @@ type Options struct {
 	// DirectoryHint sizes the g-entry directory (expected distinct hot
 	// keys; default 1<<16).
 	DirectoryHint int
+	// Obs attaches the job's observability layer (nil = no-op): the
+	// flusher pool reports dequeue/apply events and latency, the sample
+	// queue its depth, and the priority queue its operation counts.
+	Obs *obs.Observer
 }
 
 func (o *Options) normalize() error {
@@ -161,6 +167,10 @@ type Controller struct {
 	deferredFlushes atomic.Int64
 	urgentFlushes   atomic.Int64
 	prefetchedSteps atomic.Int64
+
+	// Observability sinks (nil = no-op, the default).
+	fl     *obs.FlushObs
+	tracer *obs.Tracer
 }
 
 // NewController validates opt and builds a controller. Call Start to launch
@@ -188,6 +198,13 @@ func NewController(opt Options) (*Controller, error) {
 		commits:       make(map[int64]int),
 		committedStep: -1,
 		stop:          make(chan struct{}),
+		fl:            opt.Obs.FlushSink(),
+		tracer:        opt.Obs.TraceSink(),
+	}
+	if po := opt.Obs.PQSink(); po != nil {
+		if qo, ok := q.(interface{ SetObserver(*obs.PQObs) }); ok {
+			qo.SetObserver(po)
+		}
 	}
 	c.gate = sync.NewCond(&c.mu)
 	return c, nil
@@ -206,7 +223,7 @@ func (c *Controller) Start() {
 	go c.prefetchLoop()
 	for i := 0; i < c.opt.FlushThreads; i++ {
 		c.wg.Add(1)
-		go c.flusherLoop()
+		go c.flusherLoop(i)
 	}
 }
 
@@ -251,6 +268,7 @@ func (c *Controller) prefetchLoop() {
 		c.prefetchedSteps.Add(1)
 		select {
 		case c.sample <- Batch{Step: step, Keys: keys}:
+			c.fl.SampleDepth(len(c.sample))
 		case <-c.stop:
 			return
 		}
@@ -290,6 +308,20 @@ func (c *Controller) NextBatch() (Batch, bool) {
 	b, ok := <-c.sample
 	return b, ok
 }
+
+// NextBatchCtx is NextBatch with cancellation: ok=false as soon as ctx is
+// done, even if the prefetcher still has batches in flight.
+func (c *Controller) NextBatchCtx(ctx context.Context) (Batch, bool) {
+	select {
+	case b, ok := <-c.sample:
+		return b, ok
+	case <-ctx.Done():
+		return Batch{}, false
+	}
+}
+
+// SampleDepth reports the current fill of the sample (lookahead) queue.
+func (c *Controller) SampleDepth() int { return len(c.sample) }
 
 // ----------------------------------------------------------------------
 // Consistency gate
@@ -394,13 +426,16 @@ func (c *Controller) ReadDone(s int64, keys []uint64) {
 // pending updates through the sink. ProcessBatch runs flushEntry while
 // the entry is still visible to the queue, so the consistency gate never
 // opens for a step whose parameters are mid-flush.
-func (c *Controller) flusherLoop() {
+func (c *Controller) flusherLoop(id int) {
 	defer c.wg.Done()
+	flush := func(g *pq.GEntry, slotPriority int64) bool {
+		return c.flushEntry(id, g, slotPriority)
+	}
 	for {
 		if c.stopping.Load() {
 			return
 		}
-		n := c.queue.ProcessBatch(c.opt.DequeueBatchSize, c.flushEntry)
+		n := c.queue.ProcessBatch(c.opt.DequeueBatchSize, flush)
 		if n > 0 {
 			// Flushes applied or residues culled: the gate may be open.
 			c.broadcast()
@@ -412,7 +447,8 @@ func (c *Controller) flusherLoop() {
 
 // flushEntry drains one g-entry's write set through the sink. Called by
 // ProcessBatch with g.Mu held; reports whether the entry was claimed.
-func (c *Controller) flushEntry(g *pq.GEntry, slotPriority int64) bool {
+// flusher identifies the calling thread for the observability layer.
+func (c *Controller) flushEntry(flusher int, g *pq.GEntry, slotPriority int64) bool {
 	if !g.InQueue || g.Priority != slotPriority {
 		return false // stale residue, or a duplicate concurrent visit
 	}
@@ -421,13 +457,22 @@ func (c *Controller) flushEntry(g *pq.GEntry, slotPriority int64) bool {
 	if len(w) == 0 {
 		return true // residue of a commit that re-queued a claimed entry
 	}
-	if slotPriority == pq.Inf {
+	deferred := slotPriority == pq.Inf
+	if deferred {
 		c.deferredFlushes.Add(1)
 	} else {
 		c.urgentFlushes.Add(1)
 	}
+	var start time.Time
+	if c.fl != nil {
+		c.fl.Dequeued(flusher, g.Key, len(w))
+		start = time.Now()
+	}
 	c.opt.Sink.Flush(g.Key, w)
 	c.flushedUpdates.Add(int64(len(w)))
+	if c.fl != nil {
+		c.fl.Applied(flusher, g.Key, len(w), deferred, time.Since(start))
+	}
 	return true
 }
 

@@ -3,6 +3,8 @@ package pq
 import (
 	"runtime"
 	"sync/atomic"
+
+	"frugal/internal/obs"
 )
 
 // spinLock is a test-and-set spin lock with passive back-off — the locking
@@ -36,7 +38,12 @@ type TreeHeap struct {
 	lock  spinLock
 	items []heapItem
 	pos   map[uint64]int // key → index in items
+	o     *obs.PQObs     // operation counters (nil = off)
 }
+
+// SetObserver attaches an observability sink (nil detaches). Call before
+// the queue sees traffic.
+func (h *TreeHeap) SetObserver(o *obs.PQObs) { h.o = o }
 
 // NewTreeHeap returns an empty heap sized for `hint` entries.
 func NewTreeHeap(hint int) *TreeHeap {
@@ -60,6 +67,7 @@ func (h *TreeHeap) Enqueue(g *GEntry, p int64) {
 	h.pos[g.Key] = i
 	h.siftUp(i)
 	h.lock.Unlock()
+	h.o.Enqueue(g.Key)
 }
 
 // Dequeue removes and returns the minimum-priority entry. The removal and
@@ -85,6 +93,7 @@ func (h *TreeHeap) Dequeue() (*GEntry, int64, bool) {
 		top.g.InQueue = false
 		top.g.Mu.Unlock()
 		h.lock.Unlock()
+		h.o.Dequeue(top.g.Key)
 		return top.g, top.p, true
 	}
 }
@@ -127,6 +136,7 @@ func (h *TreeHeap) ProcessBatch(max int, fn func(g *GEntry, slotPriority int64) 
 		h.removeAt(0)
 		top.g.Mu.Unlock()
 		h.lock.Unlock()
+		h.o.Dequeue(top.g.Key)
 		processed++
 	}
 	return processed
@@ -152,6 +162,7 @@ func (h *TreeHeap) AdjustPriority(g *GEntry, old, new int64) {
 		h.siftDown(i)
 	}
 	h.lock.Unlock()
+	h.o.Adjust(g.Key)
 }
 
 // Top returns the minimum priority in the heap, or Inf when empty.

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"frugal/internal/lfht"
+	"frugal/internal/obs"
 )
 
 // TwoLevelPQ is Frugal's customised concurrent priority queue (§3.4,
@@ -43,6 +44,9 @@ type TwoLevelPQ struct {
 	// stalePops counts residue nodes culled during dequeue validation;
 	// exposed for tests and the ablation bench.
 	stalePops atomic.Int64
+
+	// o mirrors operation counts into the observability layer (nil = off).
+	o *obs.PQObs
 }
 
 // TwoLevelOptions configures a TwoLevelPQ.
@@ -88,6 +92,10 @@ func MustTwoLevelPQ(opt TwoLevelOptions) *TwoLevelPQ {
 	}
 	return q
 }
+
+// SetObserver attaches an observability sink (nil detaches). Call before
+// the queue sees traffic.
+func (q *TwoLevelPQ) SetObserver(o *obs.PQObs) { q.o = o }
 
 // slotIndex maps a priority to its index in the priority index array.
 func (q *TwoLevelPQ) slotIndex(p int64) int64 {
@@ -146,6 +154,7 @@ func (q *TwoLevelPQ) Enqueue(g *GEntry, p int64) {
 	g.InQueue = true
 	q.table(idx).Insert(g.Key, g)
 	q.count.Add(1)
+	q.o.Enqueue(g.Key)
 	if p != Inf {
 		casMin(&q.lower, p)
 		casMax(&q.upper, p)
@@ -164,6 +173,7 @@ func (q *TwoLevelPQ) AdjustPriority(g *GEntry, old, new int64) {
 	q.table(newIdx).Insert(g.Key, g)
 	g.Priority = new
 	q.table(oldIdx).Delete(g.Key)
+	q.o.Adjust(g.Key)
 	if new != Inf {
 		casMin(&q.lower, new)
 		casMax(&q.upper, new)
@@ -194,9 +204,11 @@ func (q *TwoLevelPQ) claim(g *GEntry, p int64) bool {
 	defer g.Mu.Unlock()
 	if !g.InQueue || g.Priority != p {
 		q.stalePops.Add(1)
+		q.o.StalePop(g.Key)
 		return false
 	}
 	g.InQueue = false
+	q.o.Dequeue(g.Key)
 	return true
 }
 
@@ -340,6 +352,9 @@ func (q *TwoLevelPQ) ProcessBatch(max int, fn func(g *GEntry, slotPriority int64
 			g.Mu.Unlock()
 			if claimed {
 				q.count.Add(-1)
+				q.o.Dequeue(g.Key)
+			} else {
+				q.o.StalePop(g.Key)
 			}
 		})
 	}

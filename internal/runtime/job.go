@@ -1,8 +1,10 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"sync"
@@ -10,6 +12,7 @@ import (
 
 	"frugal/internal/cache"
 	"frugal/internal/data"
+	"frugal/internal/obs"
 	"frugal/internal/p2f"
 	"frugal/internal/pq"
 	"frugal/internal/stats"
@@ -70,7 +73,50 @@ type Config struct {
 	CheckConsistency bool
 	// Seed drives parameter initialisation.
 	Seed int64
+	// Observer attaches the observability layer (internal/obs): live
+	// metric counters threaded through the gate, the caches, the priority
+	// queue and the flusher pool, plus the step-event tracer. nil (the
+	// default) keeps every instrumentation point a no-op.
+	Observer *obs.Observer
+	// OnStep, when set, is invoked once per globally completed training
+	// step — by the last trainer to commit it, outside the gate's critical
+	// path. The callback must be fast and non-blocking: it runs on a
+	// trainer goroutine, and a slow callback stalls that trainer's next
+	// step (never the gate or the flusher pool).
+	OnStep func(StepStats)
 }
+
+// StepStats is the per-step progress report delivered to Config.OnStep.
+type StepStats struct {
+	// Step is the completed global step number.
+	Step int64
+	// Loss is the step's global training loss (summed over trainers).
+	Loss float32
+	// GateStall is the time trainers spent blocked at the consistency
+	// gate for this step, summed over trainers (0 for gate-less engines).
+	GateStall time.Duration
+	// FlushBacklog is the number of g-entries pending in the priority
+	// queue when the step completed (0 for non-Frugal engines).
+	FlushBacklog int
+}
+
+// ErrCanceled reports a job stopped by context cancellation before
+// completing all its steps. It wraps the context's error, so both
+// errors.Is(err, context.Canceled) and errors.As(err, &ErrCanceled{})
+// style checks work. The partial Result returned alongside it covers the
+// steps that fully committed; the P²F epilogue has still drained every
+// pending update of those steps to host memory.
+type ErrCanceled struct {
+	// Cause is the context's error (context.Canceled or
+	// context.DeadlineExceeded).
+	Cause error
+}
+
+// Error implements error.
+func (e *ErrCanceled) Error() string { return "runtime: job canceled: " + e.Cause.Error() }
+
+// Unwrap exposes the context error to errors.Is/As.
+func (e *ErrCanceled) Unwrap() error { return e.Cause }
 
 func (c *Config) normalize() error {
 	if c.Engine == "" {
@@ -175,10 +221,26 @@ type Job struct {
 	steps   int64
 	samples int // per global step, for throughput accounting
 
-	mu     sync.Mutex
-	losses []float32
-	preds  []float64 // progressive-validation reservoir (scores)
-	labels []float64
+	// Observability sinks, cached off cfg.Observer (all nil-safe no-ops
+	// when observability is off).
+	gateObs *obs.GateObs
+	stepObs *obs.StepObs
+	flObs   *obs.FlushObs
+	tracer  *obs.Tracer
+
+	mu        sync.Mutex
+	losses    []float32
+	pending   map[int64]stepAgg // per-step completion accounting
+	completed int64             // fully committed steps (prefix property)
+	preds     []float64         // progressive-validation reservoir (scores)
+	labels    []float64
+}
+
+// stepAgg accumulates one step's per-trainer contributions until the last
+// trainer commits it.
+type stepAgg struct {
+	done  int
+	stall time.Duration
 }
 
 // predReservoir bounds the AUC sample memory.
@@ -228,6 +290,11 @@ func newJob(cfg Config, steps int64, samplesPerStep int,
 		barrier: NewBarrier(cfg.NumGPUs),
 		steps:   steps,
 		samples: samplesPerStep,
+		gateObs: cfg.Observer.GateSink(),
+		stepObs: cfg.Observer.StepSink(),
+		flObs:   cfg.Observer.FlushSink(),
+		tracer:  cfg.Observer.TraceSink(),
+		pending: make(map[int64]stepAgg),
 	}
 	if cfg.Optimizer == OptAdagrad {
 		host.EnableOptimizerState()
@@ -238,7 +305,9 @@ func newJob(cfg Config, steps int64, samplesPerStep int,
 			rowsPerGPU = cache.Ways
 		}
 		for g := 0; g < cfg.NumGPUs; g++ {
-			j.caches = append(j.caches, cache.MustNew(rowsPerGPU, cfg.Dim))
+			c := cache.MustNew(rowsPerGPU, cfg.Dim)
+			c.SetObserver(cfg.Observer.CacheSink(), g)
+			j.caches = append(j.caches, c)
 		}
 	}
 	if cfg.Engine == EngineFrugal {
@@ -249,6 +318,7 @@ func newJob(cfg Config, steps int64, samplesPerStep int,
 			Trainers:         cfg.NumGPUs,
 			DequeueBatchSize: cfg.DequeueBatch,
 			Queue:            cfg.Queue,
+			Obs:              cfg.Observer,
 			Sink: p2f.FlushSinkFunc(func(key uint64, updates []pq.Update) {
 				host.ApplyUpdates(key, updates)
 			}),
@@ -269,7 +339,22 @@ func (j *Job) Host() *Host { return j.host }
 func (j *Job) Controller() *p2f.Controller { return j.ctrl }
 
 // Run executes the job to completion and returns aggregate results.
-func (j *Job) Run() (Result, error) {
+func (j *Job) Run() (Result, error) { return j.RunContext(context.Background()) }
+
+// RunContext executes the job until completion or ctx cancellation.
+//
+// Cancellation is step-synchronized: the dispatcher is the single
+// decision point, so every trainer sees exactly the same set of steps and
+// the read/step barriers stay balanced — no goroutine is ever stranded in
+// a barrier or at the gate. On cancellation the in-flight steps finish,
+// the P²F epilogue drains every committed update to host memory, the
+// flusher pool stops, and RunContext returns the partial Result for the
+// completed prefix of steps together with a *ErrCanceled wrapping
+// ctx.Err(). An already-canceled ctx returns before any goroutine starts.
+func (j *Job) RunContext(ctx context.Context) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, &ErrCanceled{Cause: err}
+	}
 	start := time.Now()
 	if j.ctrl != nil {
 		j.ctrl.Start()
@@ -281,7 +366,7 @@ func (j *Job) Run() (Result, error) {
 	for w := range chans {
 		chans[w] = make(chan stepMsg, 1)
 	}
-	go j.dispatch(chans)
+	go j.dispatch(ctx, chans)
 
 	var wg sync.WaitGroup
 	for w := 0; w < j.cfg.NumGPUs; w++ {
@@ -301,9 +386,12 @@ func (j *Job) Run() (Result, error) {
 		res.Flushed = st.FlushedUpdates
 		res.Deferred = st.DeferredFlushes
 	}
+	j.mu.Lock()
+	completed := j.completed
+	j.mu.Unlock()
 	res.WallTime = time.Since(start)
-	res.Steps = j.steps
-	res.Losses = j.losses
+	res.Steps = completed
+	res.Losses = j.losses[:completed]
 	for _, c := range j.caches {
 		s := c.Stats()
 		res.CacheStats.Hits += s.Hits
@@ -312,9 +400,12 @@ func (j *Job) Run() (Result, error) {
 		res.CacheStats.Inserted += s.Inserted
 		res.CacheStats.Evicted += s.Evicted
 	}
-	res.SamplesPerSec = float64(j.samples) * float64(j.steps) / res.WallTime.Seconds()
+	res.SamplesPerSec = float64(j.samples) * float64(completed) / res.WallTime.Seconds()
 	if len(j.preds) > 0 {
 		res.TrainAUC = stats.AUC(j.preds, j.labels)
+	}
+	if err := ctx.Err(); err != nil {
+		return res, &ErrCanceled{Cause: err}
 	}
 	return res, nil
 }
@@ -323,6 +414,61 @@ func (j *Job) addLoss(step int64, loss float32) {
 	j.mu.Lock()
 	j.losses[step] += loss
 	j.mu.Unlock()
+}
+
+// finishStep records one trainer completing its shard of a step; the last
+// trainer to arrive marks the step globally complete, feeds the step
+// observability counters, and fires Config.OnStep. Runs after commit, off
+// the gate's critical path.
+func (j *Job) finishStep(gpu int, step int64, stall, wall time.Duration) {
+	j.stepObs.WorkerStep(gpu, step, wall)
+	j.mu.Lock()
+	agg := j.pending[step]
+	agg.done++
+	agg.stall += stall
+	if agg.done < j.cfg.NumGPUs {
+		j.pending[step] = agg
+		j.mu.Unlock()
+		return
+	}
+	delete(j.pending, step)
+	j.completed++
+	loss := j.losses[step]
+	j.mu.Unlock()
+	j.stepObs.Completed()
+	if j.cfg.OnStep != nil {
+		backlog := 0
+		if j.ctrl != nil {
+			backlog = j.ctrl.Queue().Len()
+		}
+		j.cfg.OnStep(StepStats{Step: step, Loss: loss, GateStall: agg.stall, FlushBacklog: backlog})
+	}
+}
+
+// Snapshot returns a live copy of the job's observability metrics, plus
+// the current flush backlog and sample-queue depth. Safe to call at any
+// time, including concurrently with RunContext; with observability
+// disabled it returns the zero Snapshot (live depths included — they need
+// no observer).
+func (j *Job) Snapshot() obs.Snapshot {
+	s := j.cfg.Observer.Snapshot()
+	if j.ctrl != nil {
+		s.FlushBacklog = int64(j.ctrl.Queue().Len())
+		s.SampleQueueDepth = int64(j.ctrl.SampleDepth())
+	}
+	return s
+}
+
+// WriteTrace dumps the step-event trace as JSONL (one event per line; see
+// internal/obs for the schema). Call after RunContext returns — a dump
+// concurrent with a running job can observe torn events. It errors when
+// the job was built without observability.
+func (j *Job) WriteTrace(w io.Writer) error {
+	t := j.cfg.Observer.TraceSink()
+	if t == nil {
+		return errors.New("runtime: observability is not enabled on this job")
+	}
+	return t.DumpJSONL(w)
 }
 
 // Barrier is a reusable synchronisation barrier for the trainers' step

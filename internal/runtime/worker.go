@@ -1,9 +1,12 @@
 package runtime
 
 import (
+	"context"
 	"math"
+	"time"
 
 	"frugal/internal/comm"
+	"frugal/internal/obs"
 	"frugal/internal/p2f"
 	"frugal/internal/tensor"
 )
@@ -16,17 +19,23 @@ type stepMsg struct {
 
 // dispatch pulls steps from the sample queue (through the controller for
 // EngineFrugal, so prefetch and read-set registration stay L steps ahead)
-// and broadcasts them to the workers.
-func (j *Job) dispatch(chans []chan stepMsg) {
+// and broadcasts them to the workers. It is the job's single cancellation
+// point: a step is either broadcast to every worker or to none, so the
+// barriers stay balanced and workers simply drain their channels and exit
+// once dispatch stops.
+func (j *Job) dispatch(ctx context.Context, chans []chan stepMsg) {
 	defer func() {
 		for _, ch := range chans {
 			close(ch)
 		}
 	}()
 	for i := int64(0); i < j.steps; i++ {
+		if ctx.Err() != nil {
+			return
+		}
 		var step int64
 		if j.ctrl != nil {
-			b, ok := j.ctrl.NextBatch()
+			b, ok := j.ctrl.NextBatchCtx(ctx)
 			if !ok {
 				return
 			}
@@ -100,9 +109,17 @@ func (j *Job) step(ws *workerState, msg stepMsg) {
 	n := len(shard.keys)
 	ws.ensure(n, j.cfg.Dim)
 
+	timed := j.stepObs != nil || j.cfg.OnStep != nil
+	var stepStart time.Time
+	if timed {
+		stepStart = time.Now()
+	}
+
 	// 1. Consistency gate (Frugal) — invariant (2) of §3.3.
+	var stalled time.Duration
 	if j.ctrl != nil {
-		j.ctrl.WaitForStep(msg.step)
+		stalled = j.ctrl.WaitForStep(msg.step)
+		j.gateObs.Wait(ws.id, msg.step, stalled)
 		if j.cfg.CheckConsistency {
 			if err := j.ctrl.CheckInvariant(msg.step, shard.keys); err != nil {
 				// A violation is a bug in the P²F machinery, not a user
@@ -118,9 +135,13 @@ func (j *Job) step(ws *workerState, msg stepMsg) {
 
 	// 3. Read barrier: nobody commits step s until everyone has read it
 	// (the synchronous-training contract CommitStep documents). The async
-	// engine deliberately skips it — that is its inconsistency.
+	// engine deliberately skips it — that is its inconsistency. In the
+	// trace this is the collective phase of the step (the spot the
+	// allgather/allreduce occupies on real hardware).
 	if j.cfg.Engine != EngineAsync {
+		j.tracer.Emit(obs.EvCollectiveStart, ws.id, msg.step, 0, 0)
 		j.barrier.Wait()
+		j.tracer.Emit(obs.EvCollectiveEnd, ws.id, msg.step, 0, 0)
 	}
 
 	// 4. Compute forward/backward on the gathered rows.
@@ -136,6 +157,12 @@ func (j *Job) step(ws *workerState, msg stepMsg) {
 	if j.ctrl == nil && j.cfg.Engine != EngineAsync {
 		j.barrier.Wait()
 	}
+
+	var wall time.Duration
+	if timed {
+		wall = time.Since(stepStart)
+	}
+	j.finishStep(ws.id, msg.step, stalled, wall)
 }
 
 // gather fills ws.rows[i] for every shard key occurrence.
@@ -232,6 +259,7 @@ func (j *Job) commit(ws *workerState, step int64, keys []uint64) {
 			j.applyLocal(ws, k, d)
 			upd = append(upd, p2f.KeyDelta{Key: k, Delta: d, StateDelta: dG})
 		}
+		j.flObs.Enqueued(ws.id, step, len(upd))
 		j.ctrl.CommitStep(step, upd)
 	}
 }
