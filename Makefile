@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench check
+.PHONY: build vet test race race-core bench check
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The concurrency-heavy packages only — the CI race job.
+race-core:
+	$(GO) test -race ./internal/runtime/... ./internal/p2f/... ./internal/fault/... ./internal/pq/... ./internal/lfht/...
+
 # One pass over every benchmark (sanity, not measurement).
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
-check: build vet test race
+# Fast correctness pass (CI job 1); the race jobs run separately.
+check: build vet test

@@ -22,28 +22,45 @@ import (
 
 func main() {
 	var (
-		dataset  = flag.String("dataset", "Avazu", "Table 2 dataset name")
-		engine   = flag.String("engine", "frugal", "engine: frugal, frugal-sync, direct")
-		gpus     = flag.Int("gpus", 4, "number of simulated GPUs")
-		steps    = flag.Int64("steps", 200, "training steps")
-		batch    = flag.Int("batch", 0, "global batch size (0 = dataset default)")
-		scale    = flag.Int64("scale", 0, "dataset scale-down factor (0 = sensible default)")
-		cache    = flag.Float64("cache", 0.05, "per-GPU cache ratio")
-		lr       = flag.Float64("lr", 0.05, "embedding learning rate")
-		threads  = flag.Int("flush-threads", 8, "P2F flushing threads")
-		kgModel  = flag.String("model", "TransE", "KG scoring model (KG datasets only)")
-		micro    = flag.Bool("micro", false, "run the embedding-only microbenchmark instead of a dataset")
-		replay   = flag.String("replay", "", "replay a recorded key trace file (see frugal-datagen -trace)")
-		dist     = flag.String("dist", "zipf-0.9", "microbenchmark key distribution")
-		keySpace = flag.Uint64("keys", 100_000, "microbenchmark key-space size")
-		seed     = flag.Int64("seed", 1, "random seed")
-		check    = flag.Bool("check", true, "verify the synchronous-consistency invariant every step")
-		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of text")
-		obsOn    = flag.Bool("obs", false, "enable the observability layer (metric counters + step tracing)")
-		traceOut = flag.String("trace-out", "", "write the step-event trace as JSONL to this file after the run (implies -obs)")
-		metrics  = flag.String("metrics-addr", "", "serve live metrics via expvar on this address, e.g. :6060 (implies -obs)")
+		dataset   = flag.String("dataset", "Avazu", "Table 2 dataset name")
+		engine    = flag.String("engine", "frugal", "engine: frugal, frugal-sync, direct")
+		gpus      = flag.Int("gpus", 4, "number of simulated GPUs")
+		steps     = flag.Int64("steps", 200, "training steps")
+		batch     = flag.Int("batch", 0, "global batch size (0 = dataset default)")
+		scale     = flag.Int64("scale", 0, "dataset scale-down factor (0 = sensible default)")
+		cache     = flag.Float64("cache", 0.05, "per-GPU cache ratio")
+		lr        = flag.Float64("lr", 0.05, "embedding learning rate")
+		threads   = flag.Int("flush-threads", 8, "P2F flushing threads")
+		kgModel   = flag.String("model", "TransE", "KG scoring model (KG datasets only)")
+		micro     = flag.Bool("micro", false, "run the embedding-only microbenchmark instead of a dataset")
+		replay    = flag.String("replay", "", "replay a recorded key trace file (see frugal-datagen -trace)")
+		dist      = flag.String("dist", "zipf-0.9", "microbenchmark key distribution")
+		keySpace  = flag.Uint64("keys", 100_000, "microbenchmark key-space size")
+		seed      = flag.Int64("seed", 1, "random seed")
+		check     = flag.Bool("check", true, "verify the synchronous-consistency invariant every step")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
+		obsOn     = flag.Bool("obs", false, "enable the observability layer (metric counters + step tracing)")
+		traceOut  = flag.String("trace-out", "", "write the step-event trace as JSONL to this file after the run (implies -obs)")
+		metrics   = flag.String("metrics-addr", "", "serve live metrics via expvar on this address, e.g. :6060 (implies -obs)")
+		faultPlan = flag.String("fault-plan", "",
+			"deterministic fault schedule, e.g. 'crash:flusher=0@batch=3;delay:gpu=1@step=5,dur=2ms' (empty injects nothing)")
+		gateTimeout = flag.Duration("gate-timeout", 0,
+			"degrade the frugal engine to write-through after this long with zero flush progress (0 = 5s default, negative disables the watchdog)")
+		maxRespawns = flag.Int("max-respawns", 0,
+			"flusher respawn budget (0 = 16 default, negative disables self-healing so a dead pool degrades)")
 	)
 	flag.Parse()
+
+	plan, err := validate(options{
+		Engine: *engine, GPUs: *gpus, Steps: *steps, Micro: *micro,
+		Replay: *replay, FaultPlan: *faultPlan, GateTimeout: *gateTimeout,
+		MaxRespawns: *maxRespawns,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frugal-train:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *traceOut != "" || *metrics != "" {
 		*obsOn = true
@@ -57,6 +74,8 @@ func main() {
 		CheckConsistency: *check,
 		Seed:             *seed,
 		Observability:    frugal.ObsOptions{Enabled: *obsOn},
+		FaultPlan:        plan,
+		Recovery:         frugal.Recovery{MaxRespawns: *maxRespawns, GateTimeout: *gateTimeout},
 	}
 
 	job, name, err := buildJob(cfg, *micro, *replay, *dataset, *kgModel, *dist, *keySpace, *batch, *scale, *steps)
@@ -127,6 +146,9 @@ func reportJSON(name, engine string, res frugal.Result, job *frugal.TrainingJob,
 		"cacheHitRatio":   res.CacheStats.HitRatio(),
 		"trainAUC":        res.TrainAUC,
 	}
+	if rs := res.Recovery; rs.FaultsInjected > 0 || rs.Degraded {
+		out["recovery"] = rs
+	}
 	if obsOn {
 		out["metrics"] = job.Snapshot()
 	}
@@ -138,6 +160,8 @@ func reportJSON(name, engine string, res frugal.Result, job *frugal.TrainingJob,
 	}
 }
 
+// buildJob resolves the flag set to a Workload and builds it through
+// frugal.New — the single construction entry point.
 func buildJob(cfg frugal.Config, micro bool, replay, dataset, kgModel, dist string,
 	keySpace uint64, batch int, scale, steps int64) (*frugal.TrainingJob, string, error) {
 
@@ -147,29 +171,33 @@ func buildJob(cfg frugal.Config, micro bool, replay, dataset, kgModel, dist stri
 			return nil, "", err
 		}
 		defer f.Close()
-		job, err := frugal.NewReplay(cfg, f, frugal.ReplayOptions{Steps: steps})
+		w := frugal.Replay{Source: f, Options: frugal.ReplayOptions{Steps: steps}}
+		job, err := frugal.New(cfg, w)
 		return job, "replay of " + replay, err
 	}
-	if micro {
-		job, err := frugal.NewMicrobenchmark(cfg, frugal.MicroOptions{
+	var w frugal.Workload
+	switch {
+	case micro:
+		w = frugal.Microbenchmark{Options: frugal.MicroOptions{
 			Distribution: dist, KeySpace: keySpace, Batch: batch, Steps: steps,
-		})
-		return job, fmt.Sprintf("microbenchmark (%s, %d keys)", dist, keySpace), err
+		}}
+	default:
+		ds, err := frugal.DatasetByName(dataset)
+		if err != nil {
+			return nil, "", err
+		}
+		if ds.Kind == "KG" {
+			w = frugal.KnowledgeGraph{Dataset: ds, Options: frugal.KGOptions{
+				Model: kgModel, Scale: scale, Batch: batch, Steps: steps,
+			}}
+		} else {
+			w = frugal.Recommendation{Dataset: ds, Options: frugal.RECOptions{
+				Scale: scale, Batch: batch, Steps: steps,
+			}}
+		}
 	}
-	ds, err := frugal.DatasetByName(dataset)
-	if err != nil {
-		return nil, "", err
-	}
-	if ds.Kind == "KG" {
-		job, err := frugal.NewKnowledgeGraph(cfg, ds, frugal.KGOptions{
-			Model: kgModel, Scale: scale, Batch: batch, Steps: steps,
-		})
-		return job, fmt.Sprintf("%s/%s", ds.Name, kgModel), err
-	}
-	job, err := frugal.NewRecommendation(cfg, ds, frugal.RECOptions{
-		Scale: scale, Batch: batch, Steps: steps,
-	})
-	return job, ds.Name + "/DLRM", err
+	job, err := frugal.New(cfg, w)
+	return job, w.Name(), err
 }
 
 func report(res frugal.Result) {
@@ -183,6 +211,15 @@ func report(res frugal.Result) {
 	cs := res.CacheStats
 	fmt.Printf("cache:            %.1f%% hit (%d hits, %d misses, %d stale, %d evictions)\n",
 		100*cs.HitRatio(), cs.Hits, cs.Misses, cs.StaleHits, cs.Evicted)
+	if rs := res.Recovery; rs.FaultsInjected > 0 || rs.Degraded {
+		fmt.Printf("faults:           %d injected (%d crashes, %d stalls detected, %d host-write retries)\n",
+			rs.FaultsInjected, rs.FlusherCrashes, rs.StallsDetected, rs.HostWriteRetries)
+		fmt.Printf("recovery:         %d respawns, %d entries redistributed\n",
+			rs.FlusherRespawns, rs.Redistributed)
+		if rs.Degraded {
+			fmt.Printf("degraded:         write-through from step %d (gate watchdog)\n", rs.DegradedStep)
+		}
+	}
 }
 
 // reportObs prints the observability-layer breakdown after a -obs run.

@@ -18,11 +18,14 @@ func main() {
 		CheckConsistency: true, // assert invariant (2) of the paper every step
 		Seed:             42,
 	}
-	job, err := frugal.NewRecommendation(cfg, frugal.DatasetAvazu, frugal.RECOptions{
-		Scale:  1_000_000, // shrink the 49M-ID space for a laptop run
-		Batch:  64,
-		Steps:  120,
-		Hidden: []int{64, 32}, // small top net; drop for the paper's 512-512-256
+	job, err := frugal.New(cfg, frugal.Recommendation{
+		Dataset: frugal.DatasetAvazu,
+		Options: frugal.RECOptions{
+			Scale:  1_000_000, // shrink the 49M-ID space for a laptop run
+			Batch:  64,
+			Steps:  120,
+			Hidden: []int{64, 32}, // small top net; drop for the paper's 512-512-256
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -25,8 +25,9 @@
 // Quickstart:
 //
 //	cfg := frugal.Config{NumGPUs: 4, CacheRatio: 0.05}
-//	job, err := frugal.NewRecommendation(cfg, frugal.DatasetAvazu, frugal.RECOptions{
-//		Scale: 100_000, Batch: 64, Steps: 200,
+//	job, err := frugal.New(cfg, frugal.Recommendation{
+//		Dataset: frugal.DatasetAvazu,
+//		Options: frugal.RECOptions{Scale: 100_000, Batch: 64, Steps: 200},
 //	})
 //	if err != nil { ... }
 //	res, err := job.Run()
@@ -39,9 +40,10 @@ import (
 
 	"frugal/internal/bench"
 	"frugal/internal/data"
-	"frugal/internal/graph"
+	"frugal/internal/fault"
 	"frugal/internal/model"
 	"frugal/internal/obs"
+	"frugal/internal/p2f"
 	"frugal/internal/pq"
 	"frugal/internal/runtime"
 )
@@ -90,9 +92,23 @@ type Config struct {
 	// or OptimizerAdagrad (row-wise Adagrad; the accumulator update rides
 	// the P²F flush path to host memory).
 	Optimizer Optimizer
+	// AdagradEps stabilises the Adagrad denominator (default 1e-6).
+	// Ignored by OptimizerSGD.
+	AdagradEps float32
 	// CheckConsistency verifies the §3.3 synchronous-consistency
 	// invariant after every gate pass (cheap; on by default in examples).
 	CheckConsistency bool
+	// FaultPlan injects a deterministic fault schedule into the run —
+	// flusher crashes and stalls, trainer straggler delays, transient
+	// host-write failures — for resilience testing. Build one with
+	// ParseFaultPlan or GenerateFaultPlan; the zero value injects nothing.
+	// Result.Recovery and Snapshot report what was injected and healed.
+	FaultPlan FaultPlan
+	// Recovery tunes the P²F self-healing layer: flusher heartbeats,
+	// the respawn budget and backoff, and the gate watchdog's degrade
+	// timeout. The zero value enables it with defaults (EngineFrugal
+	// only); set Recovery.Disabled to opt out entirely.
+	Recovery Recovery
 	// Seed drives parameter initialisation and synthetic data.
 	Seed int64
 	// OnStep, when set, is invoked once per completed global training
@@ -144,6 +160,56 @@ type PriorityQueue = pq.Queue
 // Pass it as Config.Queue to reproduce that comparison on a real job.
 func NewTreeHeapQueue(hint int) PriorityQueue { return pq.NewTreeHeap(hint) }
 
+// FaultPlan is a deterministic, reproducible fault schedule
+// (Config.FaultPlan): a sorted set of fault events with a canonical
+// String() form that ParseFaultPlan round-trips.
+type FaultPlan = fault.Plan
+
+// FaultEvent is one scheduled fault in a FaultPlan.
+type FaultEvent = fault.Event
+
+// FaultKind enumerates the injectable fault kinds.
+type FaultKind = fault.Kind
+
+// The injectable fault kinds.
+const (
+	// FaultFlusherCrash kills one flushing thread at a dequeue batch
+	// (EngineFrugal only; the self-healing pool respawns it).
+	FaultFlusherCrash = fault.KindFlusherCrash
+	// FaultFlusherStall freezes one flushing thread for a duration
+	// (EngineFrugal only; the heartbeat supervisor supersedes it).
+	FaultFlusherStall = fault.KindFlusherStall
+	// FaultTrainerDelay makes one trainer straggle before a step's gate.
+	FaultTrainerDelay = fault.KindTrainerDelay
+	// FaultHostWriteFail fails a window of host writes transiently; the
+	// writer retries with exponential backoff.
+	FaultHostWriteFail = fault.KindHostWriteFail
+)
+
+// FaultGenSpec shapes GenerateFaultPlan's random schedules.
+type FaultGenSpec = fault.GenSpec
+
+// ParseFaultPlan parses the fault-plan mini-grammar (the cmd/frugal-train
+// -fault-plan syntax): semicolon-separated clauses
+//
+//	crash:flusher=<slot>@batch=<n>
+//	stall:flusher=<slot>@batch=<n>,dur=<duration>
+//	delay:gpu=<gpu>@step=<s>,dur=<duration>
+//	hostfail@write=<ordinal>[,count=<k>]
+//
+// Errors are typed (*fault.ParseError) and name the offending clause.
+func ParseFaultPlan(spec string) (FaultPlan, error) { return fault.Parse(spec) }
+
+// GenerateFaultPlan draws a random-but-reproducible fault schedule: the
+// same seed and spec always yield the identical plan.
+func GenerateFaultPlan(seed int64, spec FaultGenSpec) FaultPlan { return fault.Generate(seed, spec) }
+
+// Recovery tunes the P²F self-healing layer (Config.Recovery).
+type Recovery = p2f.Recovery
+
+// RecoveryStats is the fault/recovery accounting in Result.Recovery.
+type RecoveryStats = runtime.RecoveryStats
+
 // Optimizer selects the embedding optimizer.
 type Optimizer = runtime.Optimizer
 
@@ -160,6 +226,7 @@ func (c Config) runtimeConfig() runtime.Config {
 	rc := runtime.Config{
 		Engine:           c.Engine,
 		Optimizer:        c.Optimizer,
+		AdagradEps:       c.AdagradEps,
 		NumGPUs:          c.NumGPUs,
 		CacheRatio:       c.CacheRatio,
 		LR:               c.LR,
@@ -170,6 +237,13 @@ func (c Config) runtimeConfig() runtime.Config {
 		CheckConsistency: c.CheckConsistency,
 		Seed:             c.Seed,
 		OnStep:           c.OnStep,
+		Recovery:         c.Recovery,
+	}
+	if !c.FaultPlan.Empty() {
+		// Each build gets a fresh injector: the injector is stateful (it
+		// tracks fire-once triggers and the host-write ordinal), so two jobs
+		// built from one Config must not share one.
+		rc.Faults = fault.NewInjector(c.FaultPlan)
 	}
 	if c.Observability.Enabled {
 		// Shard the hot counters so trainers and flusher threads never
@@ -277,26 +351,10 @@ type RECOptions struct {
 
 // NewRecommendation builds a DLRM training job over a synthetic stand-in
 // for a Table 2 REC dataset.
+//
+// Deprecated: use New with a Recommendation workload.
 func NewRecommendation(cfg Config, ds Dataset, opt RECOptions) (*TrainingJob, error) {
-	if ds.Kind != data.REC {
-		return nil, fmt.Errorf("frugal: %s is not a recommendation dataset", ds.Name)
-	}
-	if opt.Scale <= 0 {
-		opt.Scale = 100_000
-	}
-	if opt.Steps <= 0 {
-		opt.Steps = 200
-	}
-	spec := ds.Scaled(opt.Scale)
-	stream, err := data.NewRECStream(spec, cfg.Seed+1, opt.Batch, opt.Steps)
-	if err != nil {
-		return nil, err
-	}
-	job, err := runtime.NewREC(cfg.runtimeConfig(), stream, opt.Hidden, opt.Steps)
-	if err != nil {
-		return nil, err
-	}
-	return &TrainingJob{job: job}, nil
+	return New(cfg, Recommendation{Dataset: ds, Options: opt})
 }
 
 // KGOptions configures a knowledge-graph embedding job.
@@ -320,41 +378,10 @@ type KGOptions struct {
 
 // NewKnowledgeGraph builds a KG embedding job over a synthetic stand-in
 // for a Table 2 KG dataset.
+//
+// Deprecated: use New with a KnowledgeGraph workload.
 func NewKnowledgeGraph(cfg Config, ds Dataset, opt KGOptions) (*TrainingJob, error) {
-	if ds.Kind != data.KG {
-		return nil, fmt.Errorf("frugal: %s is not a knowledge-graph dataset", ds.Name)
-	}
-	if opt.Model == "" {
-		opt.Model = "TransE"
-	}
-	if opt.Scale <= 0 {
-		opt.Scale = 10_000
-	}
-	if opt.Steps <= 0 {
-		opt.Steps = 200
-	}
-	tm, err := model.KGModelByName(opt.Model)
-	if err != nil {
-		return nil, err
-	}
-	if te, ok := tm.(*model.TransE); ok && opt.Gamma > 0 {
-		te.Gamma = opt.Gamma
-	}
-	spec := ds.Scaled(opt.Scale)
-	if opt.Dim > 0 {
-		spec.EmbDim = opt.Dim
-	}
-	stream, err := data.NewKGStream(spec, cfg.Seed+1, opt.Batch, opt.NegSample, opt.Steps)
-	if err != nil {
-		return nil, err
-	}
-	rc := cfg.runtimeConfig()
-	rc.Dim = spec.EmbDim
-	job, err := runtime.NewKG(rc, stream, tm, opt.Steps)
-	if err != nil {
-		return nil, err
-	}
-	return &TrainingJob{job: job}, nil
+	return New(cfg, KnowledgeGraph{Dataset: ds, Options: opt})
 }
 
 // MicroOptions configures an embedding-only microbenchmark job (the
@@ -376,35 +403,10 @@ type MicroOptions struct {
 // batch is read, given a synthetic gradient, and written back through the
 // engine's update path. It is the fastest way to exercise the P²F
 // machinery end to end.
+//
+// Deprecated: use New with a Microbenchmark workload.
 func NewMicrobenchmark(cfg Config, opt MicroOptions) (*TrainingJob, error) {
-	if opt.Distribution == "" {
-		opt.Distribution = string(data.DistZipf09)
-	}
-	if opt.KeySpace == 0 {
-		opt.KeySpace = 100_000
-	}
-	if opt.Dim <= 0 {
-		opt.Dim = 32
-	}
-	if opt.Batch <= 0 {
-		opt.Batch = 256
-	}
-	if opt.Steps <= 0 {
-		opt.Steps = 100
-	}
-	gen, err := data.NewGen(data.Distribution(opt.Distribution), cfg.Seed+1, opt.KeySpace)
-	if err != nil {
-		return nil, err
-	}
-	trace := data.NewSyntheticTrace(gen, opt.Batch, opt.Steps)
-	rc := cfg.runtimeConfig()
-	rc.Rows = int64(opt.KeySpace)
-	rc.Dim = opt.Dim
-	job, err := runtime.NewMicro(rc, trace, opt.Steps)
-	if err != nil {
-		return nil, err
-	}
-	return &TrainingJob{job: job}, nil
+	return New(cfg, Microbenchmark{Options: opt})
 }
 
 // GNNOptions configures a graph-learning (GraphSAGE-style link
@@ -427,37 +429,10 @@ type GNNOptions struct {
 // NewGraphLearning builds the third application family the paper's
 // introduction motivates: GraphSAGE-style link prediction where every
 // gradient lands in node embeddings and travels the P²F flush path.
+//
+// Deprecated: use New with a GraphLearning workload.
 func NewGraphLearning(cfg Config, opt GNNOptions) (*TrainingJob, error) {
-	if opt.Nodes <= 0 {
-		opt.Nodes = 10_000
-	}
-	if opt.Attach <= 0 {
-		opt.Attach = 3
-	}
-	if opt.Fanout <= 0 {
-		opt.Fanout = 5
-	}
-	if opt.Dim <= 0 {
-		opt.Dim = 32
-	}
-	if opt.Steps <= 0 {
-		opt.Steps = 200
-	}
-	g, err := graph.Generate(cfg.Seed+1, opt.Nodes, opt.Attach)
-	if err != nil {
-		return nil, err
-	}
-	sampler, err := graph.NewSampler(g, cfg.Seed+2, opt.Fanout)
-	if err != nil {
-		return nil, err
-	}
-	rc := cfg.runtimeConfig()
-	rc.Dim = opt.Dim
-	job, err := runtime.NewGNN(rc, g, sampler, opt.Edges, opt.Steps)
-	if err != nil {
-		return nil, err
-	}
-	return &TrainingJob{job: job}, nil
+	return New(cfg, GraphLearning{Options: opt})
 }
 
 // KGEval reports link-prediction quality: for each held-out triple the
@@ -550,26 +525,10 @@ type ReplayOptions struct {
 // recorded key trace (the format cmd/frugal-datagen -trace emits: one
 // batch per line, keys space-separated). Recorded production traces can
 // thus drive the real runtime directly.
+//
+// Deprecated: use New with a Replay workload.
 func NewReplay(cfg Config, r io.Reader, opt ReplayOptions) (*TrainingJob, error) {
-	trace, err := data.ReadKeyTrace(r)
-	if err != nil {
-		return nil, err
-	}
-	if opt.Dim <= 0 {
-		opt.Dim = 32
-	}
-	rows := opt.Rows
-	if rows <= 0 {
-		rows = int64(trace.MaxKey()) + 1
-	}
-	rc := cfg.runtimeConfig()
-	rc.Rows = rows
-	rc.Dim = opt.Dim
-	job, err := runtime.NewMicro(rc, trace, opt.Steps)
-	if err != nil {
-		return nil, err
-	}
-	return &TrainingJob{job: job}, nil
+	return New(cfg, Replay{Source: r, Options: opt})
 }
 
 // Experiment identifies one reproducible table or figure of the paper.

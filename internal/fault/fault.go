@@ -1,0 +1,300 @@
+// Package fault is Frugal's deterministic fault-injection layer: a
+// reproducible FaultPlan (hand-written or generated from a seed) names
+// exactly which faults fire where — a flushing thread crashing or
+// stalling at a given dequeue-batch ordinal, a trainer stalling at a
+// given step, a window of transient host-write failures — and an
+// Injector compiled from the plan answers the runtime's "does a fault
+// fire here?" queries with pure map lookups, so the same plan produces
+// the same fault schedule on every run.
+//
+// The package deliberately knows nothing about the P²F machinery it
+// perturbs: internal/p2f consults the injector on the flusher and gate
+// paths, internal/runtime on the trainer and host-write paths. Recovery
+// (respawn, redistribution, degraded mode) lives with the components
+// that own the failing resource.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind names an injectable fault.
+type Kind uint8
+
+// The injectable fault kinds.
+const (
+	// KindFlusherCrash kills one background flushing thread at a given
+	// dequeue-batch ordinal; its in-flight batch is redistributed.
+	KindFlusherCrash Kind = iota + 1
+	// KindFlusherStall puts one flushing thread to sleep for Duration at
+	// a given dequeue-batch ordinal (heartbeats stop during the stall).
+	KindFlusherStall
+	// KindTrainerDelay makes one trainer a straggler: it sleeps for
+	// Duration before entering the consistency gate at a given step.
+	KindTrainerDelay
+	// KindHostWriteFail fails Count consecutive host-memory write
+	// attempts starting at a global write ordinal; writers retry with
+	// exponential backoff until the window passes.
+	KindHostWriteFail
+)
+
+var kindNames = map[Kind]string{
+	KindFlusherCrash:  "crash",
+	KindFlusherStall:  "stall",
+	KindTrainerDelay:  "delay",
+	KindHostWriteFail: "hostfail",
+}
+
+// String returns the plan-spec tag for the kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// Kind selects the fault.
+	Kind Kind
+	// Target is the flusher slot (crash, stall) or GPU id (delay);
+	// unused for host-write failures.
+	Target int
+	// At is the trigger ordinal: the flusher's dequeue-batch number
+	// (crash, stall), the training step (delay), or the global
+	// host-write attempt ordinal (hostfail). Ordinals count from 1 for
+	// flusher batches and from 0 for steps and writes.
+	At int64
+	// Duration is the stall or delay length (stall, delay only).
+	Duration time.Duration
+	// Count is the number of consecutive failing write attempts
+	// (hostfail only; default 1).
+	Count int
+}
+
+// String renders the event as its canonical plan-spec clause.
+func (e Event) String() string { return e.clause() }
+
+// clause renders the event in canonical plan-spec form.
+func (e Event) clause() string {
+	switch e.Kind {
+	case KindFlusherCrash:
+		return fmt.Sprintf("crash:flusher=%d@batch=%d", e.Target, e.At)
+	case KindFlusherStall:
+		return fmt.Sprintf("stall:flusher=%d@batch=%d,dur=%s", e.Target, e.At, e.Duration)
+	case KindTrainerDelay:
+		return fmt.Sprintf("delay:gpu=%d@step=%d,dur=%s", e.Target, e.At, e.Duration)
+	case KindHostWriteFail:
+		return fmt.Sprintf("hostfail@write=%d,count=%d", e.At, e.Count)
+	}
+	return fmt.Sprintf("unknown(%d)", e.Kind)
+}
+
+// Plan is a reproducible fault schedule. The zero Plan injects nothing.
+type Plan struct {
+	// Seed records the seed Generate used (0 for hand-written plans).
+	// It is informational; the Events list is the schedule.
+	Seed int64
+	// Events are the scheduled faults, in canonical order.
+	Events []Event
+}
+
+// Empty reports whether the plan schedules no faults.
+func (p Plan) Empty() bool { return len(p.Events) == 0 }
+
+// sortEvents orders events canonically: by kind, then target, then
+// trigger ordinal — so String is byte-identical for equal schedules.
+func sortEvents(ev []Event) {
+	sort.Slice(ev, func(i, j int) bool {
+		a, b := ev[i], ev[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Duration != b.Duration {
+			return a.Duration < b.Duration
+		}
+		return a.Count < b.Count
+	})
+}
+
+// String renders the plan in the spec format Parse accepts. The output
+// is canonical: two plans with the same events render byte-identically,
+// which is what the schedule-determinism tests pin.
+func (p Plan) String() string {
+	ev := append([]Event(nil), p.Events...)
+	sortEvents(ev)
+	clauses := make([]string, len(ev))
+	for i, e := range ev {
+		clauses[i] = e.clause()
+	}
+	return strings.Join(clauses, ";")
+}
+
+// ParseError is the typed error Parse returns for a malformed plan spec.
+type ParseError struct {
+	// Clause is the offending clause text.
+	Clause string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("fault: bad plan clause %q: %s", e.Clause, e.Reason)
+}
+
+// Parse reads a plan spec: semicolon-separated clauses of the forms
+//
+//	crash:flusher=<slot>@batch=<n>
+//	stall:flusher=<slot>@batch=<n>,dur=<duration>
+//	delay:gpu=<gpu>@step=<s>,dur=<duration>
+//	hostfail@write=<n>[,count=<k>]
+//
+// Whitespace around clauses is ignored; an empty spec is the empty plan.
+// Parse(p.String()) reproduces p's schedule exactly.
+func Parse(spec string) (Plan, error) {
+	var p Plan
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		e, err := parseClause(clause)
+		if err != nil {
+			return Plan{}, err
+		}
+		p.Events = append(p.Events, e)
+	}
+	sortEvents(p.Events)
+	return p, nil
+}
+
+// parseClause reads one event clause.
+func parseClause(clause string) (Event, error) {
+	head, rest, found := strings.Cut(clause, "@")
+	if !found {
+		return Event{}, &ParseError{clause, "missing '@' trigger"}
+	}
+	kindStr, targetStr, hasTarget := strings.Cut(head, ":")
+	fields, err := parseFields(clause, rest)
+	if err != nil {
+		return Event{}, err
+	}
+	var e Event
+	switch kindStr {
+	case "crash", "stall":
+		e.Kind = KindFlusherCrash
+		if kindStr == "stall" {
+			e.Kind = KindFlusherStall
+		}
+		if e.Target, err = parseTarget(clause, targetStr, hasTarget, "flusher"); err != nil {
+			return Event{}, err
+		}
+		if e.At, err = fields.ordinal(clause, "batch", 1); err != nil {
+			return Event{}, err
+		}
+		if e.Kind == KindFlusherStall {
+			if e.Duration, err = fields.duration(clause); err != nil {
+				return Event{}, err
+			}
+		}
+	case "delay":
+		e.Kind = KindTrainerDelay
+		if e.Target, err = parseTarget(clause, targetStr, hasTarget, "gpu"); err != nil {
+			return Event{}, err
+		}
+		if e.At, err = fields.ordinal(clause, "step", 0); err != nil {
+			return Event{}, err
+		}
+		if e.Duration, err = fields.duration(clause); err != nil {
+			return Event{}, err
+		}
+	case "hostfail":
+		e.Kind = KindHostWriteFail
+		if hasTarget {
+			return Event{}, &ParseError{clause, "hostfail takes no target"}
+		}
+		if e.At, err = fields.ordinal(clause, "write", 0); err != nil {
+			return Event{}, err
+		}
+		e.Count = 1
+		if v, ok := fields["count"]; ok {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return Event{}, &ParseError{clause, "count must be a positive integer"}
+			}
+			e.Count = n
+		}
+	default:
+		return Event{}, &ParseError{clause, fmt.Sprintf("unknown fault kind %q", kindStr)}
+	}
+	return e, nil
+}
+
+// fieldMap holds the parsed k=v pairs after the '@'.
+type fieldMap map[string]string
+
+func parseFields(clause, rest string) (fieldMap, error) {
+	m := fieldMap{}
+	for _, f := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(f), "=")
+		if !ok || k == "" || v == "" {
+			return nil, &ParseError{clause, fmt.Sprintf("malformed field %q", f)}
+		}
+		m[k] = v
+	}
+	return m, nil
+}
+
+// ordinal reads the required trigger field (batch/step/write) with a
+// minimum value.
+func (m fieldMap) ordinal(clause, name string, min int64) (int64, error) {
+	v, ok := m[name]
+	if !ok {
+		return 0, &ParseError{clause, fmt.Sprintf("missing %s=<n>", name)}
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < min {
+		return 0, &ParseError{clause, fmt.Sprintf("%s must be an integer ≥ %d", name, min)}
+	}
+	return n, nil
+}
+
+// duration reads the required dur field.
+func (m fieldMap) duration(clause string) (time.Duration, error) {
+	v, ok := m["dur"]
+	if !ok {
+		return 0, &ParseError{clause, "missing dur=<duration>"}
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0, &ParseError{clause, "dur must be a positive duration"}
+	}
+	return d, nil
+}
+
+// parseTarget reads the "flusher=<n>" / "gpu=<n>" head target.
+func parseTarget(clause, targetStr string, hasTarget bool, name string) (int, error) {
+	if !hasTarget {
+		return 0, &ParseError{clause, fmt.Sprintf("missing :%s=<n> target", name)}
+	}
+	k, v, ok := strings.Cut(targetStr, "=")
+	if !ok || k != name {
+		return 0, &ParseError{clause, fmt.Sprintf("target must be %s=<n>", name)}
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, &ParseError{clause, fmt.Sprintf("%s must be a non-negative integer", name)}
+	}
+	return n, nil
+}

@@ -1,0 +1,151 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GenSpec{FlusherThreads: 4, GPUs: 2, Steps: 50,
+		Crashes: 2, Stalls: 2, Delays: 3, HostFails: 2}
+	a := Generate(42, spec)
+	b := Generate(42, spec)
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different schedules:\n%s\n%s", a, b)
+	}
+	if a.String() == "" {
+		t.Fatal("generated plan rendered empty")
+	}
+	c := Generate(43, spec)
+	if a.String() == c.String() {
+		t.Fatalf("different seeds produced identical schedules: %s", a)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	plan := Generate(7, GenSpec{FlusherThreads: 3, GPUs: 4, Steps: 30,
+		Crashes: 1, Stalls: 2, Delays: 2, HostFails: 1})
+	parsed, err := Parse(plan.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed.Events, plan.Events) {
+		t.Fatalf("round trip changed events:\n%v\n%v", plan.Events, parsed.Events)
+	}
+	if parsed.String() != plan.String() {
+		t.Fatalf("round trip changed rendering: %q vs %q", parsed, plan)
+	}
+}
+
+func TestParseHandWritten(t *testing.T) {
+	p, err := Parse(" crash:flusher=0@batch=5; stall:flusher=1@batch=3,dur=2ms ;" +
+		"delay:gpu=2@step=10,dur=1ms;hostfail@write=100,count=3;hostfail@write=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Kind: KindFlusherCrash, Target: 0, At: 5},
+		{Kind: KindFlusherStall, Target: 1, At: 3, Duration: 2 * time.Millisecond},
+		{Kind: KindTrainerDelay, Target: 2, At: 10, Duration: time.Millisecond},
+		{Kind: KindHostWriteFail, At: 7, Count: 1},
+		{Kind: KindHostWriteFail, At: 100, Count: 3},
+	}
+	if !reflect.DeepEqual(p.Events, want) {
+		t.Fatalf("parsed %v, want %v", p.Events, want)
+	}
+}
+
+func TestParseErrorsAreTyped(t *testing.T) {
+	bad := []string{
+		"crash:flusher=0",         // no trigger
+		"crash@batch=1",           // no target
+		"crash:gpu=0@batch=1",     // wrong target name
+		"stall:flusher=0@batch=1", // missing dur
+		"stall:flusher=0@batch=1,dur=0",
+		"delay:gpu=0@step=-1,dur=1ms", // negative step
+		"hostfail:flusher=0@write=1",  // target on hostfail
+		"hostfail@write=1,count=0",    // bad count
+		"explode:flusher=0@batch=1",   // unknown kind
+		"crash:flusher=0@batch=zero",  // non-integer
+	}
+	for _, spec := range bad {
+		_, err := Parse(spec)
+		if err == nil {
+			t.Fatalf("Parse(%q) accepted a malformed spec", spec)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("Parse(%q) returned %T, want *ParseError", spec, err)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	p, err := Parse("  ")
+	if err != nil || !p.Empty() {
+		t.Fatalf("empty spec: plan %v, err %v", p, err)
+	}
+}
+
+func TestInjectorFlusherAndTrainer(t *testing.T) {
+	plan, err := Parse("crash:flusher=1@batch=4;stall:flusher=0@batch=2,dur=3ms;" +
+		"delay:gpu=1@step=6,dur=500us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(plan)
+	if act, _ := inj.Flusher(1, 3); act != ActNone {
+		t.Fatalf("unscheduled batch fired %v", act)
+	}
+	if act, _ := inj.Flusher(1, 4); act != ActCrash {
+		t.Fatal("scheduled crash did not fire")
+	}
+	if act, dur := inj.Flusher(0, 2); act != ActStall || dur != 3*time.Millisecond {
+		t.Fatalf("stall: got %v/%v", act, dur)
+	}
+	if d := inj.TrainerDelay(1, 6); d != 500*time.Microsecond {
+		t.Fatalf("delay = %v", d)
+	}
+	if d := inj.TrainerDelay(0, 6); d != 0 {
+		t.Fatalf("unscheduled gpu delayed %v", d)
+	}
+	st := inj.Stats()
+	if st.Crashes != 1 || st.Stalls != 1 || st.Delays != 1 || st.Injected != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInjectorHostWriteWindow(t *testing.T) {
+	plan, err := Parse("hostfail@write=2,count=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(plan)
+	var fails int
+	for i := 0; i < 10; i++ {
+		if inj.HostWriteFail() {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("window of 3 failed %d attempts", fails)
+	}
+	if st := inj.Stats(); st.HostWriteFailures != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNilInjectorIsNoop(t *testing.T) {
+	var inj *Injector
+	if act, _ := inj.Flusher(0, 1); act != ActNone {
+		t.Fatal("nil injector fired")
+	}
+	if inj.TrainerDelay(0, 0) != 0 || inj.HostWriteFail() {
+		t.Fatal("nil injector fired")
+	}
+	if inj.Stats() != (Stats{}) {
+		t.Fatal("nil injector has stats")
+	}
+}

@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// GenSpec bounds a generated plan: the shape of the runtime the plan
+// targets and how many faults of each kind to schedule inside it.
+type GenSpec struct {
+	// FlusherThreads is the pool size crash/stall targets are drawn from
+	// (default 8).
+	FlusherThreads int
+	// GPUs is the trainer count delay targets are drawn from (default 1).
+	GPUs int
+	// Steps is the run length; delay steps and the batch/write horizons
+	// are drawn inside it (default 100).
+	Steps int64
+	// Crashes, Stalls, Delays and HostFails count the events to schedule
+	// per kind.
+	Crashes, Stalls, Delays, HostFails int
+	// MaxStall and MaxDelay bound the drawn durations (defaults 5ms, 2ms).
+	MaxStall, MaxDelay time.Duration
+	// MaxFailCount bounds consecutive host-write failures per window
+	// (default 3).
+	MaxFailCount int
+}
+
+func (s *GenSpec) normalize() {
+	if s.FlusherThreads <= 0 {
+		s.FlusherThreads = 8
+	}
+	if s.GPUs <= 0 {
+		s.GPUs = 1
+	}
+	if s.Steps <= 0 {
+		s.Steps = 100
+	}
+	if s.MaxStall <= 0 {
+		s.MaxStall = 5 * time.Millisecond
+	}
+	if s.MaxDelay <= 0 {
+		s.MaxDelay = 2 * time.Millisecond
+	}
+	if s.MaxFailCount <= 0 {
+		s.MaxFailCount = 3
+	}
+}
+
+// Generate derives a fault schedule from a seed: the same (seed, spec)
+// pair always yields a byte-identical plan (Plan.String pins this), so a
+// chaos run is reproduced by its seed alone. Durations are quantised to
+// microseconds to keep the rendered spec round-trippable.
+func Generate(seed int64, spec GenSpec) Plan {
+	spec.normalize()
+	rng := rand.New(rand.NewSource(seed))
+	drawDur := func(max time.Duration) time.Duration {
+		us := int64(max / time.Microsecond)
+		return time.Duration(1+rng.Int63n(us)) * time.Microsecond
+	}
+	p := Plan{Seed: seed}
+	for i := 0; i < spec.Crashes; i++ {
+		p.Events = append(p.Events, Event{
+			Kind:   KindFlusherCrash,
+			Target: rng.Intn(spec.FlusherThreads),
+			At:     1 + rng.Int63n(spec.Steps),
+		})
+	}
+	for i := 0; i < spec.Stalls; i++ {
+		p.Events = append(p.Events, Event{
+			Kind:     KindFlusherStall,
+			Target:   rng.Intn(spec.FlusherThreads),
+			At:       1 + rng.Int63n(spec.Steps),
+			Duration: drawDur(spec.MaxStall),
+		})
+	}
+	for i := 0; i < spec.Delays; i++ {
+		p.Events = append(p.Events, Event{
+			Kind:     KindTrainerDelay,
+			Target:   rng.Intn(spec.GPUs),
+			At:       rng.Int63n(spec.Steps),
+			Duration: drawDur(spec.MaxDelay),
+		})
+	}
+	for i := 0; i < spec.HostFails; i++ {
+		p.Events = append(p.Events, Event{
+			Kind:  KindHostWriteFail,
+			At:    rng.Int63n(spec.Steps * 8), // writes outnumber steps
+			Count: 1 + rng.Intn(spec.MaxFailCount),
+		})
+	}
+	sortEvents(p.Events)
+	return p
+}

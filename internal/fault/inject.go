@@ -1,0 +1,145 @@
+package fault
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Action is the injector's answer on the flusher path.
+type Action uint8
+
+// The flusher-path actions.
+const (
+	// ActNone: no fault fires here.
+	ActNone Action = iota
+	// ActCrash: the flushing thread must die after redistributing its
+	// in-flight batch.
+	ActCrash
+	// ActStall: the flushing thread must sleep for the returned duration
+	// without heartbeating.
+	ActStall
+)
+
+// trigger keys a scheduled fault by target and ordinal.
+type trigger struct {
+	target int
+	at     int64
+}
+
+// window is one [start, end) range of failing host-write ordinals.
+type window struct {
+	start, end int64
+}
+
+// Injector answers deterministic fault queries compiled from a Plan.
+// All query methods are safe for concurrent use (the schedule maps are
+// read-only after NewInjector; only counters mutate) and nil-safe: a nil
+// *Injector injects nothing, which is the runtime's default.
+type Injector struct {
+	flusher  map[trigger]Event
+	trainer  map[trigger]time.Duration
+	windows  []window
+	writeOrd atomic.Int64
+
+	crashes, stalls, delays, hostFails atomic.Int64
+}
+
+// Stats counts faults the injector has fired so far.
+type Stats struct {
+	// Crashes, Stalls and Delays count fired scheduled events;
+	// HostWriteFailures counts individual failed write attempts.
+	Crashes, Stalls, Delays, HostWriteFailures int64
+	// Injected is the sum of the per-kind counts.
+	Injected int64
+}
+
+// NewInjector compiles a plan into query maps. An empty plan yields a
+// valid injector that never fires; callers that have no plan at all
+// should keep a nil *Injector instead.
+func NewInjector(p Plan) *Injector {
+	i := &Injector{
+		flusher: make(map[trigger]Event),
+		trainer: make(map[trigger]time.Duration),
+	}
+	for _, e := range p.Events {
+		switch e.Kind {
+		case KindFlusherCrash, KindFlusherStall:
+			i.flusher[trigger{e.Target, e.At}] = e
+		case KindTrainerDelay:
+			i.trainer[trigger{e.Target, e.At}] = e.Duration
+		case KindHostWriteFail:
+			n := e.Count
+			if n < 1 {
+				n = 1
+			}
+			i.windows = append(i.windows, window{e.At, e.At + int64(n)})
+		}
+	}
+	return i
+}
+
+// Flusher reports the fault, if any, scheduled for flusher slot at its
+// batch-th dequeue batch (ordinals count loop iterations from 1 and
+// survive respawns, so a plan can re-kill a respawned thread).
+func (i *Injector) Flusher(slot int, batch int64) (Action, time.Duration) {
+	if i == nil {
+		return ActNone, 0
+	}
+	e, ok := i.flusher[trigger{slot, batch}]
+	if !ok {
+		return ActNone, 0
+	}
+	if e.Kind == KindFlusherCrash {
+		i.crashes.Add(1)
+		return ActCrash, 0
+	}
+	i.stalls.Add(1)
+	return ActStall, e.Duration
+}
+
+// TrainerDelay reports the straggler delay, if any, scheduled for the
+// GPU at the given training step.
+func (i *Injector) TrainerDelay(gpu int, step int64) time.Duration {
+	if i == nil {
+		return 0
+	}
+	d, ok := i.trainer[trigger{gpu, step}]
+	if !ok {
+		return 0
+	}
+	i.delays.Add(1)
+	return d
+}
+
+// HostWriteFail consumes one global host-write attempt ordinal and
+// reports whether that attempt must fail transiently. The caller retries
+// (each retry consumes the next ordinal), so a window of Count failures
+// causes exactly Count retries across whichever writers hit it.
+func (i *Injector) HostWriteFail() bool {
+	if i == nil || len(i.windows) == 0 {
+		return false
+	}
+	n := i.writeOrd.Add(1) - 1
+	for _, w := range i.windows {
+		if n >= w.start && n < w.end {
+			i.hostFails.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// Stats snapshots the fired-fault counters.
+func (i *Injector) Stats() Stats {
+	if i == nil {
+		return Stats{}
+	}
+	s := Stats{
+		Crashes:           i.crashes.Load(),
+		Stalls:            i.stalls.Load(),
+		Delays:            i.delays.Load(),
+		HostWriteFailures: i.hostFails.Load(),
+	}
+	s.Injected = s.Crashes + s.Stalls + s.Delays + s.HostWriteFailures
+	return s
+}

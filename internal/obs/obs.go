@@ -325,6 +325,67 @@ func (p *PQObs) StalePop(key uint64) {
 	p.stalePops.Add(int(key), 1)
 }
 
+// FaultObs observes the fault-injection and recovery machinery: faults
+// fired by the injector, flusher respawns and batch redistributions by
+// the self-healing pool, transient host-write retries, and watchdog
+// degradations to write-through.
+type FaultObs struct {
+	injected      Counter
+	respawns      Counter
+	redistributed Counter
+	writeRetries  Counter
+	degradations  Counter
+	tr            *Tracer
+}
+
+// Injected records one scheduled fault firing: src is the target flusher
+// slot or GPU (-1 for host-write failures), at the trigger ordinal, kind
+// the fault kind code.
+func (f *FaultObs) Injected(src int, at int64, kind int64) {
+	if f == nil {
+		return
+	}
+	f.injected.Add(src, 1)
+	f.tr.Emit(EvFaultInject, src, at, 0, kind)
+}
+
+// Respawned records the supervisor replacing a dead or stalled flusher;
+// total is the pool-wide respawn count including this one.
+func (f *FaultObs) Respawned(slot int, total int64) {
+	if f == nil {
+		return
+	}
+	f.respawns.Add(slot, 1)
+	f.tr.Emit(EvFlusherRespawn, slot, -1, 0, total)
+}
+
+// Redistributed records a dying flusher re-enqueueing the n g-entries of
+// its in-flight dequeue batch.
+func (f *FaultObs) Redistributed(slot int, n int) {
+	if f == nil || n == 0 {
+		return
+	}
+	f.redistributed.Add(slot, int64(n))
+}
+
+// WriteRetry records one retried host-memory write attempt.
+func (f *FaultObs) WriteRetry(writer int) {
+	if f == nil {
+		return
+	}
+	f.writeRetries.Add(writer, 1)
+}
+
+// Degraded records the gate watchdog switching the engine to
+// write-through at committed watermark step.
+func (f *FaultObs) Degraded(step int64) {
+	if f == nil {
+		return
+	}
+	f.degradations.Add(0, 1)
+	f.tr.Emit(EvDegrade, -1, step, 0, 0)
+}
+
 // StepObs observes training-step completion.
 type StepObs struct {
 	completed Counter // global steps fully committed by all trainers
@@ -372,6 +433,7 @@ type Observer struct {
 	flush  FlushObs
 	pq     PQObs
 	step   StepObs
+	fault  FaultObs
 	tracer *Tracer
 }
 
@@ -404,6 +466,10 @@ func New(opt Options) *Observer {
 		adjusts: newCounter(n), stalePops: newCounter(n),
 	}
 	o.step = StepObs{completed: newCounter(n), wall: newHistogram(DurationBuckets), tr: o.tracer}
+	o.fault = FaultObs{
+		injected: newCounter(n), respawns: newCounter(n), redistributed: newCounter(n),
+		writeRetries: newCounter(n), degradations: newCounter(n), tr: o.tracer,
+	}
 	return o
 }
 
@@ -446,6 +512,14 @@ func (o *Observer) StepSink() *StepObs {
 		return nil
 	}
 	return &o.step
+}
+
+// FaultSink returns the fault/recovery instrumentation surface.
+func (o *Observer) FaultSink() *FaultObs {
+	if o == nil {
+		return nil
+	}
+	return &o.fault
 }
 
 // TraceSink returns the event tracer (nil when tracing is disabled).
@@ -504,6 +578,13 @@ type Snapshot struct {
 	StepsCompleted int64        `json:"stepsCompleted"`
 	StepWall       HistSnapshot `json:"stepWall"`
 
+	// Fault injection and recovery. Zero throughout on fault-free runs.
+	FaultsInjected       int64 `json:"faultsInjected"`
+	FlusherRespawns      int64 `json:"flusherRespawns"`
+	RedistributedEntries int64 `json:"redistributedEntries"`
+	HostWriteRetries     int64 `json:"hostWriteRetries"`
+	Degradations         int64 `json:"degradations"`
+
 	// Tracer accounting: events ever emitted, and how many the ring has
 	// overwritten.
 	TraceEvents  int64 `json:"traceEvents"`
@@ -545,6 +626,12 @@ func (o *Observer) Snapshot() Snapshot {
 
 		StepsCompleted: o.step.completed.Total(),
 		StepWall:       o.step.wall.snapshot(),
+
+		FaultsInjected:       o.fault.injected.Total(),
+		FlusherRespawns:      o.fault.respawns.Total(),
+		RedistributedEntries: o.fault.redistributed.Total(),
+		HostWriteRetries:     o.fault.writeRetries.Total(),
+		Degradations:         o.fault.degradations.Total(),
 	}
 	if o.tracer != nil {
 		s.TraceEvents, s.TraceDropped = o.tracer.Stats()

@@ -39,6 +39,17 @@ const (
 	EvCollectiveEnd
 	// EvStepDone: trainer Src finished Step; Value is its wall time.
 	EvStepDone
+	// EvFaultInject: a scheduled fault fired. Src is the target flusher
+	// slot or GPU (-1 for host-write failures), Step the trigger ordinal
+	// (dequeue batch, training step, or write ordinal), Value the fault
+	// kind code.
+	EvFaultInject
+	// EvFlusherRespawn: the supervisor replaced dead/stalled flusher Src;
+	// Value is the pool-wide respawn count so far.
+	EvFlusherRespawn
+	// EvDegrade: the gate watchdog degraded EngineFrugal to write-through;
+	// Step is the committed watermark at the transition.
+	EvDegrade
 )
 
 var eventNames = [...]string{
@@ -54,6 +65,9 @@ var eventNames = [...]string{
 	EvCollectiveStart: "collective_start",
 	EvCollectiveEnd:   "collective_end",
 	EvStepDone:        "step_done",
+	EvFaultInject:     "fault_inject",
+	EvFlusherRespawn:  "flusher_respawn",
+	EvDegrade:         "degrade",
 }
 
 // String returns the JSONL type tag for the event.

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"frugal/internal/fault"
 	"frugal/internal/lfht"
 	"frugal/internal/obs"
 	"frugal/internal/pq"
@@ -90,6 +91,12 @@ type Options struct {
 	// flusher pool reports dequeue/apply events and latency, the sample
 	// queue its depth, and the priority queue its operation counts.
 	Obs *obs.Observer
+	// Faults is the deterministic fault injector consulted on the flusher
+	// path (nil = no faults, the default).
+	Faults *fault.Injector
+	// Recovery configures the self-healing layer (heartbeats, respawns,
+	// gate watchdog). The zero value enables it with defaults.
+	Recovery Recovery
 }
 
 func (o *Options) normalize() error {
@@ -117,6 +124,7 @@ func (o *Options) normalize() error {
 	if o.DirectoryHint <= 0 {
 		o.DirectoryHint = 1 << 16
 	}
+	o.Recovery.normalize()
 	return nil
 }
 
@@ -168,9 +176,22 @@ type Controller struct {
 	urgentFlushes   atomic.Int64
 	prefetchedSteps atomic.Int64
 
+	// Self-healing state (see recovery.go). waiters counts trainers
+	// currently blocked in WaitForStep — the watchdog's "someone is owed
+	// progress" signal. degraded flips once, to write-through mode.
+	slots          []*flusherSlot
+	waiters        atomic.Int64
+	degraded       atomic.Bool
+	degradedStep   atomic.Int64
+	crashes        atomic.Int64
+	stallsDetected atomic.Int64
+	respawns       atomic.Int64
+	redistributed  atomic.Int64
+
 	// Observability sinks (nil = no-op, the default).
-	fl     *obs.FlushObs
-	tracer *obs.Tracer
+	fl       *obs.FlushObs
+	tracer   *obs.Tracer
+	faultObs *obs.FaultObs
 }
 
 // NewController validates opt and builds a controller. Call Start to launch
@@ -200,6 +221,12 @@ func NewController(opt Options) (*Controller, error) {
 		stop:          make(chan struct{}),
 		fl:            opt.Obs.FlushSink(),
 		tracer:        opt.Obs.TraceSink(),
+		faultObs:      opt.Obs.FaultSink(),
+	}
+	c.degradedStep.Store(-1)
+	c.slots = make([]*flusherSlot, opt.FlushThreads)
+	for i := range c.slots {
+		c.slots[i] = &flusherSlot{}
 	}
 	if po := opt.Obs.PQSink(); po != nil {
 		if qo, ok := q.(interface{ SetObserver(*obs.PQObs) }); ok {
@@ -221,9 +248,15 @@ func (c *Controller) Start() {
 	c.started = true
 	c.wg.Add(1)
 	go c.prefetchLoop()
+	now := time.Now().UnixNano()
 	for i := 0; i < c.opt.FlushThreads; i++ {
+		c.slots[i].heartbeat.Store(now)
 		c.wg.Add(1)
-		go c.flusherLoop(i)
+		go c.flusherLoop(i, 0)
+	}
+	if !c.opt.Recovery.Disabled {
+		c.wg.Add(1)
+		go c.supervisorLoop()
 	}
 }
 
@@ -332,9 +365,22 @@ func (c *Controller) SampleDepth() int { return len(c.sample) }
 // (invariant (2) of §3.3 — no g-entry has both a pending write and an
 // upcoming read at a step ≤ s). It returns the time spent blocked.
 func (c *Controller) WaitForStep(s int64) time.Duration {
+	c.waiters.Add(1)
+	defer c.waiters.Add(-1)
 	var stalled time.Duration
 	c.mu.Lock()
 	for !c.stepReady(s) && !c.stopping.Load() {
+		if c.degraded.Load() {
+			// Write-through mode: no pool is owed this work anymore.
+			// Drain the backlog from this trainer's own goroutine, then
+			// re-evaluate (commits still arrive via commitDegraded).
+			c.mu.Unlock()
+			c.drainSync(-1)
+			c.mu.Lock()
+			if c.stepReady(s) || c.stopping.Load() {
+				break
+			}
+		}
 		start := time.Now()
 		c.gate.Wait()
 		stalled += time.Since(start)
@@ -372,6 +418,10 @@ func (c *Controller) stepReady(s int64) bool {
 // step s before any trainer commits it (the runtime enforces this with its
 // step barrier).
 func (c *Controller) CommitStep(s int64, updates []KeyDelta) {
+	if c.degraded.Load() {
+		c.commitDegraded(s, updates)
+		return
+	}
 	for _, kd := range updates {
 		g, _ := c.dir.GetOrInsert(kd.Key, func() *pq.GEntry { return pq.NewGEntry(kd.Key) })
 		g.Mu.Lock()
@@ -426,14 +476,34 @@ func (c *Controller) ReadDone(s int64, keys []uint64) {
 // pending updates through the sink. ProcessBatch runs flushEntry while
 // the entry is still visible to the queue, so the consistency gate never
 // opens for a step whose parameters are mid-flush.
-func (c *Controller) flusherLoop(id int) {
+//
+// gen is the slot generation this goroutine was spawned under: the loop
+// exits as soon as the supervisor bumps the slot's generation (a stalled
+// thread that wakes up finds itself superseded by its replacement). Each
+// iteration heartbeats, then consults the fault injector with the slot's
+// lifetime dequeue-batch ordinal.
+func (c *Controller) flusherLoop(id int, gen int64) {
 	defer c.wg.Done()
+	slot := c.slots[id]
 	flush := func(g *pq.GEntry, slotPriority int64) bool {
 		return c.flushEntry(id, g, slotPriority)
 	}
 	for {
-		if c.stopping.Load() {
+		if c.stopping.Load() || slot.gen.Load() != gen {
 			return
+		}
+		slot.heartbeat.Store(time.Now().UnixNano())
+		batch := slot.batches.Add(1)
+		if act, dur := c.opt.Faults.Flusher(id, batch); act != fault.ActNone {
+			c.faultObs.Injected(id, batch, int64(actionKind(act)))
+			if act == fault.ActCrash {
+				c.crashFlusher(id, slot)
+				return
+			}
+			// Stall: sleep without heartbeating. If the stall outlives
+			// StallTimeout the supervisor supersedes this generation.
+			c.sleepFault(dur)
+			continue
 		}
 		n := c.queue.ProcessBatch(c.opt.DequeueBatchSize, flush)
 		if n > 0 {
@@ -443,6 +513,15 @@ func (c *Controller) flusherLoop(id int) {
 		}
 		time.Sleep(30 * time.Microsecond)
 	}
+}
+
+// actionKind maps a flusher-path injector action to its fault kind code
+// for the trace.
+func actionKind(a fault.Action) fault.Kind {
+	if a == fault.ActCrash {
+		return fault.KindFlusherCrash
+	}
+	return fault.KindFlusherStall
 }
 
 // flushEntry drains one g-entry's write set through the sink. Called by
@@ -478,13 +557,11 @@ func (c *Controller) flushEntry(flusher int, g *pq.GEntry, slotPriority int64) b
 
 // DrainAll blocks until every pending update has been flushed to the sink
 // — the end-of-training epilogue. It must not be called concurrently with
-// new CommitStep activity.
+// new CommitStep activity. The drain is cooperative: the caller flushes
+// alongside the pool, so the epilogue completes even if every flushing
+// thread has died and the respawn budget is spent.
 func (c *Controller) DrainAll() {
-	c.mu.Lock()
-	for c.queue.Len() > 0 && !c.stopping.Load() {
-		c.gate.Wait()
-	}
-	c.mu.Unlock()
+	c.drainSync(-1)
 }
 
 // ----------------------------------------------------------------------

@@ -1,0 +1,203 @@
+package p2f
+
+import (
+	"testing"
+	"time"
+
+	"frugal/internal/fault"
+)
+
+// chainBatches builds a read-after-write dependency chain: the same key
+// is read and updated at every step, so the gate for step s+1 cannot open
+// until step s's update is flushed — the workload where a dead flusher
+// pool deadlocks an unprotected controller.
+func chainBatches(key uint64, steps int) [][]uint64 {
+	b := make([][]uint64, steps)
+	for i := range b {
+		b[i] = []uint64{key}
+	}
+	return b
+}
+
+func mustPlan(t *testing.T, spec string) *fault.Injector {
+	t.Helper()
+	p, err := fault.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fault.NewInjector(p)
+}
+
+func TestFlusherCrashRecovery(t *testing.T) {
+	// Kill one of two flushers on its first dequeue batch. The supervisor
+	// must respawn it and the run must complete with every update flushed
+	// exactly once — the same accounting a fault-free run produces.
+	const steps = 60
+	sink := newRecordSink()
+	src := &sliceSource{batches: chainBatches(7, steps)}
+	c := newTestController(t, Options{
+		MaxStep: steps, FlushThreads: 2, Sink: sink, Source: src,
+		Faults: mustPlan(t, "crash:flusher=0@batch=1"),
+		Recovery: Recovery{
+			HeartbeatInterval: time.Millisecond,
+			StallTimeout:      50 * time.Millisecond,
+		},
+	})
+	if got := runTrace(t, c, 1); got != steps {
+		t.Fatalf("trained %d steps, want %d", got, steps)
+	}
+	if got := sink.sum(7); got != steps {
+		t.Fatalf("flushed sum = %v, want %d", got, steps)
+	}
+	rs := c.RecoveryStats()
+	if rs.FlusherCrashes != 1 {
+		t.Fatalf("FlusherCrashes = %d, want 1", rs.FlusherCrashes)
+	}
+	if rs.Respawns < 1 {
+		t.Fatalf("crashed flusher was never respawned: %+v", rs)
+	}
+	if rs.Degraded {
+		t.Fatalf("healthy recovery must not degrade: %+v", rs)
+	}
+}
+
+func TestFlusherStallSuperseded(t *testing.T) {
+	// The pool's only flusher stalls for far longer than StallTimeout.
+	// The supervisor must detect the stale heartbeat, supersede the
+	// generation, and respawn — the run completes long before the stalled
+	// thread would have woken on its own.
+	const steps = 40
+	sink := newRecordSink()
+	src := &sliceSource{batches: chainBatches(3, steps)}
+	c := newTestController(t, Options{
+		MaxStep: steps, FlushThreads: 1, Sink: sink, Source: src,
+		Faults: mustPlan(t, "stall:flusher=0@batch=1,dur=30s"),
+		Recovery: Recovery{
+			HeartbeatInterval: time.Millisecond,
+			StallTimeout:      20 * time.Millisecond,
+		},
+	})
+	start := time.Now()
+	if got := runTrace(t, c, 1); got != steps {
+		t.Fatalf("trained %d steps, want %d", got, steps)
+	}
+	if took := time.Since(start); took > 10*time.Second {
+		t.Fatalf("run took %v — the stalled thread was never superseded", took)
+	}
+	rs := c.RecoveryStats()
+	if rs.StallsDetected < 1 || rs.Respawns < 1 {
+		t.Fatalf("stall not detected/healed: %+v", rs)
+	}
+	if got := sink.sum(3); got != steps {
+		t.Fatalf("flushed sum = %v, want %d", got, steps)
+	}
+}
+
+func TestWholePoolKilledDegradesToWriteThrough(t *testing.T) {
+	// Every flusher dies and respawning is disabled: without the watchdog
+	// the gate would block forever on the read-after-write chain. The
+	// watchdog must degrade the run to write-through within GateTimeout,
+	// after which it completes with all updates on the sink.
+	const steps = 50
+	sink := newRecordSink()
+	src := &sliceSource{batches: chainBatches(9, steps)}
+	c := newTestController(t, Options{
+		MaxStep: steps, FlushThreads: 2, Sink: sink, Source: src,
+		Faults: mustPlan(t, "crash:flusher=0@batch=1;crash:flusher=1@batch=1"),
+		Recovery: Recovery{
+			HeartbeatInterval: time.Millisecond,
+			MaxRespawns:       -1, // no healing: force the watchdog path
+			GateTimeout:       100 * time.Millisecond,
+		},
+	})
+	done := make(chan int, 1)
+	go func() { done <- runTrace(t, c, 1) }()
+	select {
+	case got := <-done:
+		if got != steps {
+			t.Fatalf("trained %d steps, want %d", got, steps)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run deadlocked: watchdog never degraded the gate")
+	}
+	rs := c.RecoveryStats()
+	if !rs.Degraded {
+		t.Fatalf("expected degradation, got %+v", rs)
+	}
+	if rs.DegradedStep < 0 {
+		t.Fatalf("DegradedStep not recorded: %+v", rs)
+	}
+	if rs.FlusherCrashes != 2 || rs.Respawns != 0 {
+		t.Fatalf("unexpected recovery accounting: %+v", rs)
+	}
+	if got := sink.sum(9); got != steps {
+		t.Fatalf("flushed sum = %v, want %d", got, steps)
+	}
+	if c.Queue().Len() != 0 {
+		t.Fatalf("queue not drained after degraded run: %d", c.Queue().Len())
+	}
+}
+
+func TestCrashRedistributesInFlightBatch(t *testing.T) {
+	// Hold the pool's only flusher in an injected stall while the trainer
+	// commits step 0 of a read-after-write chain and blocks at the gate,
+	// then crash the flusher on its next dequeue batch: the dying thread
+	// must re-enqueue (not lose) the pending entry, and the respawned
+	// replacement must flush it so the gate opens and the run completes.
+	const steps = 40
+	sink := newRecordSink()
+	src := &sliceSource{batches: chainBatches(5, steps)}
+	c := newTestController(t, Options{
+		MaxStep: steps, FlushThreads: 1, DequeueBatchSize: 4, Sink: sink, Source: src,
+		Faults: mustPlan(t, "stall:flusher=0@batch=1,dur=250ms;crash:flusher=0@batch=2"),
+		Recovery: Recovery{
+			HeartbeatInterval: time.Millisecond,
+			StallTimeout:      10 * time.Second, // don't supersede the stall: let it reach the crash
+		},
+	})
+	if got := runTrace(t, c, 1); got != steps {
+		t.Fatalf("trained %d steps, want %d", got, steps)
+	}
+	if got := sink.sum(5); got != steps {
+		t.Fatalf("flushed sum = %v, want %d (updates lost in the crash)", got, steps)
+	}
+	rs := c.RecoveryStats()
+	if rs.FlusherCrashes != 1 {
+		t.Fatalf("FlusherCrashes = %d, want 1", rs.FlusherCrashes)
+	}
+	if rs.Redistributed < 1 {
+		t.Fatalf("dying flusher redistributed nothing: %+v", rs)
+	}
+}
+
+func TestRecoveryDisabledKeepsLegacyBehaviour(t *testing.T) {
+	// With the layer off entirely, a fault-free run behaves exactly as
+	// before: no supervisor, no respawns, zero recovery stats.
+	const steps = 20
+	sink := newRecordSink()
+	src := &sliceSource{batches: chainBatches(1, steps)}
+	c := newTestController(t, Options{
+		MaxStep: steps, FlushThreads: 2, Sink: sink, Source: src,
+		Recovery: Recovery{Disabled: true},
+	})
+	if got := runTrace(t, c, 1); got != steps {
+		t.Fatalf("trained %d steps, want %d", got, steps)
+	}
+	if rs := c.RecoveryStats(); rs != (RecoveryStats{DegradedStep: -1}) {
+		t.Fatalf("recovery stats on a disabled layer: %+v", rs)
+	}
+}
+
+func TestRecoveryDefaults(t *testing.T) {
+	var r Recovery
+	r.normalize()
+	if r.HeartbeatInterval != time.Millisecond || r.StallTimeout != 250*time.Millisecond ||
+		r.MaxRespawns != 16 || r.RespawnBackoff != time.Millisecond || r.GateTimeout != 5*time.Second {
+		t.Fatalf("defaults wrong: %+v", r)
+	}
+	neg := Recovery{MaxRespawns: -1, GateTimeout: -1}
+	neg.normalize()
+	if neg.MaxRespawns != -1 || neg.GateTimeout != -1 {
+		t.Fatalf("negative opt-outs must survive normalize: %+v", neg)
+	}
+}

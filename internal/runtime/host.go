@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"frugal/internal/pq"
 	"frugal/internal/tensor"
@@ -39,6 +40,13 @@ type Host struct {
 	versions []atomic.Uint64
 	locks    []sync.Mutex // striped by key
 	applied  atomic.Int64 // updates applied (all paths)
+
+	// writeFault, when set, is consulted once per host-write attempt and
+	// reports whether that attempt fails transiently (fault injection).
+	// The writer retries with exponential backoff; writeRetries counts the
+	// retried attempts.
+	writeFault   func() bool
+	writeRetries atomic.Int64
 }
 
 const lockStripes = 1024
@@ -118,10 +126,36 @@ func (h *Host) OptState(key uint64) float32 {
 	return h.state[key]
 }
 
+// SetWriteFault installs the transient host-write fault hook. Must be
+// called before training starts (the field is read without a lock).
+func (h *Host) SetWriteFault(hook func() bool) { h.writeFault = hook }
+
+// WriteRetries reports how many host-write attempts failed transiently
+// and were retried.
+func (h *Host) WriteRetries() int64 { return h.writeRetries.Load() }
+
+// admitWrite blocks until the injected transient write fault (if any)
+// clears, backing off exponentially between retries. Called before the
+// row lock so a failing writer never stalls other keys in its stripe.
+func (h *Host) admitWrite() {
+	if h.writeFault == nil {
+		return
+	}
+	backoff := time.Microsecond
+	for h.writeFault() {
+		h.writeRetries.Add(1)
+		time.Sleep(backoff)
+		if backoff < 512*time.Microsecond {
+			backoff *= 2
+		}
+	}
+}
+
 // ApplyDelta adds delta into row `key` (and stateDelta into its optimizer
 // accumulator) under the row lock and bumps the version — used by flusher
 // sinks and the write-through engines.
 func (h *Host) ApplyDelta(key uint64, delta []float32, stateDelta float32) {
+	h.admitWrite()
 	l := h.lock(key)
 	l.Lock()
 	tensor.Axpy(1, delta, h.row(key))
@@ -139,6 +173,7 @@ func (h *Host) ApplyUpdates(key uint64, updates []pq.Update) {
 	if len(updates) == 0 {
 		return
 	}
+	h.admitWrite()
 	l := h.lock(key)
 	l.Lock()
 	row := h.row(key)

@@ -12,6 +12,7 @@ import (
 
 	"frugal/internal/cache"
 	"frugal/internal/data"
+	"frugal/internal/fault"
 	"frugal/internal/obs"
 	"frugal/internal/p2f"
 	"frugal/internal/pq"
@@ -84,6 +85,14 @@ type Config struct {
 	// trainer goroutine, and a slow callback stalls that trainer's next
 	// step (never the gate or the flusher pool).
 	OnStep func(StepStats)
+	// Faults is the deterministic fault injector (internal/fault) driving
+	// flusher crashes/stalls, trainer straggler delays, and transient
+	// host-write failures. nil (the default) injects nothing.
+	Faults *fault.Injector
+	// Recovery configures the P²F self-healing layer: flusher heartbeats,
+	// respawn budget/backoff, and the gate watchdog's degrade timeout.
+	// The zero value enables it with defaults. EngineFrugal only.
+	Recovery p2f.Recovery
 }
 
 // StepStats is the per-step progress report delivered to Config.OnStep.
@@ -208,6 +217,29 @@ type Result struct {
 	// predictions are made before each sample's update, this is an honest
 	// progressive-validation metric.
 	TrainAUC float64
+	// Recovery reports what the fault-injection and self-healing layers
+	// did during the run (all-zero on fault-free, healthy runs).
+	Recovery RecoveryStats
+}
+
+// RecoveryStats aggregates the run's fault and recovery accounting
+// across the injector, the P²F self-healing layer, and the host slab.
+type RecoveryStats struct {
+	// FaultsInjected counts scheduled faults that fired (all kinds).
+	FaultsInjected int64 `json:"faultsInjected"`
+	// FlusherCrashes / StallsDetected / FlusherRespawns / Redistributed
+	// mirror the controller's RecoveryStats (see internal/p2f).
+	FlusherCrashes  int64 `json:"flusherCrashes"`
+	StallsDetected  int64 `json:"stallsDetected"`
+	FlusherRespawns int64 `json:"flusherRespawns"`
+	Redistributed   int64 `json:"redistributed"`
+	// HostWriteRetries counts transient host-write failures retried.
+	HostWriteRetries int64 `json:"hostWriteRetries"`
+	// Degraded reports the gate watchdog switching the run to
+	// write-through; DegradedStep is the committed watermark at the
+	// transition (-1 when not degraded).
+	Degraded     bool  `json:"degraded"`
+	DegradedStep int64 `json:"degradedStep"`
 }
 
 // Job is a configured training run over a generic payload stream.
@@ -223,10 +255,11 @@ type Job struct {
 
 	// Observability sinks, cached off cfg.Observer (all nil-safe no-ops
 	// when observability is off).
-	gateObs *obs.GateObs
-	stepObs *obs.StepObs
-	flObs   *obs.FlushObs
-	tracer  *obs.Tracer
+	gateObs  *obs.GateObs
+	stepObs  *obs.StepObs
+	flObs    *obs.FlushObs
+	faultObs *obs.FaultObs
+	tracer   *obs.Tracer
 
 	mu        sync.Mutex
 	losses    []float32
@@ -284,17 +317,28 @@ func newJob(cfg Config, steps int64, samplesPerStep int,
 	})
 
 	j := &Job{
-		cfg:     cfg,
-		host:    host,
-		trace:   data.NewPayloadTrace(gen),
-		barrier: NewBarrier(cfg.NumGPUs),
-		steps:   steps,
-		samples: samplesPerStep,
-		gateObs: cfg.Observer.GateSink(),
-		stepObs: cfg.Observer.StepSink(),
-		flObs:   cfg.Observer.FlushSink(),
-		tracer:  cfg.Observer.TraceSink(),
-		pending: make(map[int64]stepAgg),
+		cfg:      cfg,
+		host:     host,
+		trace:    data.NewPayloadTrace(gen),
+		barrier:  NewBarrier(cfg.NumGPUs),
+		steps:    steps,
+		samples:  samplesPerStep,
+		gateObs:  cfg.Observer.GateSink(),
+		stepObs:  cfg.Observer.StepSink(),
+		flObs:    cfg.Observer.FlushSink(),
+		faultObs: cfg.Observer.FaultSink(),
+		tracer:   cfg.Observer.TraceSink(),
+		pending:  make(map[int64]stepAgg),
+	}
+	if cfg.Faults != nil {
+		faultObs := j.faultObs
+		host.SetWriteFault(func() bool {
+			if !cfg.Faults.HostWriteFail() {
+				return false
+			}
+			faultObs.WriteRetry(0)
+			return true
+		})
 	}
 	if cfg.Optimizer == OptAdagrad {
 		host.EnableOptimizerState()
@@ -319,6 +363,8 @@ func newJob(cfg Config, steps int64, samplesPerStep int,
 			DequeueBatchSize: cfg.DequeueBatch,
 			Queue:            cfg.Queue,
 			Obs:              cfg.Observer,
+			Faults:           cfg.Faults,
+			Recovery:         cfg.Recovery,
 			Sink: p2f.FlushSinkFunc(func(key uint64, updates []pq.Update) {
 				host.ApplyUpdates(key, updates)
 			}),
@@ -379,13 +425,23 @@ func (j *Job) RunContext(ctx context.Context) (Result, error) {
 	wg.Wait()
 
 	var res Result
+	res.Recovery.DegradedStep = -1
 	if j.ctrl != nil {
 		j.ctrl.DrainAll()
 		st := j.ctrl.Stats()
 		res.StallTime = st.StallTime
 		res.Flushed = st.FlushedUpdates
 		res.Deferred = st.DeferredFlushes
+		rs := j.ctrl.RecoveryStats()
+		res.Recovery.FlusherCrashes = rs.FlusherCrashes
+		res.Recovery.StallsDetected = rs.StallsDetected
+		res.Recovery.FlusherRespawns = rs.Respawns
+		res.Recovery.Redistributed = rs.Redistributed
+		res.Recovery.Degraded = rs.Degraded
+		res.Recovery.DegradedStep = rs.DegradedStep
 	}
+	res.Recovery.FaultsInjected = j.cfg.Faults.Stats().Injected
+	res.Recovery.HostWriteRetries = j.host.WriteRetries()
 	j.mu.Lock()
 	completed := j.completed
 	j.mu.Unlock()

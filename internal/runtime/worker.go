@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"frugal/internal/comm"
+	"frugal/internal/fault"
 	"frugal/internal/obs"
 	"frugal/internal/p2f"
 	"frugal/internal/tensor"
@@ -113,6 +114,15 @@ func (j *Job) step(ws *workerState, msg stepMsg) {
 	var stepStart time.Time
 	if timed {
 		stepStart = time.Now()
+	}
+
+	// 0. Injected straggler delay (fault plan): the trainer goes slow
+	// before the gate, where a real GPU would hit preemption or a network
+	// hiccup. The step barriers make every other trainer absorb it —
+	// that's the synchronous-training cost the fault model exercises.
+	if d := j.cfg.Faults.TrainerDelay(ws.id, msg.step); d > 0 {
+		j.faultObs.Injected(ws.id, msg.step, int64(fault.KindTrainerDelay))
+		time.Sleep(d)
 	}
 
 	// 1. Consistency gate (Frugal) — invariant (2) of §3.3.

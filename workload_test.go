@@ -1,0 +1,204 @@
+package frugal
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNewBuildsEveryWorkload is the acceptance check of the Workload API:
+// frugal.New builds (and runs) every built-in workload value.
+func TestNewBuildsEveryWorkload(t *testing.T) {
+	cfg := Config{NumGPUs: 2, CheckConsistency: true, Seed: 7}
+	workloads := []struct {
+		w     Workload
+		kind  string
+		steps int64
+	}{
+		{Microbenchmark{Options: MicroOptions{KeySpace: 1500, Batch: 32, Steps: 10}},
+			"microbenchmark", 10},
+		{Recommendation{Dataset: DatasetAvazu, Options: RECOptions{Batch: 16, Steps: 5}},
+			"recommendation", 5},
+		{KnowledgeGraph{Dataset: DatasetFB15k, Options: KGOptions{Batch: 16, Dim: 8, NegSample: 8, Steps: 5}},
+			"knowledge-graph", 5},
+		{GraphLearning{Options: GNNOptions{Nodes: 500, Edges: 16, Steps: 5}},
+			"graph-learning", 5},
+		{Replay{Source: strings.NewReader("1 2 3\n4 5 6\n7 8 9\n"), Options: ReplayOptions{Dim: 4}},
+			"replay", 3},
+	}
+	for _, tc := range workloads {
+		if tc.w.Kind() != tc.kind {
+			t.Fatalf("Kind() = %q, want %q", tc.w.Kind(), tc.kind)
+		}
+		if tc.w.Name() == "" {
+			t.Fatalf("%s: empty Name()", tc.kind)
+		}
+		job, err := New(cfg, tc.w)
+		if err != nil {
+			t.Fatalf("New(%s): %v", tc.kind, err)
+		}
+		res, err := job.Run()
+		if err != nil {
+			t.Fatalf("run %s: %v", tc.kind, err)
+		}
+		if res.Steps != tc.steps {
+			t.Fatalf("%s: ran %d steps, want %d", tc.kind, res.Steps, tc.steps)
+		}
+	}
+}
+
+func TestNewRejectsNilWorkload(t *testing.T) {
+	if _, err := New(Config{}, nil); !errors.Is(err, ErrNilWorkload) {
+		t.Fatalf("New(nil) err = %v, want ErrNilWorkload", err)
+	}
+}
+
+func TestNewSurfacesWorkloadErrors(t *testing.T) {
+	if _, err := New(Config{}, Recommendation{Dataset: DatasetFB15k}); err == nil {
+		t.Fatal("REC workload accepted a KG dataset")
+	}
+	if _, err := New(Config{}, Replay{}); err == nil {
+		t.Fatal("Replay workload accepted a nil Source")
+	}
+}
+
+// TestDeprecatedConstructorsDelegate pins the compatibility contract: the
+// legacy New* constructors and frugal.New with the equivalent workload
+// value build jobs that train to identical parameters.
+func TestDeprecatedConstructorsDelegate(t *testing.T) {
+	cfg := Config{NumGPUs: 1, CheckConsistency: true, Seed: 11}
+	opt := MicroOptions{KeySpace: 800, Batch: 32, Steps: 15}
+	old, err := NewMicrobenchmark(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu, err := New(cfg, Microbenchmark{Options: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := neu.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 800; k += 37 {
+		a, b := old.HostRow(k), neu.HostRow(k)
+		for d := range a {
+			if a[d] != b[d] {
+				t.Fatalf("constructor paths diverged at key %d dim %d: %v vs %v", k, d, a[d], b[d])
+			}
+		}
+	}
+}
+
+// TestAdagradEpsPassthrough is the regression test for the Config
+// passthrough bug: AdagradEps set on the public Config must reach the
+// optimizer (it was silently dropped by runtimeConfig).
+func TestAdagradEpsPassthrough(t *testing.T) {
+	run := func(eps float32) *TrainingJob {
+		job, err := New(Config{
+			Optimizer: OptimizerAdagrad, AdagradEps: eps,
+			CheckConsistency: true, Seed: 13,
+		}, Microbenchmark{Options: MicroOptions{KeySpace: 500, Batch: 32, Steps: 10}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := job.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return job
+	}
+	tiny, huge := run(1e-6), run(10)
+	differs := false
+	for k := uint64(0); k < 500 && !differs; k++ {
+		a, b := tiny.HostRow(k), huge.HostRow(k)
+		for d := range a {
+			if a[d] != b[d] {
+				differs = true
+				break
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("AdagradEps had no effect on training: the Config passthrough dropped it")
+	}
+}
+
+// TestFaultPlanRoundTripAndDeterminism checks the public fault-plan
+// helpers: generation is seed-deterministic and Parse(String) is the
+// identity.
+func TestFaultPlanRoundTripAndDeterminism(t *testing.T) {
+	spec := FaultGenSpec{Crashes: 2, Stalls: 2, Delays: 2, HostFails: 2}
+	a := GenerateFaultPlan(42, spec)
+	b := GenerateFaultPlan(42, spec)
+	if a.String() != b.String() {
+		t.Fatalf("same seed, different plans:\n%s\n%s", a, b)
+	}
+	c := GenerateFaultPlan(43, spec)
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced the same plan")
+	}
+	back, err := ParseFaultPlan(a.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != a.String() {
+		t.Fatalf("round trip lost events:\n%s\n%s", a, back)
+	}
+}
+
+// TestFaultedRunThroughPublicAPI drives the fault layer entirely through
+// the public Config: a flusher crash is injected and healed, the recovery
+// is reported in Result.Recovery, and the final parameters match the
+// fault-free run with the same seed byte for byte (single GPU).
+func TestFaultedRunThroughPublicAPI(t *testing.T) {
+	micro := Microbenchmark{Options: MicroOptions{KeySpace: 600, Batch: 32, Steps: 20}}
+	cfg := Config{CheckConsistency: true, Seed: 17, FlushThreads: 2}
+
+	clean, err := New(cfg, micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clean.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := ParseFaultPlan("crash:flusher=0@batch=1;hostfail@write=5,count=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := cfg
+	fcfg.FaultPlan = plan
+	fcfg.Recovery = Recovery{HeartbeatInterval: time.Millisecond, StallTimeout: 50 * time.Millisecond}
+	faulted, err := New(fcfg, micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := faulted.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 20 {
+		t.Fatalf("faulted run completed %d steps, want 20", res.Steps)
+	}
+	rs := res.Recovery
+	if rs.FlusherCrashes != 1 || rs.FlusherRespawns < 1 {
+		t.Fatalf("recovery not reported: %+v", rs)
+	}
+	if rs.HostWriteRetries != 3 {
+		t.Fatalf("HostWriteRetries = %d, want 3", rs.HostWriteRetries)
+	}
+	if rs.Degraded {
+		t.Fatalf("healthy recovery must not degrade: %+v", rs)
+	}
+	for k := uint64(0); k < 600; k++ {
+		a, b := clean.HostRow(k), faulted.HostRow(k)
+		for d := range a {
+			if a[d] != b[d] {
+				t.Fatalf("faulted slab diverged at key %d dim %d: %v vs %v", k, d, a[d], b[d])
+			}
+		}
+	}
+}
