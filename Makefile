@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-core bench check
+.PHONY: build vet test race race-core bench bench-baseline bench-check check
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,18 @@ race-core:
 # One pass over every benchmark (sanity, not measurement).
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Re-measure the perf suite (tensor kernels, per-engine step loop, PQ
+# enqueue/drain) with full 1s windows and overwrite the committed
+# baseline. Run on a quiet machine, then commit BENCH_baseline.json.
+bench-baseline:
+	$(GO) run ./cmd/frugal-bench -perf -perf-out BENCH_baseline.json
+
+# CI perf gate: quick re-run of the same suite diffed against the
+# committed baseline. Fails only on allocs/op regressions (deterministic
+# across machines); ns/op differences are advisory notes.
+bench-check:
+	$(GO) run ./cmd/frugal-bench -perf -quick -perf-out BENCH_current.json -perf-against BENCH_baseline.json
 
 # Fast correctness pass (CI job 1); the race jobs run separately.
 check: build vet test

@@ -16,11 +16,15 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"frugal"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		dataset   = flag.String("dataset", "Avazu", "Table 2 dataset name")
 		engine    = flag.String("engine", "frugal", "engine: frugal, frugal-sync, direct")
@@ -48,6 +52,8 @@ func main() {
 			"degrade the frugal engine to write-through after this long with zero flush progress (0 = 5s default, negative disables the watchdog)")
 		maxRespawns = flag.Int("max-respawns", 0,
 			"flusher respawn budget (0 = 16 default, negative disables self-healing so a dead pool degrades)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
 	)
 	flag.Parse()
 
@@ -59,8 +65,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "frugal-train:", err)
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
 
 	if *traceOut != "" || *metrics != "" {
 		*obsOn = true
@@ -81,7 +102,7 @@ func main() {
 	job, name, err := buildJob(cfg, *micro, *replay, *dataset, *kgModel, *dist, *keySpace, *batch, *scale, *steps)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if *metrics != "" {
 		// GET /debug/vars on this address returns the live Snapshot under
@@ -99,21 +120,42 @@ func main() {
 	res, err := job.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	if *traceOut != "" {
 		if err := dumpTrace(job, *traceOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *jsonOut {
-		reportJSON(name, *engine, res, job, *obsOn)
-		return
+		if err := reportJSON(name, *engine, res, job, *obsOn); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
 	}
 	report(res)
 	if *obsOn {
 		reportObs(job.Snapshot())
+	}
+	return 0
+}
+
+// writeMemProfile dumps the post-run live heap (after a GC pass) to path.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialise the steady-state live set
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 	}
 }
 
@@ -131,7 +173,7 @@ func dumpTrace(job *frugal.TrainingJob, path string) error {
 }
 
 // reportJSON emits a machine-readable run summary.
-func reportJSON(name, engine string, res frugal.Result, job *frugal.TrainingJob, obsOn bool) {
+func reportJSON(name, engine string, res frugal.Result, job *frugal.TrainingJob, obsOn bool) error {
 	out := map[string]any{
 		"workload":        name,
 		"engine":          engine,
@@ -154,10 +196,7 @@ func reportJSON(name, engine string, res frugal.Result, job *frugal.TrainingJob,
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	return enc.Encode(out)
 }
 
 // buildJob resolves the flag set to a Workload and builds it through

@@ -560,3 +560,32 @@ func RunExperiment(w io.Writer, id string, quick bool) error {
 
 // RunAllExperiments regenerates every table and figure in order.
 func RunAllExperiments(w io.Writer, quick bool) { bench.RunAll(w, quick) }
+
+// PerfReport is the serialised perf baseline (BENCH_baseline.json): the
+// wall-clock benchmark suite's ns/op, allocs/op and bytes/op per entry,
+// plus the environment it was measured in.
+type PerfReport = bench.PerfReport
+
+// PerfBench is one benchmark row of a PerfReport.
+type PerfBench = bench.PerfBench
+
+// RunPerfSuite executes the fixed perf-baseline suite — tensor kernels,
+// the per-engine training step loop, and the priority queue's
+// enqueue/drain cycle — and returns the measurements. quick shortens each
+// benchmark's window for CI smoke runs (allocs/op stays exact; ns/op gets
+// noisier). The caller fills PerfReport.GitSHA.
+func RunPerfSuite(quick bool) PerfReport { return bench.RunPerf(quick) }
+
+// WritePerfReport serialises a report as indented JSON.
+func WritePerfReport(w io.Writer, rep PerfReport) error { return bench.WritePerf(w, rep) }
+
+// ReadPerfReport parses a report written by WritePerfReport.
+func ReadPerfReport(r io.Reader) (PerfReport, error) { return bench.ReadPerf(r) }
+
+// ComparePerfReports diffs current against a committed baseline:
+// allocation regressions come back as failures (CI fails on them, they
+// are machine-independent); ns/op swings and suite mismatches come back
+// as advisory notes.
+func ComparePerfReports(current, baseline PerfReport) (failures, notes []string) {
+	return bench.ComparePerf(current, baseline)
+}

@@ -1,0 +1,320 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	goruntime "runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"frugal/internal/data"
+	"frugal/internal/pq"
+	"frugal/internal/runtime"
+	"frugal/internal/tensor"
+)
+
+// This file implements the reproducible perf baseline (`frugal-bench
+// -perf`, `make bench-baseline`): a fixed suite of wall-clock benchmarks —
+// tensor kernels, the per-engine training step loop, and the priority
+// queue's enqueue/drain cycle — executed through testing.Benchmark and
+// serialised as a stable JSON report (BENCH_baseline.json). CI re-runs the
+// suite and gates on allocs/op, which is deterministic across machines;
+// ns/op is reported but advisory.
+
+// PerfBench is one benchmark's measurement.
+type PerfBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+// PerfReport is the serialised baseline. GitSHA is supplied by the caller
+// (the CLI shells out to git; tests leave it empty).
+type PerfReport struct {
+	GitSHA     string      `json:"gitSHA"`
+	GoVersion  string      `json:"goVersion"`
+	GOARCH     string      `json:"goarch"`
+	NumCPU     int         `json:"numCPU"`
+	Quick      bool        `json:"quick"`
+	Benchmarks []PerfBench `json:"benchmarks"`
+}
+
+// perfEntry is one suite row. benchtime, when non-empty, overrides the
+// default measurement window for this row. The step-loop rows pin a fixed
+// iteration count ("200x") rather than a time window: their allocs/op
+// includes a cold-start transient (g-entry directory creation, cache
+// fills) that amortises over however many steps the window happens to
+// fit, so a time-based count would make allocs/op depend on machine
+// speed — exactly what the CI gate must not do.
+type perfEntry struct {
+	name      string
+	benchtime string
+	fn        func(b *testing.B)
+}
+
+// perfSuite returns the benchmark suite in report order.
+func perfSuite() []perfEntry {
+	const stepIters = "200x"
+	return []perfEntry{
+		{"kernel/axpy-512", "", benchKernel(512, func(x, y []float32) { tensor.Axpy(0.5, x, y) })},
+		{"kernel/dot-512", "", benchKernel(512, func(x, y []float32) { sinkPerf = tensor.Dot(x, y) })},
+		{"kernel/scale-512", "", benchKernel(512, func(x, _ []float32) { tensor.Scale(1.0001, x) })},
+		{"kernel/mulvec-256x512", "", benchMulVec(false)},
+		{"kernel/mulvect-256x512", "", benchMulVec(true)},
+		{"kernel/addouter-256x512", "", benchAddOuter()},
+		{"pq/enqueue-drain-64", "", benchPQCycle},
+		{"steploop/frugal-sgd-g1", stepIters, benchStepLoop(runtime.Config{Engine: runtime.EngineFrugal})},
+		{"steploop/frugal-adagrad-g1", stepIters, benchStepLoop(runtime.Config{Engine: runtime.EngineFrugal, Optimizer: runtime.OptAdagrad})},
+		{"steploop/frugal-sync-g1", stepIters, benchStepLoop(runtime.Config{Engine: runtime.EngineFrugalSync})},
+		{"steploop/direct-g1", stepIters, benchStepLoop(runtime.Config{Engine: runtime.EngineDirect})},
+	}
+}
+
+// sinkPerf defeats dead-code elimination of pure kernels.
+var sinkPerf float32
+
+func benchKernel(dim int, f func(x, y []float32)) func(b *testing.B) {
+	return func(b *testing.B) {
+		x := make([]float32, dim)
+		y := make([]float32, dim)
+		for i := range x {
+			x[i] = float32(i%7) * 0.25
+			y[i] = float32(i%5) * 0.5
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f(x, y)
+		}
+	}
+}
+
+func benchMulVec(transpose bool) func(b *testing.B) {
+	const rows, cols = 256, 512
+	return func(b *testing.B) {
+		m := tensor.NewMatrix(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = float32(i%11) * 0.1
+		}
+		xn, dn := cols, rows
+		if transpose {
+			xn, dn = rows, cols
+		}
+		x := make([]float32, xn)
+		dst := make([]float32, dn)
+		for i := range x {
+			x[i] = float32(i%3) * 0.5
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if transpose {
+				m.MulVecT(x, dst)
+			} else {
+				m.MulVec(x, dst)
+			}
+		}
+	}
+}
+
+func benchAddOuter() func(b *testing.B) {
+	const rows, cols = 256, 512
+	return func(b *testing.B) {
+		m := tensor.NewMatrix(rows, cols)
+		a := make([]float32, rows)
+		x := make([]float32, cols)
+		for i := range a {
+			a[i] = float32(i%13) * 0.01
+		}
+		for i := range x {
+			x[i] = float32(i%7) * 0.1
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.AddOuter(0.01, a, x)
+		}
+	}
+}
+
+// benchPQCycle measures one enqueue+drain cycle of 64 g-entries through
+// the two-level queue (the flusher pool's hot loop).
+func benchPQCycle(b *testing.B) {
+	const cycle = 64
+	q, err := pq.NewTwoLevelPQ(pq.TwoLevelOptions{MaxStep: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	entries := make([]*pq.GEntry, cycle)
+	for i := range entries {
+		entries[i] = pq.NewGEntry(uint64(i))
+	}
+	claim := func(g *pq.GEntry, slotPriority int64) bool {
+		if !g.InQueue || g.Priority != slotPriority {
+			return false
+		}
+		g.InQueue = false
+		g.TakeWrites()
+		return true
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range entries {
+			g.Mu.Lock()
+			g.AddRead(1)
+			g.AddWrite(1, nil)
+			g.Priority = g.ComputePriority()
+			g.InQueue = true
+			q.Enqueue(g, g.Priority)
+			g.Mu.Unlock()
+		}
+		drained := 0
+		for drained < cycle {
+			n := q.ProcessBatch(cycle, func(g *pq.GEntry, p int64) bool {
+				ok := claim(g, p)
+				if ok {
+					g.RemoveRead(1)
+					g.FlushedWrites(nil)
+				}
+				return ok
+			})
+			drained += n
+		}
+	}
+}
+
+// benchStepLoop measures one global training step of the microbenchmark
+// workload — the same shape as internal/runtime's BenchmarkStepLoop, so
+// `go test -bench StepLoop ./internal/runtime` reproduces these rows.
+func benchStepLoop(cfg runtime.Config) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := cfg
+		cfg.NumGPUs = 1
+		cfg.Rows = 50_000
+		cfg.Dim = 64
+		cfg.CacheRatio = 0.1
+		cfg.Seed = 7
+		trace := data.NewSyntheticTrace(
+			data.NewScrambledZipf(7, uint64(cfg.Rows), 0.9), 512, int64(b.N))
+		job, err := runtime.NewMicro(cfg, trace, int64(b.N))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		res, err := job.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if res.Steps != int64(b.N) {
+			b.Fatalf("ran %d steps, want %d", res.Steps, b.N)
+		}
+	}
+}
+
+// perfInit registers the testing flags exactly once so RunPerf can set
+// test.benchtime outside a `go test` binary (testing.Init is idempotent).
+var perfInit sync.Once
+
+// RunPerf executes the perf suite and returns the report. quick shortens
+// the time-based measurement windows to 50ms (CI smoke — enough for the
+// allocs/op gate, which needs no statistical power); full runs measure 1s
+// per benchmark. Rows with a fixed iteration count (the step loops) run
+// identically in both modes, so their allocs/op is comparable between a
+// full-window baseline and a quick CI re-run.
+func RunPerf(quick bool) PerfReport {
+	perfInit.Do(testing.Init)
+	window := "1s"
+	if quick {
+		window = "50ms"
+	}
+	rep := PerfReport{
+		GoVersion: goruntime.Version(),
+		GOARCH:    goruntime.GOARCH,
+		NumCPU:    goruntime.NumCPU(),
+		Quick:     quick,
+	}
+	for _, s := range perfSuite() {
+		bt := s.benchtime
+		if bt == "" {
+			bt = window
+		}
+		if err := flag.Set("test.benchtime", bt); err != nil {
+			panic(err) // testing.Init registers the flag; Set cannot fail
+		}
+		r := testing.Benchmark(s.fn)
+		rep.Benchmarks = append(rep.Benchmarks, PerfBench{
+			Name:        s.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return rep
+}
+
+// WritePerf serialises a report as indented JSON (stable field order).
+func WritePerf(w io.Writer, rep PerfReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadPerf parses a serialised report.
+func ReadPerf(r io.Reader) (PerfReport, error) {
+	var rep PerfReport
+	err := json.NewDecoder(r).Decode(&rep)
+	return rep, err
+}
+
+// ComparePerf diffs current against a baseline. Allocation regressions are
+// hard failures (allocs/op is deterministic for this suite); ns/op moves
+// are advisory notes, since wall-clock varies across machines. A benchmark
+// present in only one report is a note, not a failure.
+func ComparePerf(current, baseline PerfReport) (failures, notes []string) {
+	base := make(map[string]PerfBench, len(baseline.Benchmarks))
+	for _, pb := range baseline.Benchmarks {
+		base[pb.Name] = pb
+	}
+	seen := make(map[string]bool, len(current.Benchmarks))
+	for _, cur := range current.Benchmarks {
+		seen[cur.Name] = true
+		b, ok := base[cur.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: new benchmark (no baseline)", cur.Name))
+			continue
+		}
+		// Small absolute slack absorbs one-off warm-up allocations that
+		// land inside short CI measurement windows.
+		if limit := b.AllocsPerOp + b.AllocsPerOp/4 + 2; cur.AllocsPerOp > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s: allocs/op regressed %d → %d (limit %d)",
+				cur.Name, b.AllocsPerOp, cur.AllocsPerOp, limit))
+		}
+		if b.NsPerOp > 0 {
+			ratio := cur.NsPerOp / b.NsPerOp
+			if ratio > 1.5 || ratio < 0.67 {
+				notes = append(notes, fmt.Sprintf(
+					"%s: ns/op %.0f → %.0f (%.2fx, advisory)", cur.Name, b.NsPerOp, cur.NsPerOp, ratio))
+			}
+		}
+	}
+	var missing []string
+	for name := range base {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		notes = append(notes, "missing from current run: "+strings.Join(missing, ", "))
+	}
+	return failures, notes
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestComparePerf(t *testing.T) {
+	base := PerfReport{Benchmarks: []PerfBench{
+		{Name: "a", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "b", NsPerOp: 100, AllocsPerOp: 40},
+		{Name: "gone", NsPerOp: 100, AllocsPerOp: 1},
+	}}
+	cur := PerfReport{Benchmarks: []PerfBench{
+		{Name: "a", NsPerOp: 300, AllocsPerOp: 3},   // allocs 0→3 exceeds 0+0+2; ns note
+		{Name: "b", NsPerOp: 100, AllocsPerOp: 50},  // within 40*1.25+2
+		{Name: "new", NsPerOp: 50, AllocsPerOp: 10}, // no baseline: note only
+	}}
+	failures, notes := ComparePerf(cur, base)
+	if len(failures) != 1 || !strings.Contains(failures[0], "a: allocs/op regressed 0 → 3") {
+		t.Fatalf("failures = %v, want exactly the allocs regression on a", failures)
+	}
+	joined := strings.Join(notes, "\n")
+	for _, want := range []string{"a: ns/op", "new: new benchmark", "missing from current run: gone"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("notes %v missing %q", notes, want)
+		}
+	}
+}
+
+func TestPerfReportRoundTrip(t *testing.T) {
+	rep := PerfReport{GitSHA: "abc123", GoVersion: "go1.x", GOARCH: "amd64", NumCPU: 4,
+		Benchmarks: []PerfBench{{Name: "k", NsPerOp: 12.5, AllocsPerOp: 1, BytesPerOp: 64}}}
+	var buf bytes.Buffer
+	if err := WritePerf(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPerf(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GitSHA != rep.GitSHA || len(got.Benchmarks) != 1 || got.Benchmarks[0] != rep.Benchmarks[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+// TestRunPerfQuick smoke-runs the real suite: every benchmark must produce
+// a positive ns/op, and the zero-alloc rows must hold even in the short
+// measurement window (this is exactly what the CI gate relies on).
+func TestRunPerfQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf suite in -short mode")
+	}
+	rep := RunPerf(true)
+	if len(rep.Benchmarks) != len(perfSuite()) {
+		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(perfSuite()))
+	}
+	for _, pb := range rep.Benchmarks {
+		if pb.NsPerOp <= 0 {
+			t.Fatalf("%s: ns/op = %v", pb.Name, pb.NsPerOp)
+		}
+		if strings.HasPrefix(pb.Name, "kernel/") && pb.AllocsPerOp != 0 {
+			t.Fatalf("%s: allocs/op = %d, want 0", pb.Name, pb.AllocsPerOp)
+		}
+	}
+}

@@ -27,6 +27,12 @@ type slot struct {
 	key     uint64
 	version uint64
 	freq    uint32
+	// epoch is the Meta epoch in which this slot was last touched (hit,
+	// filled, or bumped). While it equals the current epoch the slot is
+	// *pinned*: fill will not reuse its storage, so rows handed out during
+	// the epoch stay valid. Slots keep their epoch even when invalidated —
+	// the row storage may still be aliased by an earlier gather this step.
+	epoch uint64
 }
 
 // Cache is one GPU's embedding cache: a Meta directory plus row storage
@@ -75,8 +81,11 @@ func (c *Cache) row(slotIdx int) []float32 {
 // as wantVersion. A present-but-stale row counts as a miss (and is
 // invalidated) because host memory holds newer flushed updates.
 // The returned slice aliases cache storage; callers may mutate it in place
-// (that is how local updates are applied) but must not retain it across a
-// subsequent Insert, which may reuse the slot.
+// (that is how local updates are applied). Without epoch pinning it must
+// not be retained across a subsequent Insert, which may reuse the slot;
+// under BeginEpoch the hit pins the slot, so the row stays valid until the
+// next epoch — the runtime's gather phase relies on this to hand the slab
+// row to the compute phase without a copy.
 func (c *Cache) Lookup(key uint64, wantVersion uint64) ([]float32, bool) {
 	i := c.probe(key, wantVersion)
 	if i < 0 {
@@ -88,9 +97,15 @@ func (c *Cache) Lookup(key uint64, wantVersion uint64) ([]float32, bool) {
 // Insert fills the row for key at the given version, evicting the
 // least-frequently-used slot of the set when full (HugeCTR-style
 // frequency admission). It returns the slice the caller must copy the row
-// into, plus the evicted key (or ok=false when no eviction happened).
+// into, plus the evicted key (or wasEviction=false when no eviction
+// happened). With epoch pinning active, a set whose slots are all pinned
+// by the current epoch rejects the insert with dst == nil; the caller must
+// fall back to private storage for this access.
 func (c *Cache) Insert(key uint64, version uint64) (dst []float32, evicted uint64, wasEviction bool) {
 	i, ev, was := c.fill(key, version)
+	if i < 0 {
+		return nil, 0, false
+	}
 	return c.row(i), ev, was
 }
 

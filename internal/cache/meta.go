@@ -19,6 +19,12 @@ type Meta struct {
 	stale    int64
 	inserted int64
 	evicted  int64
+	// epoch implements slot pinning (see BeginEpoch). 0 means pinning is
+	// disabled — the simulator's Meta-only users never call BeginEpoch and
+	// keep the historical always-evictable behaviour.
+	epoch uint64
+	// pinRejects counts fill calls that found every slot of the set pinned.
+	pinRejects int64
 
 	// obs mirrors the counters into the job's observability layer so a
 	// live Snapshot can read them race-free while the owning trainer runs
@@ -68,8 +74,31 @@ func (m *Meta) set(key uint64) int {
 	return int(h % uint64(m.sets))
 }
 
+// BeginEpoch starts a new pinning epoch. The runtime calls it once per
+// training step, before the gather phase: every slot the epoch touches
+// (hit or fill) is pinned — exempt from eviction — until the next
+// BeginEpoch, so the gather phase may hand out rows that alias cache
+// storage without a later insert in the same step reusing them. Callers
+// that never BeginEpoch (the simulator's Meta-only hit-rate tracking) get
+// the historical always-evictable behaviour.
+func (m *Meta) BeginEpoch() {
+	m.epoch++
+	if m.epoch == 0 { // uint64 wrap: re-arm rather than disable
+		m.epoch = 1
+		for i := range m.slots {
+			m.slots[i].epoch = 0
+		}
+	}
+}
+
+// pinned reports whether slot storage may be aliased by the current epoch.
+func (m *Meta) pinned(s *slot) bool {
+	return m.epoch != 0 && s.epoch == m.epoch
+}
+
 // probe returns the slot index of a live, fresh entry for key, or -1.
-// Present-but-stale entries are invalidated and counted.
+// Present-but-stale entries are invalidated and counted; their slot keeps
+// its pin (the storage may still be aliased by this epoch's earlier hits).
 func (m *Meta) probe(key uint64, wantVersion uint64) int {
 	base := m.set(key) * Ways
 	for i := base; i < base+Ways; i++ {
@@ -85,6 +114,7 @@ func (m *Meta) probe(key uint64, wantVersion uint64) int {
 			return -1
 		}
 		s.freq++
+		s.epoch = m.epoch
 		m.hits++
 		m.obs.Hit(m.gpu, key)
 		return i
@@ -113,7 +143,10 @@ func (m *Meta) Contains(key uint64) bool {
 
 // fill claims a slot for key at version, evicting the least-frequently
 // used entry of the set when necessary, and returns the slot index plus
-// eviction info.
+// eviction info. Slots pinned by the current epoch — including
+// invalidated-but-pinned ones, whose storage may still be aliased — are
+// never chosen; when the whole set is pinned, fill returns slotIdx -1 and
+// the caller must fall back to private scratch storage.
 func (m *Meta) fill(key uint64, version uint64) (slotIdx int, evicted uint64, wasEviction bool) {
 	base := m.set(key) * Ways
 	victim := -1
@@ -123,7 +156,11 @@ func (m *Meta) fill(key uint64, version uint64) (slotIdx int, evicted uint64, wa
 		if s.key == key {
 			s.version = version
 			s.freq++
+			s.epoch = m.epoch
 			return i, 0, false
+		}
+		if m.pinned(s) {
+			continue // storage aliased by this epoch's gathers
 		}
 		if s.key == emptyKey {
 			if victim == -1 || m.slots[victim].key != emptyKey {
@@ -140,12 +177,17 @@ func (m *Meta) fill(key uint64, version uint64) (slotIdx int, evicted uint64, wa
 			victimFreq = s.freq
 		}
 	}
+	if victim == -1 {
+		m.pinRejects++
+		return -1, 0, false
+	}
 	s := &m.slots[victim]
 	wasEviction = s.key != emptyKey
 	evicted = s.key
 	s.key = key
 	s.version = version
 	s.freq = 1
+	s.epoch = m.epoch
 	m.inserted++
 	if wasEviction {
 		m.evicted++
@@ -155,11 +197,16 @@ func (m *Meta) fill(key uint64, version uint64) (slotIdx int, evicted uint64, wa
 }
 
 // Fill records key at version (the slab-less insert used by the
-// simulator). It returns the evicted key, if any.
+// simulator). It returns the evicted key, if any. With every slot of the
+// set pinned (possible only after BeginEpoch) the fill is dropped.
 func (m *Meta) Fill(key uint64, version uint64) (evicted uint64, wasEviction bool) {
 	_, ev, was := m.fill(key, version)
 	return ev, was
 }
+
+// PinRejects reports how many fills were dropped because the whole set was
+// pinned by the current epoch (cache-bypass events; tests and diagnostics).
+func (m *Meta) PinRejects() int64 { return m.pinRejects }
 
 // Bump updates the stored version of a cached key; reports presence.
 func (m *Meta) Bump(key uint64, version uint64) bool {

@@ -43,6 +43,9 @@ type Batch struct {
 // FlushSink receives the pending updates of one parameter when a flushing
 // thread drains its g-entry. Implementations apply them to host memory.
 // Flush is called with the g-entry lock held, serialising flushes per key.
+// The updates slice is owned by the controller and reused after Flush
+// returns: implementations must not retain it (retaining the Delta buffers
+// is equally off-limits — the runtime pools them).
 type FlushSink interface {
 	Flush(key uint64, updates []pq.Update)
 }
@@ -417,6 +420,11 @@ func (c *Controller) stepReady(s int64) bool {
 // Synchronous training contract: all trainers must have finished *reading*
 // step s before any trainer commits it (the runtime enforces this with its
 // step barrier).
+//
+// The updates slice itself is not retained — callers may reuse it for the
+// next step. The Delta buffers inside it ARE retained (they join the write
+// sets) until a flushing thread hands them to the FlushSink; a pooling
+// caller gets them back through its sink.
 func (c *Controller) CommitStep(s int64, updates []KeyDelta) {
 	if c.degraded.Load() {
 		c.commitDegraded(s, updates)
@@ -549,6 +557,10 @@ func (c *Controller) flushEntry(flusher int, g *pq.GEntry, slotPriority int64) b
 	}
 	c.opt.Sink.Flush(g.Key, w)
 	c.flushedUpdates.Add(int64(len(w)))
+	// g.Mu has been held since TakeWrites and the sink is done with the
+	// slice (FlushSink must not retain it), so the entry can reuse its
+	// capacity for the next write burst.
+	g.FlushedWrites(w)
 	if c.fl != nil {
 		c.fl.Applied(flusher, g.Key, len(w), deferred, time.Since(start))
 	}

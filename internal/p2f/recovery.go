@@ -235,6 +235,7 @@ func (c *Controller) commitDegraded(s int64, updates []KeyDelta) {
 		w := g.TakeWrites()
 		c.opt.Sink.Flush(g.Key, w)
 		c.flushedUpdates.Add(int64(len(w)))
+		g.FlushedWrites(w) // Mu held throughout; sink does not retain w
 		g.Mu.Unlock()
 	}
 	c.mu.Lock()

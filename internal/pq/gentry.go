@@ -116,6 +116,19 @@ func (g *GEntry) TakeWrites() []Update {
 	return w
 }
 
+// FlushedWrites hands the storage of a flushed write set back to the entry
+// so future AddWrite calls reuse its capacity instead of growing a fresh
+// slice from nil. Callers must have held Mu continuously since the
+// TakeWrites that produced w (otherwise concurrent AddWrites may already
+// have started a new W) and must be done with w's elements — the delta
+// buffers they reference have been applied and returned to their pool.
+func (g *GEntry) FlushedWrites(w []Update) {
+	if g.W != nil {
+		return // defensive: a new write set already exists
+	}
+	g.W = w[:0]
+}
+
 // String renders the entry for debugging, e.g. "g{k=3 R=[1 2] |W|=1 p=1}".
 func (g *GEntry) String() string {
 	p := "inf"

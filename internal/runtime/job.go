@@ -252,6 +252,10 @@ type Job struct {
 	barrier *Barrier
 	steps   int64
 	samples int // per global step, for throughput accounting
+	// rowPool recycles per-key delta rows across steps (DESIGN.md §5d).
+	// Shared by all trainers; EngineFrugal's flush sink returns buffers here
+	// after the host apply.
+	rowPool *rowPool
 
 	// Observability sinks, cached off cfg.Observer (all nil-safe no-ops
 	// when observability is off).
@@ -319,6 +323,7 @@ func newJob(cfg Config, steps int64, samplesPerStep int,
 	j := &Job{
 		cfg:      cfg,
 		host:     host,
+		rowPool:  newRowPool(cfg.Dim),
 		trace:    data.NewPayloadTrace(gen),
 		barrier:  NewBarrier(cfg.NumGPUs),
 		steps:    steps,
@@ -367,6 +372,9 @@ func newJob(cfg Config, steps int64, samplesPerStep int,
 			Recovery:         cfg.Recovery,
 			Sink: p2f.FlushSinkFunc(func(key uint64, updates []pq.Update) {
 				host.ApplyUpdates(key, updates)
+				// The gate guarantees no reader still needs these deltas
+				// once they are applied; recycle them for future commits.
+				j.rowPool.PutUpdates(updates)
 			}),
 			Source: j.trace,
 		})

@@ -1,0 +1,48 @@
+package runtime
+
+import (
+	"testing"
+
+	"frugal/internal/data"
+)
+
+// BenchmarkStepLoop measures the steady-state cost of one global training
+// step of the microbenchmark workload (pure embedding traffic), per engine.
+// One benchmark op == one training step. cmd/frugal-bench -perf runs the
+// same shape through testing.Benchmark and records it in the perf baseline.
+func BenchmarkStepLoop(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"frugal-sgd-g1", Config{Engine: EngineFrugal, NumGPUs: 1}},
+		{"frugal-adagrad-g1", Config{Engine: EngineFrugal, NumGPUs: 1, Optimizer: OptAdagrad}},
+		{"frugal-sync-g1", Config{Engine: EngineFrugalSync, NumGPUs: 1}},
+		{"direct-g1", Config{Engine: EngineDirect, NumGPUs: 1}},
+		{"frugal-sgd-g4", Config{Engine: EngineFrugal, NumGPUs: 4}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := tc.cfg
+			cfg.Rows = 50_000
+			cfg.Dim = 64
+			cfg.CacheRatio = 0.1
+			cfg.Seed = 7
+			trace := data.NewSyntheticTrace(
+				data.NewScrambledZipf(7, uint64(cfg.Rows), 0.9), 512, int64(b.N))
+			job, err := NewMicro(cfg, trace, int64(b.N))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			res, err := job.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if res.Steps != int64(b.N) {
+				b.Fatalf("ran %d steps, want %d", res.Steps, b.N)
+			}
+		})
+	}
+}

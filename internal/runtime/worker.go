@@ -54,45 +54,45 @@ func (j *Job) dispatch(ctx context.Context, chans []chan stepMsg) {
 	}
 }
 
-// workerState is the per-GPU scratch reused across steps.
+// workerState is the per-GPU scratch reused across steps. After a few
+// warm-up steps every buffer here has reached its steady-state size and
+// the step path stops allocating (the alloc_test.go regression tests pin
+// this; DESIGN.md §5d records the ownership rules).
 type workerState struct {
-	id        int
-	rows      [][]float32 // gathered row views, aligned with shard keys
-	grads     [][]float32 // per-occurrence gradient buffers
-	scratch   [][]float32 // backing buffers for host-read rows
-	deltas    map[uint64][]float32
-	gatherVer map[uint64]uint64 // owned keys' host version at gather time
-	// gatherState is the per-key optimizer accumulator at gather time —
-	// the gate guarantees it is stable while the step reads, and reading
-	// it here (not at commit time) keeps the optimizer deterministic
-	// under concurrent flushes of other workers' partials.
-	gatherState map[uint64]float32
+	id      int
+	rows    [][]float32 // gathered row views, aligned with shard keys
+	grads   [][]float32 // per-occurrence gradient buffers, zero outside compute→commit
+	scratch [][]float32 // backing buffers for host-read rows
+	// kt holds all per-key step state (gather version, optimizer
+	// accumulator, gathered row, accumulated delta), replacing the three
+	// per-step maps the hot path used to churn through.
+	kt *keyTable
+	// dirty lists the distinct keys of the current commit in first-
+	// occurrence order. Slot pointers are stable throughout commit because
+	// only the gather phase can grow the table.
+	dirty []*ktSlot
+	// upd is the reusable CommitStep batch (EngineFrugal); the controller
+	// does not retain the slice, only the delta buffers inside it.
+	upd []p2f.KeyDelta
 }
 
 func (j *Job) newWorkerState(id int) *workerState {
-	return &workerState{
-		id:          id,
-		deltas:      make(map[uint64][]float32),
-		gatherVer:   make(map[uint64]uint64),
-		gatherState: make(map[uint64]float32),
-	}
+	return &workerState{id: id, kt: newKeyTable()}
 }
 
+// ensure sizes the per-occurrence buffers and opens a fresh keyTable
+// generation. Gradient buffers are NOT zeroed here: they are allocated
+// zeroed, and commit's fused CopyClear/AccumClear returns them to zero
+// after consuming them, so they are always zero outside the
+// compute→commit window — the O(batch·dim) per-step wipe the old code
+// paid is gone.
 func (ws *workerState) ensure(n, dim int) {
 	for len(ws.rows) < n {
 		ws.rows = append(ws.rows, nil)
 		ws.grads = append(ws.grads, make([]float32, dim))
 		ws.scratch = append(ws.scratch, make([]float32, dim))
 	}
-	for i := 0; i < n; i++ {
-		tensor.Zero(ws.grads[i])
-	}
-	for k := range ws.gatherVer {
-		delete(ws.gatherVer, k)
-	}
-	for k := range ws.gatherState {
-		delete(ws.gatherState, k)
-	}
+	ws.kt.reset()
 }
 
 // workerLoop is one trainer process (one GPU).
@@ -175,23 +175,38 @@ func (j *Job) step(ws *workerState, msg stepMsg) {
 	j.finishStep(ws.id, msg.step, stalled, wall)
 }
 
-// gather fills ws.rows[i] for every shard key occurrence.
+// gather fills ws.rows[i] for every shard key occurrence. Each distinct
+// key is resolved once through its keyTable slot; repeat occurrences alias
+// the first occurrence's row. This is safe because the step barriers
+// keep host rows stable for the whole gather phase (commits of the
+// previous step land before it, commits of this step after it), so every
+// occurrence of a key reads the same bytes by construction.
 func (j *Job) gather(ws *workerState, keys []uint64) {
+	if j.caches != nil {
+		// New pinning epoch: rows the cache hands out this step stay valid
+		// until the next step even if later gathers fill the same set.
+		j.caches[ws.id].BeginEpoch()
+	}
+	adagrad := j.cfg.Optimizer == OptAdagrad
 	for i, k := range keys {
-		if j.cfg.Optimizer == OptAdagrad {
-			if _, seen := ws.gatherState[k]; !seen {
-				ws.gatherState[k] = j.host.OptState(k)
-			}
+		s, fresh := ws.kt.get(k)
+		if !fresh {
+			ws.rows[i] = s.row
+			continue
+		}
+		if adagrad {
+			s.state = j.host.OptState(k)
 		}
 		switch j.cfg.Engine {
 		case EngineDirect, EngineAsync:
 			j.host.ReadRowLocked(k, ws.scratch[i])
-			ws.rows[i] = ws.scratch[i]
+			s.row = ws.scratch[i]
 		case EngineFrugalSync:
-			j.gatherCached(ws, i, k, true)
+			j.gatherCached(ws, s, i, k, true)
 		case EngineFrugal:
-			j.gatherCached(ws, i, k, false)
+			j.gatherCached(ws, s, i, k, false)
 		}
+		ws.rows[i] = s.row
 	}
 }
 
@@ -200,33 +215,38 @@ func (j *Job) gather(ws *workerState, keys []uint64) {
 // keys are read straight from host memory (the UVA path of §3.1, safe
 // without locks under the gate's no-pending-writes guarantee). locked
 // selects the locked host read used by the write-through engine.
-func (j *Job) gatherCached(ws *workerState, i int, k uint64, locked bool) {
+//
+// Cache rows are NOT copied out: the epoch pin taken by the hit (or fill)
+// keeps the slot's storage untouched for the rest of the step, so the
+// compute phase reads the slab directly — a hit costs zero copies and a
+// miss exactly one (host → slab). Only when every way of the set is
+// pinned by this step's earlier keys does the access fall back to the
+// worker's private scratch row.
+func (j *Job) gatherCached(ws *workerState, s *ktSlot, i int, k uint64, locked bool) {
 	read := j.host.ReadRow
 	if locked {
 		read = j.host.ReadRowLocked
 	}
 	if comm.Owner(k, j.cfg.NumGPUs) != ws.id {
 		read(k, ws.scratch[i])
-		ws.rows[i] = ws.scratch[i]
+		s.row = ws.scratch[i]
 		return
 	}
 	c := j.caches[ws.id]
 	ver := j.host.Version(k)
-	if _, seen := ws.gatherVer[k]; !seen {
-		ws.gatherVer[k] = ver
-	}
-	// Rows are always copied out of the cache slab (the "transfer into GPU
-	// registers"): a later insert in the same gather may evict the slot
-	// and reuse its storage for a different key, so views must not alias.
+	s.ver = ver
 	if row, hit := c.Lookup(k, ver); hit {
-		tensor.Copy(ws.scratch[i], row)
-		ws.rows[i] = ws.scratch[i]
+		s.row = row
 		return
 	}
-	dst, _, _ := c.Insert(k, ver)
-	read(k, dst)
-	tensor.Copy(ws.scratch[i], dst)
-	ws.rows[i] = ws.scratch[i]
+	if dst, _, _ := c.Insert(k, ver); dst != nil {
+		read(k, dst)
+		s.row = dst
+		return
+	}
+	// Whole set pinned by this step's gathers: bypass the cache.
+	read(k, ws.scratch[i])
+	s.row = ws.scratch[i]
 }
 
 // commit aggregates the per-occurrence gradients into one per-key
@@ -236,50 +256,67 @@ func (j *Job) gatherCached(ws *workerState, i int, k uint64, locked bool) {
 // under the gate's no-pending-writes guarantee — so every engine, at any
 // GPU count, computes identical deltas for identical traces.
 func (j *Job) commit(ws *workerState, step int64, keys []uint64) {
-	for k := range ws.deltas {
-		delete(ws.deltas, k)
-	}
+	// Phase 1: fold per-occurrence gradients into one pooled delta row per
+	// distinct key. The fused kernels zero each gradient buffer as they
+	// consume it, restoring the grads-are-zero-between-steps invariant
+	// without a separate wipe. Pooled buffers arrive dirty; CopyClear
+	// fully overwrites them.
+	ws.dirty = ws.dirty[:0]
 	for i, k := range keys {
-		d, ok := ws.deltas[k]
-		if !ok {
-			d = make([]float32, j.cfg.Dim)
-			ws.deltas[k] = d
+		s, _ := ws.kt.get(k) // claimed during gather; never fresh here
+		if s.delta == nil {
+			s.delta = j.rowPool.Get()
+			tensor.CopyClear(s.delta, ws.grads[i])
+			ws.dirty = append(ws.dirty, s)
+		} else {
+			tensor.AccumClear(ws.grads[i], s.delta)
 		}
-		tensor.Axpy(1, ws.grads[i], d) // raw gradient sum per key
 	}
 
+	// Phase 2: optimize and route down the engine's write path, in
+	// deterministic first-occurrence order (the old map iteration was
+	// random; per-key results are order-independent either way).
 	switch j.cfg.Engine {
 	case EngineDirect, EngineAsync:
-		for k, g := range ws.deltas {
-			d, dG := j.optimize(ws, k, g)
-			j.host.ApplyDelta(k, d, dG)
+		for _, s := range ws.dirty {
+			d, dG := j.optimize(s)
+			j.host.ApplyDelta(s.key, d, dG)
+			j.rowPool.Put(s.delta)
+			s.delta = nil
 		}
 	case EngineFrugalSync:
 		// Write-through (Frugal-Sync of §4.1): apply synchronously to
 		// host; the owner's cached copy absorbs the delta in place.
-		for k, g := range ws.deltas {
-			d, dG := j.optimize(ws, k, g)
-			j.applyLocal(ws, k, d)
-			j.host.ApplyDelta(k, d, dG)
+		for _, s := range ws.dirty {
+			d, dG := j.optimize(s)
+			j.applyLocal(ws, s.key, d, s.ver)
+			j.host.ApplyDelta(s.key, d, dG)
+			j.rowPool.Put(s.delta)
+			s.delta = nil
 		}
 	case EngineFrugal:
-		upd := make([]p2f.KeyDelta, 0, len(ws.deltas))
-		for k, g := range ws.deltas {
-			d, dG := j.optimize(ws, k, g)
-			j.applyLocal(ws, k, d)
-			upd = append(upd, p2f.KeyDelta{Key: k, Delta: d, StateDelta: dG})
+		ws.upd = ws.upd[:0]
+		for _, s := range ws.dirty {
+			d, dG := j.optimize(s)
+			j.applyLocal(ws, s.key, d, s.ver)
+			ws.upd = append(ws.upd, p2f.KeyDelta{Key: s.key, Delta: d, StateDelta: dG})
+			// Ownership of the delta buffer moves to the P²F write set;
+			// the flush sink pools it back after the host apply.
+			s.delta = nil
 		}
-		j.flObs.Enqueued(ws.id, step, len(upd))
-		j.ctrl.CommitStep(step, upd)
+		j.flObs.Enqueued(ws.id, step, len(ws.upd))
+		j.ctrl.CommitStep(step, ws.upd)
 	}
 }
 
-// optimize turns a per-key raw gradient into the row delta to apply and
-// the optimizer-state increment, mutating the gradient buffer in place.
-// Adagrad operates on each worker's partial gradient (squared partials are
-// not additive), so results are deterministic per GPU count but differ
-// across GPU counts — the standard data-parallel Adagrad semantics.
-func (j *Job) optimize(ws *workerState, key uint64, g []float32) (delta []float32, stateDelta float32) {
+// optimize turns a per-key raw gradient (accumulated in s.delta) into the
+// row delta to apply and the optimizer-state increment, mutating the
+// buffer in place. Adagrad operates on each worker's partial gradient
+// (squared partials are not additive), so results are deterministic per
+// GPU count but differ across GPU counts — the standard data-parallel
+// Adagrad semantics.
+func (j *Job) optimize(s *ktSlot) (delta []float32, stateDelta float32) {
+	g := s.delta
 	switch j.cfg.Optimizer {
 	case OptAdagrad:
 		var sq float32
@@ -287,7 +324,7 @@ func (j *Job) optimize(ws *workerState, key uint64, g []float32) (delta []float3
 			sq += v * v
 		}
 		sq /= float32(len(g)) // row-wise: mean squared gradient
-		denom := float32(math.Sqrt(float64(ws.gatherState[key]+sq))) + j.cfg.AdagradEps
+		denom := float32(math.Sqrt(float64(s.state+sq))) + j.cfg.AdagradEps
 		tensor.Scale(-j.cfg.LR/denom, g)
 		return g, sq
 	default: // OptSGD
@@ -298,13 +335,13 @@ func (j *Job) optimize(ws *workerState, key uint64, g []float32) (delta []float3
 
 // applyLocal folds a delta into the worker's cached copy of an owned key
 // (no-op for foreign or uncached keys) and sets its version expectation to
-// gatherVersion+1: the cached copy is exactly as fresh as the host row
+// gatherVer+1: the cached copy is exactly as fresh as the host row
 // will be after this worker's own delta lands — and provably staler
 // whenever any other GPU's partial gradient for the same row lands too,
 // in which case the next Lookup refreshes from (gate-protected) host
 // memory. DESIGN.md §5 records this versioned-cache completion of the
 // paper's design.
-func (j *Job) applyLocal(ws *workerState, k uint64, d []float32) {
+func (j *Job) applyLocal(ws *workerState, k uint64, d []float32, gatherVer uint64) {
 	if comm.Owner(k, j.cfg.NumGPUs) != ws.id {
 		return
 	}
@@ -313,5 +350,5 @@ func (j *Job) applyLocal(ws *workerState, k uint64, d []float32) {
 		return
 	}
 	tensor.Axpy(1, d, row)
-	j.caches[ws.id].Bump(k, ws.gatherVer[k]+1)
+	j.caches[ws.id].Bump(k, gatherVer+1)
 }

@@ -1,0 +1,136 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Kernel micro-benchmarks at the embedding dimensions the runtime actually
+// uses (64 is the datasets' default EmbDim; 512 exercises the MLP widths).
+// cmd/frugal-bench -perf runs wall-clock equivalents of these through
+// testing.Benchmark and records them in BENCH_baseline.json.
+
+func benchVec(n int) ([]float32, []float32) {
+	rng := rand.New(rand.NewSource(42))
+	a := make([]float32, n)
+	b := make([]float32, n)
+	for i := range a {
+		a[i] = rng.Float32()
+		b[i] = rng.Float32()
+	}
+	return a, b
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	for _, dim := range []int{64, 512} {
+		b.Run(fmt.Sprintf("dim=%d", dim), func(b *testing.B) {
+			x, dst := benchVec(dim)
+			b.SetBytes(int64(8 * dim))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Axpy(0.5, x, dst)
+			}
+		})
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	for _, dim := range []int{64, 512} {
+		b.Run(fmt.Sprintf("dim=%d", dim), func(b *testing.B) {
+			x, y := benchVec(dim)
+			b.SetBytes(int64(8 * dim))
+			b.ReportAllocs()
+			var s float32
+			for i := 0; i < b.N; i++ {
+				s += Dot(x, y)
+			}
+			sinkF32 = s
+		})
+	}
+}
+
+func BenchmarkScale(b *testing.B) {
+	for _, dim := range []int{64, 512} {
+		b.Run(fmt.Sprintf("dim=%d", dim), func(b *testing.B) {
+			x, _ := benchVec(dim)
+			b.SetBytes(int64(4 * dim))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Scale(1.0000001, x)
+			}
+		})
+	}
+}
+
+func BenchmarkZero(b *testing.B) {
+	for _, dim := range []int{64, 512} {
+		b.Run(fmt.Sprintf("dim=%d", dim), func(b *testing.B) {
+			x, _ := benchVec(dim)
+			b.SetBytes(int64(4 * dim))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Zero(x)
+			}
+		})
+	}
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	for _, shape := range [][2]int{{64, 64}, {256, 512}} {
+		rows, cols := shape[0], shape[1]
+		b.Run(fmt.Sprintf("%dx%d", rows, cols), func(b *testing.B) {
+			m := NewMatrix(rows, cols)
+			rng := rand.New(rand.NewSource(7))
+			for i := range m.Data {
+				m.Data[i] = rng.Float32()
+			}
+			x, _ := benchVec(cols)
+			dst := make([]float32, rows)
+			b.SetBytes(int64(4 * rows * cols))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.MulVec(x, dst)
+			}
+		})
+	}
+}
+
+func BenchmarkMulVecT(b *testing.B) {
+	for _, shape := range [][2]int{{64, 64}, {256, 512}} {
+		rows, cols := shape[0], shape[1]
+		b.Run(fmt.Sprintf("%dx%d", rows, cols), func(b *testing.B) {
+			m := NewMatrix(rows, cols)
+			rng := rand.New(rand.NewSource(7))
+			for i := range m.Data {
+				m.Data[i] = rng.Float32()
+			}
+			x, _ := benchVec(rows)
+			dst := make([]float32, cols)
+			b.SetBytes(int64(4 * rows * cols))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.MulVecT(x, dst)
+			}
+		})
+	}
+}
+
+func BenchmarkAddOuter(b *testing.B) {
+	for _, shape := range [][2]int{{64, 64}, {256, 512}} {
+		rows, cols := shape[0], shape[1]
+		b.Run(fmt.Sprintf("%dx%d", rows, cols), func(b *testing.B) {
+			m := NewMatrix(rows, cols)
+			a, _ := benchVec(rows)
+			x, _ := benchVec(cols)
+			b.SetBytes(int64(4 * rows * cols))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.AddOuter(0.01, a, x)
+			}
+		})
+	}
+}
+
+// sinkF32 defeats dead-code elimination in reduction benchmarks.
+var sinkF32 float32

@@ -1,0 +1,255 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The unrolled/blocked kernels must agree with the naive scalar loops.
+// Elementwise kernels (Axpy, Scale, AddOuter, MulVec rows, CopyClear) and
+// the row-sequential MulVecT must be bitwise identical; Dot reassociates
+// across four accumulators, so it is compared within float32 ulp slack.
+
+// kernelLengths covers the unrolled body, the scalar tail, and both
+// degenerate ends.
+var kernelLengths = []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 100, 512}
+
+func fillRand(rng *rand.Rand, x []float32) {
+	for i := range x {
+		x[i] = rng.Float32()*4 - 2
+	}
+}
+
+func TestAxpyMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range kernelLengths {
+		x := make([]float32, n)
+		dst := make([]float32, n)
+		want := make([]float32, n)
+		fillRand(rng, x)
+		fillRand(rng, dst)
+		copy(want, dst)
+		const alpha = float32(-0.37)
+		for i := range want {
+			want[i] += alpha * x[i]
+		}
+		Axpy(alpha, x, dst)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d: dst[%d] = %v, want %v", n, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScaleMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range kernelLengths {
+		x := make([]float32, n)
+		want := make([]float32, n)
+		fillRand(rng, x)
+		const alpha = float32(1.618)
+		for i := range x {
+			want[i] = x[i] * alpha
+		}
+		Scale(alpha, x)
+		for i := range want {
+			if x[i] != want[i] {
+				t.Fatalf("n=%d: x[%d] = %v, want %v", n, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDotMatchesScalarWithinUlp(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range kernelLengths {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		fillRand(rng, a)
+		fillRand(rng, b)
+		var want float64
+		for i := range a {
+			want += float64(a[i]) * float64(b[i])
+		}
+		got := float64(Dot(a, b))
+		// The float64 reference bounds the scalar float32 result too; allow
+		// accumulated rounding proportional to n.
+		tol := 1e-4 * math.Max(1, math.Abs(want)) * math.Max(1, float64(n)/64)
+		if math.Abs(got-want) > tol {
+			t.Fatalf("n=%d: Dot = %v, float64 reference %v (tol %v)", n, got, want, tol)
+		}
+	}
+}
+
+func TestDotDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := make([]float32, 513)
+	b := make([]float32, 513)
+	fillRand(rng, a)
+	fillRand(rng, b)
+	first := Dot(a, b)
+	for i := 0; i < 10; i++ {
+		if got := Dot(a, b); got != first {
+			t.Fatalf("Dot not deterministic: %v then %v", first, got)
+		}
+	}
+}
+
+func TestCopyClear(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range kernelLengths {
+		src := make([]float32, n)
+		fillRand(rng, src)
+		want := make([]float32, n)
+		copy(want, src)
+		dst := make([]float32, n)
+		fillRand(rng, dst) // dirty recycled buffer
+		CopyClear(dst, src)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d: dst[%d] = %v, want %v", n, i, dst[i], want[i])
+			}
+			if src[i] != 0 {
+				t.Fatalf("n=%d: src[%d] = %v after CopyClear, want 0", n, i, src[i])
+			}
+		}
+	}
+}
+
+func TestAccumClear(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range kernelLengths {
+		src := make([]float32, n)
+		dst := make([]float32, n)
+		want := make([]float32, n)
+		fillRand(rng, src)
+		fillRand(rng, dst)
+		for i := range want {
+			want[i] = dst[i] + src[i]
+		}
+		AccumClear(src, dst)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d: dst[%d] = %v, want %v", n, i, dst[i], want[i])
+			}
+			if src[i] != 0 {
+				t.Fatalf("n=%d: src[%d] = %v after AccumClear, want 0", n, i, src[i])
+			}
+		}
+	}
+}
+
+func TestMulVecMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, shape := range [][2]int{{1, 1}, {3, 5}, {4, 8}, {5, 7}, {7, 16}, {64, 64}, {65, 33}} {
+		rows, cols := shape[0], shape[1]
+		m := NewMatrix(rows, cols)
+		fillRand(rng, m.Data)
+		x := make([]float32, cols)
+		fillRand(rng, x)
+		got := make([]float32, rows)
+		m.MulVec(x, got)
+		for i := 0; i < rows; i++ {
+			var want float32
+			for j, v := range m.Row(i) {
+				want += v * x[j]
+			}
+			if got[i] != want {
+				t.Fatalf("%dx%d: dst[%d] = %v, want %v (bitwise)", rows, cols, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestMulVecTMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, shape := range [][2]int{{1, 1}, {3, 5}, {4, 8}, {5, 7}, {16, 7}, {64, 64}, {65, 33}} {
+		rows, cols := shape[0], shape[1]
+		for _, withZeros := range []bool{false, true} {
+			m := NewMatrix(rows, cols)
+			fillRand(rng, m.Data)
+			x := make([]float32, rows)
+			fillRand(rng, x)
+			if withZeros {
+				// ReLU-masked upstream gradient: zero every third entry.
+				for i := 0; i < rows; i += 3 {
+					x[i] = 0
+				}
+			}
+			want := make([]float32, cols)
+			for i := 0; i < rows; i++ {
+				xi := x[i]
+				if xi == 0 {
+					continue
+				}
+				for j, v := range m.Row(i) {
+					want[j] += v * xi
+				}
+			}
+			got := make([]float32, cols)
+			m.MulVecT(x, got)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("%dx%d zeros=%v: dst[%d] = %v, want %v (bitwise)",
+						rows, cols, withZeros, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestAddOuterMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, shape := range [][2]int{{1, 1}, {3, 5}, {4, 8}, {5, 7}, {16, 17}, {64, 64}} {
+		rows, cols := shape[0], shape[1]
+		m := NewMatrix(rows, cols)
+		fillRand(rng, m.Data)
+		want := NewMatrix(rows, cols)
+		copy(want.Data, m.Data)
+		a := make([]float32, rows)
+		b := make([]float32, cols)
+		fillRand(rng, a)
+		fillRand(rng, b)
+		a[rows/2] = 0 // exercise the zero-coefficient skip
+		const alpha = float32(0.25)
+		for i := 0; i < rows; i++ {
+			ai := alpha * a[i]
+			if ai == 0 {
+				continue
+			}
+			row := want.Row(i)
+			for j, v := range b {
+				row[j] += ai * v
+			}
+		}
+		m.AddOuter(alpha, a, b)
+		for i := range m.Data {
+			if m.Data[i] != want.Data[i] {
+				t.Fatalf("%dx%d: data[%d] = %v, want %v (bitwise)", rows, cols, i, m.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestKernelPanicsPreserved(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic on length mismatch", name)
+			}
+		}()
+		f()
+	}
+	a3, a4 := make([]float32, 3), make([]float32, 4)
+	mustPanic("Axpy", func() { Axpy(1, a3, a4) })
+	mustPanic("Dot", func() { Dot(a3, a4) })
+	mustPanic("CopyClear", func() { CopyClear(a3, a4) })
+	mustPanic("AccumClear", func() { AccumClear(a3, a4) })
+	m := NewMatrix(2, 3)
+	mustPanic("MulVec", func() { m.MulVec(a4, a3) })
+	mustPanic("MulVecT", func() { m.MulVecT(a3, a4) })
+	mustPanic("AddOuter", func() { m.AddOuter(1, a3, a4) })
+}

