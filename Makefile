@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-core bench bench-baseline bench-check check
+.PHONY: build vet test race race-core serve-demo bench bench-baseline bench-check check
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,13 @@ race:
 
 # The concurrency-heavy packages only — the CI race job.
 race-core:
-	$(GO) test -race ./internal/runtime/... ./internal/p2f/... ./internal/fault/... ./internal/pq/... ./internal/lfht/...
+	$(GO) test -race ./internal/runtime/... ./internal/p2f/... ./internal/fault/... ./internal/pq/... ./internal/lfht/... ./internal/serve/...
+
+# Train a small checkpoint, then hammer it with the serving load
+# generator for 5s and print the latency report.
+serve-demo: build
+	$(GO) run ./cmd/frugal-train -micro -gpus 2 -steps 300 -keys 20000 -checkpoint-out /tmp/frugal-demo.ckpt
+	$(GO) run ./cmd/frugal-serve -checkpoint /tmp/frugal-demo.ckpt -loadgen 5s -level 'bounded(2)'
 
 # One pass over every benchmark (sanity, not measurement).
 bench:

@@ -1,0 +1,113 @@
+// Command frugal-serve answers embedding lookups and top-K similarity
+// queries over HTTP from a checkpoint trained by frugal-train — the
+// host-memory slab as a serving store (§3's freshest-copy property, put
+// to work).
+//
+// Usage:
+//
+//	frugal-train -micro -steps 200 -checkpoint-out demo.ckpt
+//	frugal-serve -checkpoint demo.ckpt -addr :8080
+//	curl 'localhost:8080/lookup?key=42&level=bounded(2)'
+//	curl 'localhost:8080/topk?q=0.1,0.2,0.3&k=5'
+//
+// With -loadgen it runs the closed-loop load generator against the
+// checkpoint instead and prints a latency report (`make serve-demo`).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"frugal"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr        = flag.String("addr", ":8080", "HTTP listen address")
+		checkpoint  = flag.String("checkpoint", "", "checkpoint to serve (from frugal-train -checkpoint-out)")
+		level       = flag.String("level", "stale", "default consistency level: stale, bounded(k), fresh")
+		rejectStale = flag.Bool("reject-stale", false, "refuse bounded lookups over the bound instead of force-flushing")
+		maxTopK     = flag.Int("max-topk", 128, "largest accepted top-K query size")
+		loadGen     = flag.Duration("loadgen", 0, "run the closed-loop load generator for this long and exit (0 = serve HTTP)")
+		workers     = flag.Int("workers", 4, "load-generator closed-loop workers")
+		zipf        = flag.Float64("zipf", 0.9, "load-generator Zipf key-skew exponent θ")
+		topkFrac    = flag.Float64("topk-frac", 0.05, "load-generator fraction of top-K queries")
+		k           = flag.Int("k", 10, "load-generator top-K size")
+		seed        = flag.Int64("seed", 1, "load-generator random seed")
+		jsonOut     = flag.Bool("json", false, "emit the load-generator report as JSON")
+	)
+	flag.Parse()
+
+	lvl, err := validate(options{
+		Addr: *addr, Checkpoint: *checkpoint, Level: *level, MaxTopK: *maxTopK,
+		LoadGen: *loadGen, Workers: *workers, Zipf: *zipf, TopKFrac: *topkFrac, K: *k,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frugal-serve:", err)
+		flag.Usage()
+		return 2
+	}
+
+	f, err := os.Open(*checkpoint)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	srv, err := frugal.NewServerFromCheckpoint(f, frugal.ServeOptions{
+		Level: lvl, RejectStale: *rejectStale, MaxTopK: *maxTopK,
+	})
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	if *loadGen > 0 {
+		rep, err := srv.RunLoadGen(frugal.LoadGenOptions{
+			Workers: *workers, Duration: *loadGen, Zipf: *zipf,
+			TopKFraction: *topkFrac, K: *k, Level: lvl, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			return 0
+		}
+		report(rep)
+		return 0
+	}
+
+	fmt.Printf("serving %d rows × dim %d at %s (level %s)\n", srv.Rows(), srv.Dim(), *addr, lvl)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+func report(rep frugal.LoadGenReport) {
+	fmt.Printf("level:            %s\n", rep.Level)
+	fmt.Printf("workers:          %d\n", rep.Workers)
+	fmt.Printf("elapsed:          %v\n", rep.Elapsed)
+	fmt.Printf("throughput:       %.0f queries/s\n", rep.QPS)
+	fmt.Printf("lookups:          %d (mean %v)\n", rep.Lookups, rep.LookupLatency.Mean())
+	fmt.Printf("topk queries:     %d (mean %v)\n", rep.TopKs, rep.TopKLatency.Mean())
+	if rep.Rejected > 0 {
+		fmt.Printf("rejected:         %d (staleness bound)\n", rep.Rejected)
+	}
+	if rep.Errors > 0 {
+		fmt.Printf("errors:           %d\n", rep.Errors)
+	}
+}

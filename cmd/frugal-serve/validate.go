@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"frugal"
+)
+
+// options are the flag values vetted before any serving work starts.
+type options struct {
+	Addr       string
+	Checkpoint string
+	Level      string
+	MaxTopK    int
+	LoadGen    time.Duration
+	Workers    int
+	Zipf       float64
+	TopKFrac   float64
+	K          int
+	statFile   func(string) error // test seam; nil = os.Stat
+}
+
+// validate rejects invalid flag combinations up front with a usage error —
+// a bad consistency level, a negative staleness bound, a missing
+// checkpoint — instead of failing after the slab is half-loaded or the
+// load run has started. It returns the parsed default consistency level.
+func validate(o options) (frugal.ServeLevel, error) {
+	lvl, err := frugal.ParseServeLevel(o.Level)
+	if err != nil {
+		return frugal.ServeLevel{}, fmt.Errorf("-level: %w", err)
+	}
+	if o.Checkpoint == "" {
+		return frugal.ServeLevel{}, fmt.Errorf("-checkpoint is required (train one with frugal-train -checkpoint-out)")
+	}
+	stat := o.statFile
+	if stat == nil {
+		stat = func(path string) error {
+			_, err := os.Stat(path)
+			return err
+		}
+	}
+	if err := stat(o.Checkpoint); err != nil {
+		return frugal.ServeLevel{}, fmt.Errorf("-checkpoint: %w", err)
+	}
+	if o.MaxTopK < 1 {
+		return frugal.ServeLevel{}, fmt.Errorf("-max-topk must be at least 1 (got %d)", o.MaxTopK)
+	}
+	if o.LoadGen < 0 {
+		return frugal.ServeLevel{}, fmt.Errorf("-loadgen must not be negative (got %v)", o.LoadGen)
+	}
+	if o.LoadGen == 0 && o.Addr == "" {
+		return frugal.ServeLevel{}, fmt.Errorf("-addr must not be empty without -loadgen (nothing to do)")
+	}
+	if o.LoadGen > 0 {
+		if o.Workers < 1 {
+			return frugal.ServeLevel{}, fmt.Errorf("-workers must be at least 1 (got %d)", o.Workers)
+		}
+		if o.Zipf <= 0 || o.Zipf >= 1 {
+			return frugal.ServeLevel{}, fmt.Errorf("-zipf must be in (0, 1) (got %v)", o.Zipf)
+		}
+		if o.TopKFrac < 0 || o.TopKFrac > 1 {
+			return frugal.ServeLevel{}, fmt.Errorf("-topk-frac must be in [0, 1] (got %v)", o.TopKFrac)
+		}
+		if o.K < 1 || o.K > o.MaxTopK {
+			return frugal.ServeLevel{}, fmt.Errorf("-k must be in [1, -max-topk] (got %d, max-topk %d)", o.K, o.MaxTopK)
+		}
+	}
+	return lvl, nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// good returns a valid flag set; tests break one field at a time.
+func good() options {
+	return options{
+		Addr: ":8080", Checkpoint: "x.ckpt", Level: "stale", MaxTopK: 128,
+		Workers: 4, Zipf: 0.9, TopKFrac: 0.05, K: 10,
+		statFile: func(string) error { return nil },
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	cases := []func(*options){
+		func(o *options) {},
+		func(o *options) { o.Level = "fresh" },
+		func(o *options) { o.Level = "bounded" },
+		func(o *options) { o.Level = "bounded(3)" },
+		func(o *options) { o.LoadGen = time.Second },
+		func(o *options) { o.LoadGen = time.Second; o.Addr = "" },
+	}
+	for i, mod := range cases {
+		o := good()
+		mod(&o)
+		if _, err := validate(o); err != nil {
+			t.Errorf("case %d: unexpected error: %v", i, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*options)
+		want string
+	}{
+		{"bad level", func(o *options) { o.Level = "eventual" }, "-level"},
+		{"negative bound", func(o *options) { o.Level = "bounded(-1)" }, "-level"},
+		{"garbage bound", func(o *options) { o.Level = "bounded(x)" }, "-level"},
+		{"no checkpoint", func(o *options) { o.Checkpoint = "" }, "-checkpoint"},
+		{"stat failure", func(o *options) { o.statFile = func(string) error { return os.ErrNotExist } }, "-checkpoint"},
+		{"bad max-topk", func(o *options) { o.MaxTopK = 0 }, "-max-topk"},
+		{"negative loadgen", func(o *options) { o.LoadGen = -time.Second }, "-loadgen"},
+		{"no addr no loadgen", func(o *options) { o.Addr = "" }, "-addr"},
+		{"bad workers", func(o *options) { o.LoadGen = time.Second; o.Workers = 0 }, "-workers"},
+		{"bad zipf", func(o *options) { o.LoadGen = time.Second; o.Zipf = 1.5 }, "-zipf"},
+		{"bad topk-frac", func(o *options) { o.LoadGen = time.Second; o.TopKFrac = 2 }, "-topk-frac"},
+		{"k over max", func(o *options) { o.LoadGen = time.Second; o.K = 500 }, "-k"},
+	}
+	for _, tc := range cases {
+		o := good()
+		tc.mod(&o)
+		_, err := validate(o)
+		if err == nil {
+			t.Errorf("%s: validate accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestValidateMissingCheckpoint uses the real os.Stat path: a file that
+// exists passes, one that does not is rejected before anything is opened.
+func TestValidateMissingCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	present := filepath.Join(dir, "ok.ckpt")
+	if err := os.WriteFile(present, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := good()
+	o.statFile = nil
+	o.Checkpoint = present
+	if _, err := validate(o); err != nil {
+		t.Fatalf("existing checkpoint rejected: %v", err)
+	}
+	o.Checkpoint = filepath.Join(dir, "absent.ckpt")
+	if _, err := validate(o); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}
+
+func TestValidateLevelValue(t *testing.T) {
+	o := good()
+	o.Level = "bounded(7)"
+	lvl, err := validate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl.String() != "bounded(7)" {
+		t.Fatalf("level = %s, want bounded(7)", lvl)
+	}
+}

@@ -11,15 +11,14 @@ package main
 
 import (
 	"encoding/json"
-	"expvar"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 
 	"frugal"
+	"frugal/internal/obs"
 )
 
 func main() { os.Exit(run()) }
@@ -45,13 +44,14 @@ func run() int {
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
 		obsOn     = flag.Bool("obs", false, "enable the observability layer (metric counters + step tracing)")
 		traceOut  = flag.String("trace-out", "", "write the step-event trace as JSONL to this file after the run (implies -obs)")
-		metrics   = flag.String("metrics-addr", "", "serve live metrics via expvar on this address, e.g. :6060 (implies -obs)")
+		metrics   = flag.String("metrics-addr", "", "serve live metrics at /debug/vars on this address, e.g. :6060 (implies -obs)")
 		faultPlan = flag.String("fault-plan", "",
 			"deterministic fault schedule, e.g. 'crash:flusher=0@batch=3;delay:gpu=1@step=5,dur=2ms' (empty injects nothing)")
 		gateTimeout = flag.Duration("gate-timeout", 0,
 			"degrade the frugal engine to write-through after this long with zero flush progress (0 = 5s default, negative disables the watchdog)")
 		maxRespawns = flag.Int("max-respawns", 0,
 			"flusher respawn budget (0 = 16 default, negative disables self-healing so a dead pool degrades)")
+		ckptOut    = flag.String("checkpoint-out", "", "save the trained host slab as a checkpoint to this file after the run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
 	)
@@ -107,12 +107,7 @@ func run() int {
 	if *metrics != "" {
 		// GET /debug/vars on this address returns the live Snapshot under
 		// the "frugal" key while the job trains.
-		expvar.Publish("frugal", expvar.Func(func() any { return job.Snapshot() }))
-		go func() {
-			if err := http.ListenAndServe(*metrics, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "metrics endpoint:", err)
-			}
-		}()
+		obs.ServeMetrics(*metrics, "frugal", func() any { return job.Snapshot() })
 	}
 	if !*jsonOut {
 		fmt.Printf("training %s with engine=%s gpus=%d steps=%d\n", name, *engine, *gpus, *steps)
@@ -124,6 +119,12 @@ func run() int {
 	}
 	if *traceOut != "" {
 		if err := dumpTrace(job, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if *ckptOut != "" {
+		if err := saveCheckpoint(job, *ckptOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
@@ -157,6 +158,19 @@ func writeMemProfile(path string) {
 	if err := pprof.WriteHeapProfile(f); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 	}
+}
+
+// saveCheckpoint writes the trained parameters to path.
+func saveCheckpoint(job *frugal.TrainingJob, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := job.SaveCheckpoint(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // dumpTrace writes the job's step-event trace to path.

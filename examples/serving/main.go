@@ -1,0 +1,112 @@
+// Serving: attach a query engine to a live training job and read
+// embeddings under bounded staleness while the P²F runtime is still
+// flushing updates — then save a checkpoint and serve the frozen slab.
+//
+// The host slab always holds the freshest full copy of the parameters
+// (§3 of the paper); the serving layer turns that property into an
+// online API with three consistency levels:
+//
+//	stale       read host memory as-is, zero coordination
+//	bounded(k)  admit at most k gate steps of flush lag, refresh otherwise
+//	fresh       force-flush the row's pending updates before reading
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"frugal"
+)
+
+func main() {
+	cfg := frugal.Config{
+		Engine:     frugal.EngineFrugal,
+		NumGPUs:    2,
+		CacheRatio: 0.25,
+		Seed:       7,
+	}
+	job, err := frugal.New(cfg, frugal.Microbenchmark{
+		Options: frugal.MicroOptions{KeySpace: 50_000, Dim: 32, Batch: 256, Steps: 400},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Attach the server before the run starts; queries and training share
+	// the slab safely at any point in the job's lifetime.
+	srv, err := job.Serve(frugal.ServeOptions{Level: frugal.ServeBounded(2)})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := job.Run()
+		done <- err
+	}()
+
+	// Query while training runs. Each lookup reports the row's version
+	// (updates applied to host memory), the gate watermark it was judged
+	// against, and its flush lag in gate steps.
+	row := make([]float32, srv.Dim())
+	for i := 0; i < 5; i++ {
+		meta, err := srv.Lookup(4, row)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("live lookup: version %d, watermark %d, staleness %d, refreshed %v\n",
+			meta.Version, meta.Watermark, meta.Staleness, meta.Refreshed)
+		time.Sleep(2 * time.Millisecond)
+	}
+	top, err := srv.TopKLevel(row, 3, frugal.ServeStale())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("live top-3 by dot product: ")
+	for _, c := range top {
+		fmt.Printf("key %d (%.3f)  ", c.Key, c.Score)
+	}
+	fmt.Println()
+
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+
+	// A fresh read after the run sees every update the trainers committed.
+	// Scan for a trafficked row first — under Zipf skew most of the 50k
+	// keys were never touched.
+	hot, hotMeta := uint64(0), frugal.ServeRowMeta{}
+	for key := uint64(0); key < uint64(srv.Rows()); key++ {
+		meta, err := srv.LookupLevel(key, row, frugal.ServeFresh())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if meta.Version > hotMeta.Version {
+			hot, hotMeta = key, meta
+		}
+		if key > 2000 && hotMeta.Version > 0 {
+			break
+		}
+	}
+	fmt.Printf("post-run fresh lookup: key %d at version %d, watermark %d\n",
+		hot, hotMeta.Version, hotMeta.Watermark)
+
+	// Checkpoint the slab and serve it statically — what frugal-serve
+	// does from the command line.
+	var ckpt bytes.Buffer
+	if err := job.SaveCheckpoint(&ckpt); err != nil {
+		log.Fatal(err)
+	}
+	frozen, err := frugal.NewServerFromCheckpoint(&ckpt, frugal.ServeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := frozen.RunLoadGen(frugal.LoadGenOptions{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint loadgen: %.0f queries/s, lookup mean %v, top-K mean %v\n",
+		rep.QPS, rep.LookupLatency.Mean(), rep.TopKLatency.Mean())
+}

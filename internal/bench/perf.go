@@ -10,10 +10,13 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"frugal/internal/data"
 	"frugal/internal/pq"
 	"frugal/internal/runtime"
+	"frugal/internal/serve"
+	"frugal/internal/serve/loadgen"
 	"frugal/internal/tensor"
 )
 
@@ -68,6 +71,8 @@ func perfSuite() []perfEntry {
 		{"kernel/mulvect-256x512", "", benchMulVec(true)},
 		{"kernel/addouter-256x512", "", benchAddOuter()},
 		{"pq/enqueue-drain-64", "", benchPQCycle},
+		{"serve/lookup-zipf", "", benchServeLookup},
+		{"serve/topk-16", "", benchServeTopK},
 		{"steploop/frugal-sgd-g1", stepIters, benchStepLoop(runtime.Config{Engine: runtime.EngineFrugal})},
 		{"steploop/frugal-adagrad-g1", stepIters, benchStepLoop(runtime.Config{Engine: runtime.EngineFrugal, Optimizer: runtime.OptAdagrad})},
 		{"steploop/frugal-sync-g1", stepIters, benchStepLoop(runtime.Config{Engine: runtime.EngineFrugalSync})},
@@ -189,6 +194,58 @@ func benchPQCycle(b *testing.B) {
 	}
 }
 
+// newServeHost builds the 50k×64 slab the serving rows read from.
+func newServeHost() *runtime.Host {
+	h, err := runtime.NewHost(50_000, 64)
+	if err != nil {
+		panic(err) // fixed valid geometry
+	}
+	h.Init(func(key uint64, row []float32) {
+		for i := range row {
+			row[i] = float32((int(key)+i)%7) * 0.1
+		}
+	})
+	return h
+}
+
+// benchServeLookup measures one Zipf-keyed stale lookup on a live-mode
+// engine — the stripe-locked read path, which must stay allocation-free.
+func benchServeLookup(b *testing.B) {
+	eng, err := serve.New(newServeHost(), nil, serve.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := data.NewScrambledZipf(7, 50_000, 0.9)
+	dst := make([]float32, eng.Dim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Lookup(keys.Next(), dst, serve.Stale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchServeTopK measures one k=16 similarity query over the static
+// (checkpoint-mode) engine — the batched MulVec scan kernel.
+func benchServeTopK(b *testing.B) {
+	eng, err := serve.NewStatic(newServeHost(), serve.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	query := make([]float32, eng.Dim())
+	for i := range query {
+		query[i] = float32(i%5) * 0.2
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.TopK(query, 16, serve.Stale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchStepLoop measures one global training step of the microbenchmark
 // workload — the same shape as internal/runtime's BenchmarkStepLoop, so
 // `go test -bench StepLoop ./internal/runtime` reproduces these rows.
@@ -257,7 +314,32 @@ func RunPerf(quick bool) PerfReport {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		})
 	}
+	rep.Benchmarks = append(rep.Benchmarks, loadgenRow(quick))
 	return rep
+}
+
+// loadgenRow reports the serving load generator's client-observed mean
+// lookup latency as a suite row. It is latency-only: ns/op is advisory
+// like every wall-clock figure, and allocs/bytes are pinned to zero —
+// the lookup path is allocation-free (TestLookupAllocationFree), so the
+// alloc gate has nothing to measure through a closed loop.
+func loadgenRow(quick bool) PerfBench {
+	d := time.Second
+	if quick {
+		d = 100 * time.Millisecond
+	}
+	eng, err := serve.NewStatic(newServeHost(), serve.Options{})
+	if err != nil {
+		panic(err) // fixed valid options
+	}
+	rep, err := loadgen.Run(eng, loadgen.Options{Workers: 4, Duration: d})
+	if err != nil {
+		panic(err) // fixed valid options
+	}
+	return PerfBench{
+		Name:    "serve/loadgen-lookup-mean",
+		NsPerOp: float64(rep.LookupLatency.Mean().Nanoseconds()),
+	}
 }
 
 // WritePerf serialises a report as indented JSON (stable field order).

@@ -53,8 +53,9 @@ func TestRunPerfQuick(t *testing.T) {
 		t.Skip("perf suite in -short mode")
 	}
 	rep := RunPerf(true)
-	if len(rep.Benchmarks) != len(perfSuite()) {
-		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(perfSuite()))
+	// The suite rows plus the appended loadgen latency row.
+	if len(rep.Benchmarks) != len(perfSuite())+1 {
+		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(perfSuite())+1)
 	}
 	for _, pb := range rep.Benchmarks {
 		if pb.NsPerOp <= 0 {
@@ -62,6 +63,9 @@ func TestRunPerfQuick(t *testing.T) {
 		}
 		if strings.HasPrefix(pb.Name, "kernel/") && pb.AllocsPerOp != 0 {
 			t.Fatalf("%s: allocs/op = %d, want 0", pb.Name, pb.AllocsPerOp)
+		}
+		if pb.Name == "serve/lookup-zipf" && pb.AllocsPerOp != 0 {
+			t.Fatalf("%s: allocs/op = %d, want 0 (lookup path must stay allocation-free)", pb.Name, pb.AllocsPerOp)
 		}
 	}
 }

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+)
+
+// MetricsHandler renders the value produced by fn as `{"<name>": <json>}`
+// — the expvar /debug/vars shape without expvar's process-global registry,
+// which panics on a duplicate Publish (two jobs in one process, or a test
+// running the binary twice). frugal-train and frugal-serve mount this on
+// their muxes; fn is typically a Snapshot method and is evaluated on every
+// request, so the page is always live.
+func MetricsHandler(name string, fn func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{%q:", name)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fn()); err != nil {
+			// Headers are gone; all we can do is not emit half a document.
+			return
+		}
+		fmt.Fprintln(w, "}")
+	})
+}
+
+// ServeMetrics serves MetricsHandler(name, fn) at GET /debug/vars on addr
+// in a background goroutine — the `-metrics-addr` endpoint both CLIs
+// share. Listen errors are reported to stderr; the process keeps running
+// (a broken metrics port must not kill a training run).
+func ServeMetrics(addr, name string, fn func() any) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", MetricsHandler(name, fn))
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics endpoint:", err)
+		}
+	}()
+}

@@ -167,6 +167,11 @@ type Controller struct {
 	commits       map[int64]int
 	committedStep int64 // all trainers have committed steps ≤ this
 
+	// watermark mirrors committedStep for lock-free readers (the serving
+	// layer checks it on every bounded-staleness read; taking c.mu there
+	// would contend with the gate). Updated under c.mu, so it is monotone.
+	watermark atomic.Int64
+
 	stopping atomic.Bool
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -226,6 +231,7 @@ func NewController(opt Options) (*Controller, error) {
 		tracer:        opt.Obs.TraceSink(),
 		faultObs:      opt.Obs.FaultSink(),
 	}
+	c.watermark.Store(-1)
 	c.degradedStep.Store(-1)
 	c.slots = make([]*flusherSlot, opt.FlushThreads)
 	for i := range c.slots {
@@ -451,6 +457,7 @@ func (c *Controller) CommitStep(s int64, updates []KeyDelta) {
 		delete(c.commits, s)
 		if s > c.committedStep {
 			c.committedStep = s
+			c.watermark.Store(s)
 		}
 	}
 	c.gate.Broadcast()
@@ -474,6 +481,86 @@ func (c *Controller) ReadDone(s int64, keys []uint64) {
 		}
 		g.Mu.Unlock()
 	}
+}
+
+// ----------------------------------------------------------------------
+// Serving support (internal/serve)
+//
+// The serving layer reads parameters straight from host memory while
+// training runs. Host memory lags the logical training state by whatever
+// the flusher pool has not applied yet, so these three primitives expose
+// the freshness bound: the committed-step watermark, a per-key flush lag
+// against it, and a synchronous force-flush for reads that cannot
+// tolerate any lag.
+
+// Watermark returns the committed-step watermark: every trainer has
+// committed all steps ≤ the returned value (-1 before the first step
+// completes). Together with RowStaleness it bounds how far a host row can
+// lag the training frontier. Lock-free; safe from any goroutine.
+func (c *Controller) Watermark() int64 { return c.watermark.Load() }
+
+// RowStaleness reports how many gate steps the host copy of key may lag
+// the committed watermark. lag = 0 means every committed update of the
+// key has been flushed to host memory; lag = n > 0 means updates from the
+// n most recent committed steps may still be pending in the key's write
+// set. The watermark is loaded *before* the write set is inspected, so
+// the guarantee is one-sided in the safe direction: the host row is
+// missing at most `lag` committed steps relative to the returned
+// watermark (commits that land after the call can only make the row
+// fresher, never staler than reported).
+func (c *Controller) RowStaleness(key uint64) (lag, watermark int64) {
+	wm := c.watermark.Load()
+	g, ok := c.dir.Get(key)
+	if !ok {
+		return 0, wm // never touched by training: host copy is authoritative
+	}
+	oldest := int64(-1)
+	g.Mu.Lock()
+	if len(g.W) > 0 {
+		oldest = g.W[0].Step // W is appended in commit order: oldest first
+	}
+	g.Mu.Unlock()
+	if oldest < 0 {
+		return 0, wm
+	}
+	if lag = wm - oldest + 1; lag < 0 {
+		lag = 0 // pending write from an uncommitted (in-flight) step only
+	}
+	return lag, wm
+}
+
+// FlushKey synchronously drains key's pending write set through the sink,
+// making the host row reflect every update committed so far. It reports
+// whether anything was flushed. This is the `fresh` serve level's
+// mechanism: the inline flush mirrors commitDegraded's write-through
+// critical section (g.Mu held across TakeWrites → Sink.Flush →
+// FlushedWrites, which also excludes the flusher pool — ProcessBatch runs
+// its visit under the same lock), and the emptied entry then rides the
+// AdjustPriority path to the ∞ slot so the consistency gate's Top() scan
+// stops charging it for work that is already on the host. The residue
+// node left in the queue is culled by the next flusher visit, exactly
+// like a crash-redistributed entry.
+func (c *Controller) FlushKey(key uint64) bool {
+	g, ok := c.dir.Get(key)
+	if !ok {
+		return false
+	}
+	g.Mu.Lock()
+	if len(g.W) == 0 {
+		g.Mu.Unlock()
+		return false
+	}
+	w := g.TakeWrites()
+	c.opt.Sink.Flush(g.Key, w)
+	c.flushedUpdates.Add(int64(len(w)))
+	c.urgentFlushes.Add(1)
+	g.FlushedWrites(w) // Mu held throughout; sink does not retain w
+	if g.InQueue && g.Priority != pq.Inf {
+		c.queue.AdjustPriority(g, g.Priority, pq.Inf)
+	}
+	g.Mu.Unlock()
+	c.broadcast() // the gate may have been waiting on exactly this entry
+	return true
 }
 
 // ----------------------------------------------------------------------

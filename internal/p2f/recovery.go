@@ -244,6 +244,7 @@ func (c *Controller) commitDegraded(s int64, updates []KeyDelta) {
 		delete(c.commits, s)
 		if s > c.committedStep {
 			c.committedStep = s
+			c.watermark.Store(s)
 		}
 	}
 	c.gate.Broadcast()

@@ -55,35 +55,66 @@ func (h *Host) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
+// readCheckpointHeader reads and validates the fixed header.
+func readCheckpointHeader(r io.Reader) (checkpointHeader, error) {
+	var hdr checkpointHeader
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return hdr, fmt.Errorf("runtime: checkpoint header: %w", err)
+	}
+	if hdr.Magic != checkpointMagic {
+		return hdr, fmt.Errorf("runtime: not a frugal checkpoint (magic %#x)", hdr.Magic)
+	}
+	if hdr.Version != checkpointVersion {
+		return hdr, fmt.Errorf("runtime: unsupported checkpoint version %d", hdr.Version)
+	}
+	return hdr, nil
+}
+
+// loadBody fills the host's slabs from the checkpoint body.
+func (h *Host) loadBody(r io.Reader, hdr checkpointHeader) error {
+	if err := readFloats(r, h.slab); err != nil {
+		return err
+	}
+	if hdr.HasState == 1 {
+		h.EnableOptimizerState()
+		return readFloats(r, h.state)
+	}
+	return nil
+}
+
 // Load restores a checkpoint into the host slab. The checkpoint's shape
 // must match exactly; a checkpoint with optimizer state enables the
 // state slab. Call before Run.
 func (h *Host) Load(r io.Reader) error {
 	br := bufio.NewReaderSize(r, 1<<20)
-	var hdr checkpointHeader
-	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
-		return fmt.Errorf("runtime: checkpoint header: %w", err)
-	}
-	if hdr.Magic != checkpointMagic {
-		return fmt.Errorf("runtime: not a frugal checkpoint (magic %#x)", hdr.Magic)
-	}
-	if hdr.Version != checkpointVersion {
-		return fmt.Errorf("runtime: unsupported checkpoint version %d", hdr.Version)
+	hdr, err := readCheckpointHeader(br)
+	if err != nil {
+		return err
 	}
 	if hdr.Rows != h.rows || int(hdr.Dim) != h.dim {
 		return fmt.Errorf("runtime: checkpoint shape %dx%d does not match host %dx%d",
 			hdr.Rows, hdr.Dim, h.rows, h.dim)
 	}
-	if err := readFloats(br, h.slab); err != nil {
-		return err
+	return h.loadBody(br, hdr)
+}
+
+// LoadHost reads a checkpoint and returns a freshly allocated Host shaped
+// by its header — checkpoint-only serving, where no training Config
+// exists to dictate the shape.
+func LoadHost(r io.Reader) (*Host, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	hdr, err := readCheckpointHeader(br)
+	if err != nil {
+		return nil, err
 	}
-	if hdr.HasState == 1 {
-		h.EnableOptimizerState()
-		if err := readFloats(br, h.state); err != nil {
-			return err
-		}
+	h, err := NewHost(hdr.Rows, int(hdr.Dim))
+	if err != nil {
+		return nil, fmt.Errorf("runtime: checkpoint shape: %w", err)
 	}
-	return nil
+	if err := h.loadBody(br, hdr); err != nil {
+		return nil, err
+	}
+	return h, nil
 }
 
 func writeFloats(w io.Writer, xs []float32) error {

@@ -90,20 +90,31 @@ func (h *Host) row(key uint64) []float32 {
 
 func (h *Host) lock(key uint64) *sync.Mutex { return &h.locks[key%lockStripes] }
 
-// ReadRow copies row `key` into dst — the UVA zero-copy gather of §3.1.
-// Safe without locking only when the caller holds the P²F gate guarantee
-// (no pending writes for this key); the synchronous engines use
-// ReadRowLocked instead.
-func (h *Host) ReadRow(key uint64, dst []float32) {
+// ReadRowDirect copies row `key` into dst — the UVA zero-copy gather of
+// §3.1. Safe without locking only when the caller holds the P²F gate
+// guarantee (no pending writes for this key); every other reader uses
+// ReadRow.
+func (h *Host) ReadRowDirect(key uint64, dst []float32) {
 	tensor.Copy(dst, h.row(key))
+}
+
+// ReadRow copies row `key` into dst under the row lock and returns the
+// row version observed with the copy. This is the allocation-free serve
+// read primitive: the version is read inside the same critical section as
+// the copy, so it identifies exactly the state dst holds (versions only
+// grow — one increment per applied update).
+func (h *Host) ReadRow(key uint64, dst []float32) uint64 {
+	l := h.lock(key)
+	l.Lock()
+	tensor.Copy(dst, h.row(key))
+	v := h.versions[key].Load()
+	l.Unlock()
+	return v
 }
 
 // ReadRowLocked copies row `key` into dst under the row lock.
 func (h *Host) ReadRowLocked(key uint64, dst []float32) {
-	l := h.lock(key)
-	l.Lock()
-	tensor.Copy(dst, h.row(key))
-	l.Unlock()
+	h.ReadRow(key, dst)
 }
 
 // Version returns the row's update counter.
@@ -194,6 +205,29 @@ func (h *Host) Applied() int64 { return h.applied.Load() }
 // Snapshot copies row `key` (test helper).
 func (h *Host) Snapshot(key uint64) []float32 {
 	out := make([]float32, h.dim)
-	h.ReadRowLocked(key, out)
+	h.ReadRow(key, out)
 	return out
+}
+
+// ScoreRows computes out[i] = query · row(from+i) for len(out) consecutive
+// rows in one batched matrix-vector kernel over the contiguous slab. It
+// takes no locks: callers must guarantee the range is quiescent (a loaded
+// checkpoint, or a finished job). Live serving uses ScoreRowsLocked.
+func (h *Host) ScoreRows(query []float32, from int64, out []float32) {
+	d := int64(h.dim)
+	m := tensor.Matrix{Rows: len(out), Cols: h.dim, Data: h.slab[from*d : (from+int64(len(out)))*d]}
+	m.MulVec(query, out)
+}
+
+// ScoreRowsLocked is ScoreRows for a slab with live writers: each row is
+// scored under its stripe lock, so a score never mixes halves of two
+// updates (the same isolation the flusher write path provides).
+func (h *Host) ScoreRowsLocked(query []float32, from int64, out []float32) {
+	for i := range out {
+		key := uint64(from + int64(i))
+		l := h.lock(key)
+		l.Lock()
+		out[i] = tensor.Dot(query, h.row(key))
+		l.Unlock()
+	}
 }

@@ -223,7 +223,7 @@ func (j *Job) gather(ws *workerState, keys []uint64) {
 // pinned by this step's earlier keys does the access fall back to the
 // worker's private scratch row.
 func (j *Job) gatherCached(ws *workerState, s *ktSlot, i int, k uint64, locked bool) {
-	read := j.host.ReadRow
+	read := j.host.ReadRowDirect
 	if locked {
 		read = j.host.ReadRowLocked
 	}

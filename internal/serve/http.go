@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"frugal/internal/obs"
+)
+
+// Handler returns the engine's HTTP mux:
+//
+//	GET  /lookup?key=K[&level=L]        one row with consistency metadata
+//	GET  /topk?q=0.1,0.2,...&k=N[&level=L]
+//	POST /topk    {"query":[...],"k":N,"level":"L"}
+//	GET  /healthz                       shape + liveness
+//	GET  /debug/vars                    read-path metrics (obs.MetricsHandler)
+//
+// level defaults to the engine's Options.Default. Bounded reads refused
+// under RejectStale answer 503 with a JSON error body.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/lookup", e.handleLookup)
+	mux.HandleFunc("/topk", e.handleTopK)
+	mux.HandleFunc("/healthz", e.handleHealthz)
+	mux.Handle("/debug/vars", obs.MetricsHandler("frugal_serve", func() any { return e.Metrics() }))
+	return mux
+}
+
+type lookupResponse struct {
+	Key    uint64    `json:"key"`
+	Level  string    `json:"level"`
+	Values []float32 `json:"values"`
+	RowMeta
+}
+
+type topkRequest struct {
+	Query []float32 `json:"query"`
+	K     int       `json:"k"`
+	Level string    `json:"level,omitempty"`
+}
+
+type topkResponse struct {
+	K       int         `json:"k"`
+	Level   string      `json:"level"`
+	Results []Candidate `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	var stale *ErrTooStale
+	if errors.As(err, &stale) {
+		status = http.StatusServiceUnavailable // retryable: the flusher pool will catch up
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// level resolves the optional ?level= / "level" parameter.
+func (e *Engine) level(s string) (Level, error) {
+	if s == "" {
+		return e.opt.Default, nil
+	}
+	return ParseLevel(s)
+}
+
+func (e *Engine) handleLookup(w http.ResponseWriter, r *http.Request) {
+	key, err := strconv.ParseUint(r.URL.Query().Get("key"), 10, 64)
+	if err != nil {
+		writeError(w, fmt.Errorf("serve: bad key parameter: %w", err))
+		return
+	}
+	lvl, err := e.level(r.URL.Query().Get("level"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := lookupResponse{Key: key, Level: lvl.String(), Values: make([]float32, e.Dim())}
+	meta, err := e.Lookup(key, resp.Values, lvl)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp.RowMeta = meta
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (e *Engine) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req topkRequest
+	if r.Method == http.MethodPost {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, fmt.Errorf("serve: bad topk body: %w", err))
+			return
+		}
+	} else {
+		q := r.URL.Query()
+		for _, f := range strings.Split(q.Get("q"), ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 32)
+			if err != nil {
+				writeError(w, fmt.Errorf("serve: bad q parameter: %w", err))
+				return
+			}
+			req.Query = append(req.Query, float32(v))
+		}
+		k, err := strconv.Atoi(q.Get("k"))
+		if err != nil {
+			writeError(w, fmt.Errorf("serve: bad k parameter: %w", err))
+			return
+		}
+		req.K = k
+		req.Level = q.Get("level")
+	}
+	lvl, err := e.level(req.Level)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := e.TopK(req.Query, req.K, lvl)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, topkResponse{K: req.K, Level: lvl.String(), Results: res})
+}
+
+func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"rows":   e.Rows(),
+		"dim":    e.Dim(),
+		"live":   e.Live(),
+		"level":  e.DefaultLevel().String(),
+	})
+}

@@ -1,0 +1,132 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"frugal/internal/serve"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	h := staticHost(t, 100, 4)
+	eng, err := serve.NewStatic(h, serve.Options{Default: serve.Bounded(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(eng.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestHTTPLookup(t *testing.T) {
+	srv := testServer(t)
+	var got struct {
+		Key    uint64    `json:"key"`
+		Level  string    `json:"level"`
+		Values []float32 `json:"values"`
+	}
+	resp := getJSON(t, srv.URL+"/lookup?key=42", &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got.Key != 42 || got.Values[0] != 42 || got.Values[1] != 1 {
+		t.Fatalf("lookup = %+v", got)
+	}
+	if got.Level != "bounded(2)" {
+		t.Fatalf("default level = %q", got.Level)
+	}
+	resp = getJSON(t, srv.URL+"/lookup?key=42&level=fresh", &got)
+	if resp.StatusCode != http.StatusOK || got.Level != "fresh" {
+		t.Fatalf("explicit level: status %d, level %q", resp.StatusCode, got.Level)
+	}
+	for _, bad := range []string{"/lookup", "/lookup?key=abc", "/lookup?key=100", "/lookup?key=1&level=junk"} {
+		if resp := getJSON(t, srv.URL+bad, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPTopK(t *testing.T) {
+	srv := testServer(t)
+	var got struct {
+		Results []struct {
+			Key   uint64  `json:"key"`
+			Score float32 `json:"score"`
+		} `json:"results"`
+	}
+	resp := getJSON(t, srv.URL+"/topk?q=1,0,0,0&k=3", &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(got.Results) != 3 || got.Results[0].Key != 99 || got.Results[0].Score != 99 {
+		t.Fatalf("topk = %+v", got.Results)
+	}
+
+	body, _ := json.Marshal(map[string]any{
+		"query": []float32{1, 0, 0, 0}, "k": 2, "level": "stale",
+	})
+	post, err := http.Post(srv.URL+"/topk", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer post.Body.Close()
+	got.Results = nil
+	if err := json.NewDecoder(post.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 2 || got.Results[0].Key != 99 {
+		t.Fatalf("POST topk = %+v", got.Results)
+	}
+
+	for _, bad := range []string{"/topk?q=1,2&k=3", "/topk?q=1,0,0,0&k=0", "/topk?q=1,0,0,0&k=999", "/topk?q=a,b,c,d&k=1"} {
+		if resp := getJSON(t, srv.URL+bad, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPHealthAndMetrics(t *testing.T) {
+	srv := testServer(t)
+	var health struct {
+		Status string `json:"status"`
+		Rows   int64  `json:"rows"`
+		Dim    int    `json:"dim"`
+		Live   bool   `json:"live"`
+	}
+	if resp := getJSON(t, srv.URL+"/healthz", &health); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if health.Status != "ok" || health.Rows != 100 || health.Dim != 4 || health.Live {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	getJSON(t, srv.URL+"/lookup?key=1", nil) // bump a counter
+	var vars map[string]struct {
+		Lookups int64 `json:"lookups"`
+	}
+	if resp := getJSON(t, srv.URL+"/debug/vars", &vars); resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/vars status %d", resp.StatusCode)
+	}
+	if vars["frugal_serve"].Lookups == 0 {
+		t.Fatalf("metrics missing lookups: %+v", vars)
+	}
+}

@@ -1,0 +1,179 @@
+// Package loadgen is a closed-loop load generator for the serving engine:
+// N workers issue lookup and top-K queries back-to-back against an
+// Engine, keys drawn from a scrambled-Zipf distribution (the access skew
+// every embedding workload in the paper exhibits), latencies recorded
+// through the same obs histograms the engine itself uses. Closed-loop
+// means each worker waits for its previous query before issuing the next
+// — the measured latency is service latency, not queue-wait under an
+// open-arrival overload.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"frugal/internal/data"
+	"frugal/internal/obs"
+	"frugal/internal/serve"
+)
+
+// Options configures a load run.
+type Options struct {
+	// Workers is the closed-loop concurrency (default 4).
+	Workers int
+	// Duration is how long to run (default 2s).
+	Duration time.Duration
+	// Zipf is the key-skew exponent θ of the scrambled-Zipf draw
+	// (default 0.9, the evaluation default; 0 < θ < 1).
+	Zipf float64
+	// TopKFraction is the fraction of queries that are top-K similarity
+	// searches instead of lookups (default 0.05).
+	TopKFraction float64
+	// K is the top-K result size (default 10).
+	K int
+	// Level is the consistency level of every query (default: the
+	// engine's default).
+	Level serve.Level
+	// UseDefault keeps the engine's default level even if Level is zero.
+	// (The zero Level is a valid level — Stale — so Options distinguishes
+	// "unset" explicitly.)
+	UseDefault bool
+	// Seed makes the key sequence reproducible (default 1).
+	Seed int64
+}
+
+func (o *Options) normalize() error {
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("loadgen: Workers must be ≥ 1, got %d", o.Workers)
+	}
+	if o.Duration == 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.Duration < 0 {
+		return fmt.Errorf("loadgen: Duration must be positive, got %v", o.Duration)
+	}
+	if o.Zipf == 0 {
+		o.Zipf = 0.9
+	}
+	if o.Zipf <= 0 || o.Zipf >= 1 {
+		return fmt.Errorf("loadgen: Zipf θ must be in (0, 1), got %v", o.Zipf)
+	}
+	if o.TopKFraction == 0 {
+		o.TopKFraction = 0.05
+	}
+	if o.TopKFraction < 0 || o.TopKFraction > 1 {
+		return fmt.Errorf("loadgen: TopKFraction must be in [0, 1], got %v", o.TopKFraction)
+	}
+	if o.K == 0 {
+		o.K = 10
+	}
+	if o.K < 1 {
+		return fmt.Errorf("loadgen: K must be ≥ 1, got %d", o.K)
+	}
+	if err := o.Level.Validate(); err != nil {
+		return err
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return nil
+}
+
+// Report summarises one load run.
+type Report struct {
+	Workers  int           `json:"workers"`
+	Level    string        `json:"level"`
+	Elapsed  time.Duration `json:"elapsedNanos"`
+	Ops      int64         `json:"ops"`
+	Lookups  int64         `json:"lookups"`
+	TopKs    int64         `json:"topks"`
+	Rejected int64         `json:"rejected"` // bounded reads refused (RejectStale engines)
+	Errors   int64         `json:"errors"`   // non-staleness failures (always a bug)
+	QPS      float64       `json:"qps"`
+	// Client-observed latency, per query type.
+	LookupLatency obs.HistSnapshot `json:"lookupLatency"`
+	TopKLatency   obs.HistSnapshot `json:"topkLatency"`
+}
+
+// Run drives the engine with opt's workload and returns the aggregate
+// report. It returns once Duration has elapsed and every in-flight query
+// has completed.
+func Run(eng *serve.Engine, opt Options) (Report, error) {
+	if eng == nil {
+		return Report{}, errors.New("loadgen: nil engine")
+	}
+	if err := opt.normalize(); err != nil {
+		return Report{}, err
+	}
+	lvl := opt.Level
+	if opt.UseDefault {
+		lvl = eng.DefaultLevel()
+	}
+	sobs := obs.NewServeObs(opt.Workers)
+	var rejected, failures atomic.Int64
+	startAll := time.Now()
+	deadline := startAll.Add(opt.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed + int64(w)*7919))
+			keys := data.NewScrambledZipf(opt.Seed+int64(w), uint64(eng.Rows()), opt.Zipf)
+			dst := make([]float32, eng.Dim())
+			query := make([]float32, eng.Dim())
+			for i := range query {
+				query[i] = float32(rng.NormFloat64())
+			}
+			for time.Now().Before(deadline) {
+				var err error
+				start := time.Now()
+				if rng.Float64() < opt.TopKFraction {
+					_, err = eng.TopK(query, opt.K, lvl)
+					if err == nil {
+						sobs.TopK(w, time.Since(start))
+					}
+				} else {
+					_, err = eng.Lookup(keys.Next(), dst, lvl)
+					if err == nil {
+						sobs.Lookup(w, time.Since(start))
+					}
+				}
+				if err != nil {
+					var stale *serve.ErrTooStale
+					if errors.As(err, &stale) {
+						rejected.Add(1)
+					} else {
+						failures.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(startAll)
+	s := sobs.Snapshot()
+	rep := Report{
+		Workers:       opt.Workers,
+		Level:         lvl.String(),
+		Elapsed:       elapsed,
+		Lookups:       s.Lookups,
+		TopKs:         s.TopKs,
+		Rejected:      rejected.Load(),
+		Errors:        failures.Load(),
+		Ops:           s.Lookups + s.TopKs,
+		LookupLatency: s.LookupLatency,
+		TopKLatency:   s.TopKLatency,
+	}
+	if secs := rep.Elapsed.Seconds(); secs > 0 {
+		rep.QPS = float64(rep.Ops) / secs
+	}
+	return rep, nil
+}

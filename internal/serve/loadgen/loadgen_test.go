@@ -1,0 +1,68 @@
+package loadgen_test
+
+import (
+	"testing"
+	"time"
+
+	"frugal/internal/runtime"
+	"frugal/internal/serve"
+	"frugal/internal/serve/loadgen"
+)
+
+func TestRunSmoke(t *testing.T) {
+	h, err := runtime.NewHost(512, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Init(func(key uint64, row []float32) { row[0] = float32(key) })
+	eng, err := serve.NewStatic(h, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadgen.Run(eng, loadgen.Options{
+		Workers:  2,
+		Duration: 100 * time.Millisecond,
+		K:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 || rep.Lookups == 0 {
+		t.Fatalf("no traffic: %+v", rep)
+	}
+	if rep.Errors != 0 || rep.Rejected != 0 {
+		t.Fatalf("static serving errored: %+v", rep)
+	}
+	if rep.QPS <= 0 || rep.Elapsed <= 0 {
+		t.Fatalf("bad rate accounting: %+v", rep)
+	}
+	if rep.Workers != 2 {
+		t.Fatalf("workers = %d", rep.Workers)
+	}
+	if rep.Ops != rep.Lookups+rep.TopKs {
+		t.Fatalf("op counts inconsistent: %+v", rep)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	h, err := runtime.NewHost(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.NewStatic(h, serve.Options{MaxTopK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []loadgen.Options{
+		{Workers: -1},
+		{Zipf: 1.5},
+		{TopKFraction: 2},
+		{K: -5},
+	}
+	for i, opt := range bad {
+		opt.Duration = 10 * time.Millisecond
+		if _, err := loadgen.Run(eng, opt); err == nil {
+			t.Errorf("case %d accepted: %+v", i, opt)
+		}
+	}
+}

@@ -1,0 +1,473 @@
+// Package serve is Frugal's online serving layer: a concurrent query
+// engine that answers embedding lookups and top-K dot-product similarity
+// queries straight from the host-memory parameter slab, while training is
+// still running.
+//
+// Host memory is the natural serving store under P²F (§3): proactive
+// flushing keeps it the freshest complete copy of every parameter, so no
+// GPU cache needs to be consulted. What host memory does *not* promise is
+// zero lag — a row's most recent committed updates may still sit in its
+// g-entry's write set, waiting for a flushing thread. The engine exposes
+// that lag as a consistency knob with three levels:
+//
+//   - Stale: read the host row as-is. No coordination with the
+//     controller; the row may lag the training frontier by however much
+//     the flusher pool is behind (in practice: very little, that is the
+//     point of P²F).
+//   - Bounded(k): admit the read only if the row's pending writes lag the
+//     committed-step watermark by at most k gate steps (HET-style per-row
+//     staleness bound). A violating row is force-flushed first — or, with
+//     Options.RejectStale, the read is refused.
+//   - Fresh: always force-flush the row's pending write set before
+//     reading, so the returned row reflects every committed update. The
+//     flush rides the controller's AdjustPriority path (see
+//     p2f.Controller.FlushKey).
+//
+// Every read — including Stale — copies the row under its stripe lock
+// (Host.ReadRow), the same lock the flusher write path takes, so a served
+// row is never a torn mix of two updates and the engine is race-free
+// beside any engine's writers. "Stale" spares the coordination metadata,
+// not the memory safety.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"frugal/internal/obs"
+	"frugal/internal/p2f"
+	"frugal/internal/runtime"
+	"frugal/internal/tensor"
+)
+
+// Kind enumerates the consistency levels.
+type Kind int
+
+const (
+	// KindStale reads host memory with zero controller coordination.
+	KindStale Kind = iota
+	// KindBounded admits rows lagging the watermark by at most Bound steps.
+	KindBounded
+	// KindFresh force-flushes pending writes before every read.
+	KindFresh
+)
+
+// Level is a consistency level: a kind plus, for KindBounded, the
+// staleness bound in gate steps. The zero Level is Stale.
+type Level struct {
+	Kind  Kind
+	Bound int64
+}
+
+// Stale returns the zero-coordination level.
+func Stale() Level { return Level{Kind: KindStale} }
+
+// Bounded returns the level admitting at most k gate steps of flush lag.
+func Bounded(k int64) Level { return Level{Kind: KindBounded, Bound: k} }
+
+// Fresh returns the force-flush-before-read level.
+func Fresh() Level { return Level{Kind: KindFresh} }
+
+// ParseLevel parses "stale", "fresh", "bounded" (= bounded(0)) or
+// "bounded(k)" with k ≥ 0.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "stale":
+		return Stale(), nil
+	case "fresh":
+		return Fresh(), nil
+	case "bounded":
+		return Bounded(0), nil
+	}
+	if rest, ok := strings.CutPrefix(s, "bounded("); ok {
+		if num, ok := strings.CutSuffix(rest, ")"); ok {
+			k, err := strconv.ParseInt(num, 10, 64)
+			if err != nil || k < 0 {
+				return Level{}, fmt.Errorf("serve: bad staleness bound %q (want an integer ≥ 0)", num)
+			}
+			return Bounded(k), nil
+		}
+	}
+	return Level{}, fmt.Errorf("serve: unknown consistency level %q (want stale, bounded(k) or fresh)", s)
+}
+
+// String renders the level in ParseLevel's syntax.
+func (l Level) String() string {
+	switch l.Kind {
+	case KindStale:
+		return "stale"
+	case KindBounded:
+		return "bounded(" + strconv.FormatInt(l.Bound, 10) + ")"
+	case KindFresh:
+		return "fresh"
+	}
+	return fmt.Sprintf("level(%d)", int(l.Kind))
+}
+
+// Validate reports whether the level is well-formed.
+func (l Level) Validate() error {
+	switch l.Kind {
+	case KindStale, KindFresh:
+		return nil
+	case KindBounded:
+		if l.Bound < 0 {
+			return fmt.Errorf("serve: staleness bound must be ≥ 0, got %d", l.Bound)
+		}
+		return nil
+	}
+	return fmt.Errorf("serve: unknown consistency level kind %d", int(l.Kind))
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Default is the consistency level applied when a request does not
+	// name one (the HTTP API's ?level= parameter). Zero value: Stale.
+	Default Level
+	// RejectStale makes Bounded lookups return *ErrTooStale instead of
+	// force-flushing a row that exceeds the bound. Top-K queries always
+	// refresh (dropping candidates would silently change the result set).
+	RejectStale bool
+	// MaxTopK caps the K of top-K queries (default 128).
+	MaxTopK int
+	// Shards sizes the metrics counters (default 8).
+	Shards int
+}
+
+func (o *Options) normalize() error {
+	if err := o.Default.Validate(); err != nil {
+		return err
+	}
+	if o.MaxTopK == 0 {
+		o.MaxTopK = 128
+	}
+	if o.MaxTopK < 1 {
+		return fmt.Errorf("serve: MaxTopK must be ≥ 1, got %d", o.MaxTopK)
+	}
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	return nil
+}
+
+// ErrTooStale reports a Bounded read refused under Options.RejectStale:
+// the row's pending writes lagged the watermark by Staleness > Bound.
+type ErrTooStale struct {
+	Key       uint64
+	Staleness int64
+	Bound     int64
+	Watermark int64
+}
+
+func (e *ErrTooStale) Error() string {
+	return fmt.Sprintf("serve: key %d is %d gate steps stale (bound %d, watermark %d)",
+		e.Key, e.Staleness, e.Bound, e.Watermark)
+}
+
+// RowMeta describes the consistency state of one served row.
+type RowMeta struct {
+	// Version is the host row's update counter, read in the same critical
+	// section as the row copy.
+	Version uint64 `json:"version"`
+	// Watermark is the committed-step watermark the consistency decision
+	// used (-1 when no controller is attached — synchronous engines and
+	// checkpoint serving, whose host copy is always authoritative).
+	Watermark int64 `json:"watermark"`
+	// Staleness bounds how many committed gate steps the row may lag the
+	// watermark. 0 means every update committed at or before Watermark is
+	// in the returned values.
+	Staleness int64 `json:"staleness"`
+	// Refreshed reports that a force-flush ran to satisfy the level.
+	Refreshed bool `json:"refreshed,omitempty"`
+}
+
+// Candidate is one top-K result row.
+type Candidate struct {
+	Key   uint64  `json:"key"`
+	Score float32 `json:"score"`
+	Meta  RowMeta `json:"meta"`
+}
+
+// topkChunk is the slab stride of the top-K scan: large enough to amortise
+// the batched kernel, small enough that the locked variant never holds a
+// stripe lock across more than one row.
+const topkChunk = 256
+
+type topkScratch struct {
+	scores []float32
+	row    []float32
+	heap   []Candidate
+}
+
+// Engine serves reads from one host slab. Safe for concurrent use by any
+// number of goroutines, concurrently with a training job writing the slab.
+type Engine struct {
+	host   *runtime.Host
+	ctrl   *p2f.Controller // nil: no P²F lag to coordinate with
+	opt    Options
+	static bool // no live writers: top-K may scan the slab unlocked
+	sobs   *obs.ServeObs
+
+	scratch sync.Pool // *topkScratch
+}
+
+// New builds an engine over a live training job's host slab. ctrl is the
+// job's P²F controller; pass nil for the synchronous engines (direct,
+// frugal-sync), whose host copy never lags — every level is then trivially
+// fresh.
+func New(host *runtime.Host, ctrl *p2f.Controller, opt Options) (*Engine, error) {
+	return newEngine(host, ctrl, opt, false)
+}
+
+// NewStatic builds an engine over a quiescent slab — a loaded checkpoint,
+// or a finished job. Top-K scans then use the unlocked batched kernel.
+func NewStatic(host *runtime.Host, opt Options) (*Engine, error) {
+	return newEngine(host, nil, opt, true)
+}
+
+func newEngine(host *runtime.Host, ctrl *p2f.Controller, opt Options, static bool) (*Engine, error) {
+	if host == nil {
+		return nil, fmt.Errorf("serve: nil host")
+	}
+	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	e := &Engine{host: host, ctrl: ctrl, opt: opt, static: static, sobs: obs.NewServeObs(opt.Shards)}
+	dim := host.Dim()
+	e.scratch.New = func() any {
+		return &topkScratch{scores: make([]float32, topkChunk), row: make([]float32, dim)}
+	}
+	return e, nil
+}
+
+// Rows returns the number of servable rows.
+func (e *Engine) Rows() int64 { return e.host.Rows() }
+
+// Dim returns the embedding dimension.
+func (e *Engine) Dim() int { return e.host.Dim() }
+
+// Live reports whether the slab may have concurrent writers.
+func (e *Engine) Live() bool { return !e.static }
+
+// DefaultLevel returns the engine's default consistency level.
+func (e *Engine) DefaultLevel() Level { return e.opt.Default }
+
+// Metrics snapshots the engine's read-path counters and latency
+// histograms.
+func (e *Engine) Metrics() obs.ServeSnapshot { return e.sobs.Snapshot() }
+
+// Lookup copies row `key` into dst (len(dst) == Dim()) at the given
+// consistency level and reports the row's consistency metadata. The call
+// is allocation-free — the serving hot path.
+func (e *Engine) Lookup(key uint64, dst []float32, lvl Level) (RowMeta, error) {
+	start := time.Now()
+	if key >= uint64(e.host.Rows()) {
+		return RowMeta{}, fmt.Errorf("serve: key %d out of range (rows %d)", key, e.host.Rows())
+	}
+	if len(dst) != e.host.Dim() {
+		return RowMeta{}, fmt.Errorf("serve: dst length %d, want dim %d", len(dst), e.host.Dim())
+	}
+	if err := lvl.Validate(); err != nil {
+		return RowMeta{}, err
+	}
+	meta, err := e.resolve(key, lvl)
+	if err != nil {
+		e.sobs.Rejected(int(key))
+		return RowMeta{}, err
+	}
+	// The version is read with the copy: everything the consistency
+	// decision guaranteed is in dst, because rows only move forward.
+	meta.Version = e.host.ReadRow(key, dst)
+	e.sobs.Lookup(int(key), time.Since(start))
+	return meta, nil
+}
+
+// resolve makes the consistency decision for one key and returns its
+// metadata (Version is filled by the caller's subsequent read). The
+// watermark is always loaded *before* the row's write set is inspected or
+// flushed, so the guarantee it anchors can only be exceeded, never
+// violated, by the time the row is read.
+func (e *Engine) resolve(key uint64, lvl Level) (RowMeta, error) {
+	if e.ctrl == nil {
+		// No P²F lag exists: writes reach host memory at commit time.
+		return RowMeta{Watermark: -1}, nil
+	}
+	switch lvl.Kind {
+	case KindStale:
+		return RowMeta{Watermark: e.ctrl.Watermark(), Staleness: e.staleBound()}, nil
+	case KindBounded:
+		lag, wm := e.ctrl.RowStaleness(key)
+		if lag <= lvl.Bound {
+			return RowMeta{Watermark: wm, Staleness: lag}, nil
+		}
+		if e.opt.RejectStale {
+			return RowMeta{}, &ErrTooStale{Key: key, Staleness: lag, Bound: lvl.Bound, Watermark: wm}
+		}
+		e.ctrl.FlushKey(key)
+		e.sobs.Refreshed(int(key))
+		return RowMeta{Watermark: wm, Staleness: 0, Refreshed: true}, nil
+	default: // KindFresh
+		wm := e.ctrl.Watermark()
+		refreshed := e.ctrl.FlushKey(key)
+		if refreshed {
+			e.sobs.Refreshed(int(key))
+		}
+		return RowMeta{Watermark: wm, Staleness: 0, Refreshed: refreshed}, nil
+	}
+}
+
+// staleBound is the staleness reported for uncoordinated reads: the row
+// may lag by every step committed so far.
+func (e *Engine) staleBound() int64 {
+	if wm := e.ctrl.Watermark(); wm >= 0 {
+		return wm + 1
+	}
+	return 0
+}
+
+// TopK returns the k rows with the highest dot-product similarity to
+// query (len(query) == Dim()), ordered by descending score. The slab scan
+// itself always reads committed host state (per-row stripe-locked on a
+// live slab, one batched kernel per chunk on a static one); the
+// consistency level is then enforced per *candidate*: under Bounded and
+// Fresh, each winning row is refreshed as Lookup would and re-scored, so
+// the returned scores meet the level even though non-candidates were
+// scanned at host freshness. Bounded violations always refresh —
+// RejectStale does not apply, since dropping a candidate would silently
+// change the result set.
+func (e *Engine) TopK(query []float32, k int, lvl Level) ([]Candidate, error) {
+	start := time.Now()
+	if len(query) != e.host.Dim() {
+		return nil, fmt.Errorf("serve: query length %d, want dim %d", len(query), e.host.Dim())
+	}
+	if k < 1 || k > e.opt.MaxTopK {
+		return nil, fmt.Errorf("serve: k must be in [1, %d], got %d", e.opt.MaxTopK, k)
+	}
+	if err := lvl.Validate(); err != nil {
+		return nil, err
+	}
+	rows := e.host.Rows()
+	if int64(k) > rows {
+		k = int(rows)
+	}
+	sc := e.scratch.Get().(*topkScratch)
+	heap := sc.heap[:0]
+	for from := int64(0); from < rows; from += topkChunk {
+		n := rows - from
+		if n > topkChunk {
+			n = topkChunk
+		}
+		scores := sc.scores[:n]
+		if e.static {
+			e.host.ScoreRows(query, from, scores)
+		} else {
+			e.host.ScoreRowsLocked(query, from, scores)
+		}
+		for i, s := range scores {
+			if len(heap) < k {
+				heap = heapPush(heap, Candidate{Key: uint64(from) + uint64(i), Score: s})
+			} else if s > heap[0].Score {
+				heap[0] = Candidate{Key: uint64(from) + uint64(i), Score: s}
+				heapFix(heap)
+			}
+		}
+	}
+	out := make([]Candidate, len(heap))
+	copy(out, heap)
+	sc.heap = heap[:0]
+	if e.ctrl != nil && lvl.Kind != KindStale {
+		for i := range out {
+			out[i] = e.rescore(query, out[i], lvl, sc.row)
+		}
+	} else if e.ctrl != nil {
+		wm, bound := e.ctrl.Watermark(), e.staleBound()
+		for i := range out {
+			out[i].Meta = RowMeta{Version: e.host.Version(out[i].Key), Watermark: wm, Staleness: bound}
+		}
+	} else {
+		for i := range out {
+			out[i].Meta = RowMeta{Version: e.host.Version(out[i].Key), Watermark: -1}
+		}
+	}
+	e.scratch.Put(sc)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Key < out[j].Key
+	})
+	e.sobs.TopK(k, time.Since(start))
+	return out, nil
+}
+
+// rescore enforces the consistency level on one top-K candidate: refresh
+// as needed, then re-read and re-score the row under its stripe lock.
+func (e *Engine) rescore(query []float32, c Candidate, lvl Level, row []float32) Candidate {
+	switch lvl.Kind {
+	case KindBounded:
+		lag, wm := e.ctrl.RowStaleness(c.Key)
+		if lag <= lvl.Bound {
+			c.Meta = RowMeta{Watermark: wm, Staleness: lag}
+		} else {
+			e.ctrl.FlushKey(c.Key)
+			e.sobs.Refreshed(int(c.Key))
+			c.Meta = RowMeta{Watermark: wm, Staleness: 0, Refreshed: true}
+		}
+	default: // KindFresh
+		wm := e.ctrl.Watermark()
+		refreshed := e.ctrl.FlushKey(c.Key)
+		if refreshed {
+			e.sobs.Refreshed(int(c.Key))
+		}
+		c.Meta = RowMeta{Watermark: wm, Staleness: 0, Refreshed: refreshed}
+	}
+	c.Meta.Version = e.host.ReadRow(c.Key, row)
+	c.Score = tensor.Dot(query, row)
+	return c
+}
+
+// heapPush appends c and sifts it up (min-heap by score, ties by key so
+// results are deterministic).
+func heapPush(h []Candidate, c Candidate) []Candidate {
+	h = append(h, c)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !candLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+// heapFix sifts the root down after a replacement.
+func heapFix(h []Candidate) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && candLess(h[l], h[m]) {
+			m = l
+		}
+		if r < len(h) && candLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func candLess(a, b Candidate) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Key > b.Key
+}

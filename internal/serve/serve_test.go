@@ -1,0 +1,394 @@
+package serve_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"frugal/internal/data"
+	"frugal/internal/runtime"
+	"frugal/internal/serve"
+)
+
+func TestParseLevel(t *testing.T) {
+	good := map[string]serve.Level{
+		"stale":      serve.Stale(),
+		"fresh":      serve.Fresh(),
+		"bounded":    serve.Bounded(0),
+		"bounded(0)": serve.Bounded(0),
+		"bounded(7)": serve.Bounded(7),
+	}
+	for in, want := range good {
+		got, err := serve.ParseLevel(in)
+		if err != nil {
+			t.Fatalf("ParseLevel(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, in := range []string{"", "eventual", "bounded(", "bounded(-1)", "bounded(x)", "bounded()"} {
+		if _, err := serve.ParseLevel(in); err == nil {
+			t.Fatalf("ParseLevel(%q) accepted", in)
+		}
+	}
+	if s := serve.Bounded(3).String(); s != "bounded(3)" {
+		t.Fatalf("String = %q", s)
+	}
+	if err := (serve.Level{Kind: serve.KindBounded, Bound: -2}).Validate(); err == nil {
+		t.Fatal("negative bound validated")
+	}
+	if err := (serve.Level{Kind: serve.Kind(42)}).Validate(); err == nil {
+		t.Fatal("unknown kind validated")
+	}
+}
+
+// staticHost builds a quiescent slab with row[0] = key, row[1] = 1, so
+// dot products against a unit query rank rows by key.
+func staticHost(t *testing.T, rows int64, dim int) *runtime.Host {
+	t.Helper()
+	h, err := runtime.NewHost(rows, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Init(func(key uint64, row []float32) {
+		row[0] = float32(key)
+		row[1] = 1
+	})
+	return h
+}
+
+func TestStaticLookup(t *testing.T) {
+	h := staticHost(t, 64, 8)
+	eng, err := serve.NewStatic(h, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float32, 8)
+	meta, err := eng.Lookup(7, dst, serve.Fresh())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 7 || dst[1] != 1 {
+		t.Fatalf("row 7 = %v", dst)
+	}
+	if meta.Watermark != -1 || meta.Staleness != 0 || meta.Refreshed {
+		t.Fatalf("static meta = %+v", meta)
+	}
+	if _, err := eng.Lookup(64, dst, serve.Stale()); err == nil {
+		t.Fatal("out-of-range key accepted")
+	}
+	if _, err := eng.Lookup(0, dst[:3], serve.Stale()); err == nil {
+		t.Fatal("short dst accepted")
+	}
+	if _, err := eng.Lookup(0, dst, serve.Level{Kind: serve.Kind(9)}); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if m := eng.Metrics(); m.Lookups != 1 {
+		t.Fatalf("lookup count = %d", m.Lookups)
+	}
+}
+
+func TestStaticTopK(t *testing.T) {
+	const rows, dim = 1000, 8
+	h := staticHost(t, rows, dim)
+	eng, err := serve.NewStatic(h, serve.Options{MaxTopK: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := make([]float32, dim)
+	query[0] = 1 // score(key) = key: the top-K are the largest keys
+	res, err := eng.TopK(query, 5, serve.Stale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i, want := range []uint64{999, 998, 997, 996, 995} {
+		if res[i].Key != want || res[i].Score != float32(want) {
+			t.Fatalf("result %d = %+v, want key %d", i, res[i], want)
+		}
+	}
+	// Ties rank by ascending key: a zero query scores every row 0.
+	res, err = eng.TopK(make([]float32, dim), 3, serve.Stale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []uint64{0, 1, 2} {
+		if res[i].Key != want {
+			t.Fatalf("tie order: result %d = key %d, want %d", i, res[i].Key, want)
+		}
+	}
+	if _, err := eng.TopK(query, 17, serve.Stale()); err == nil {
+		t.Fatal("k over MaxTopK accepted")
+	}
+	if _, err := eng.TopK(query, 0, serve.Stale()); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := eng.TopK(query[:2], 3, serve.Stale()); err == nil {
+		t.Fatal("short query accepted")
+	}
+	// k larger than the table: clamped, not an error.
+	small := staticHost(t, 3, dim)
+	se, err := serve.NewStatic(small, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = se.TopK(query, 10, serve.Fresh())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("clamped k: got %d results", len(res))
+	}
+}
+
+func TestLookupAllocationFree(t *testing.T) {
+	h := staticHost(t, 256, 16)
+	eng, err := serve.NewStatic(h, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float32, 16)
+	for _, lvl := range []serve.Level{serve.Stale(), serve.Bounded(0), serve.Fresh()} {
+		allocs := testing.AllocsPerRun(200, func() {
+			if _, err := eng.Lookup(42, dst, lvl); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("Lookup(%v) allocates %.1f/op, want 0", lvl, allocs)
+		}
+	}
+}
+
+// hotTrace is a micro-workload key trace whose first `gpus` slots every
+// step are the hot key — NewMicro shards keys round-robin, so every
+// trainer commits exactly one update for the hot key at every step. The
+// rest of the batch is Zipf tail traffic.
+type hotTrace struct {
+	hot   uint64
+	gpus  int
+	batch int
+	steps int64
+	done  int64
+	gen   *data.Zipf
+}
+
+func (t *hotTrace) Next() ([]uint64, bool) {
+	if t.done >= t.steps {
+		return nil, false
+	}
+	t.done++
+	keys := make([]uint64, t.batch)
+	for i := 0; i < t.gpus; i++ {
+		keys[i] = t.hot
+	}
+	for i := t.gpus; i < t.batch; i++ {
+		keys[i] = t.gen.Next()
+	}
+	return keys, true
+}
+
+func (t *hotTrace) Steps() int64 { return t.steps }
+func (t *hotTrace) Batch() int   { return t.batch }
+
+// serveWhileTrain hammers the engine from several goroutines for the
+// whole duration of a live training job and checks every read's
+// consistency metadata. The heart of the test is the bounded-staleness
+// invariant on the hot key: each of the G trainers commits exactly one
+// update for it per step, so a read whose consistency decision reported
+// (watermark, staleness) must observe
+//
+//	version ≥ G · (watermark + 1 − staleness)
+//
+// — fewer applied updates would mean the row is staler than the level
+// admitted. For bounded(k), staleness ≤ k proves no read was served more
+// than k gate steps stale.
+func serveWhileTrain(t *testing.T, engine runtime.Engine) {
+	const (
+		gpus    = 2
+		rowsN   = 2048
+		steps   = 250
+		hot     = uint64(4) // owner-sharded, cached, and updated every step
+		readers = 4
+	)
+	cfg := runtime.Config{
+		Engine: engine, NumGPUs: gpus, Rows: rowsN, Dim: 16,
+		CacheRatio: 0.25, Seed: 11, CheckConsistency: true,
+	}
+	trace := &hotTrace{
+		hot: hot, gpus: gpus, batch: 64, steps: steps,
+		gen: data.NewScrambledZipf(11, rowsN, 0.9),
+	}
+	job, err := runtime.NewMicro(cfg, trace, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.New(job.Host(), job.Controller(), serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	levels := []serve.Level{serve.Stale(), serve.Bounded(0), serve.Bounded(2), serve.Fresh()}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			dst := make([]float32, cfg.Dim)
+			query := make([]float32, cfg.Dim)
+			query[0] = 1
+			var lastVersion uint64
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				lvl := levels[(r+i)%len(levels)]
+				meta, err := eng.Lookup(hot, dst, lvl)
+				if err != nil {
+					t.Errorf("reader %d: lookup: %v", r, err)
+					return
+				}
+				if lvl.Kind == serve.KindBounded && meta.Staleness > lvl.Bound {
+					t.Errorf("reader %d: %v read staleness %d over bound", r, lvl, meta.Staleness)
+					return
+				}
+				if floor := meta.Watermark + 1 - meta.Staleness; floor > 0 && meta.Version < gpus*uint64(floor) {
+					t.Errorf("reader %d: %v read version %d < %d·(wm %d + 1 − lag %d): row staler than admitted",
+						r, lvl, meta.Version, gpus, meta.Watermark, meta.Staleness)
+					return
+				}
+				if meta.Version < lastVersion {
+					t.Errorf("reader %d: version went backwards %d → %d", r, lastVersion, meta.Version)
+					return
+				}
+				lastVersion = meta.Version
+				if i%16 == 0 {
+					if _, err := eng.TopK(query, 8, lvl); err != nil {
+						t.Errorf("reader %d: topk: %v", r, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	wg.Wait()
+
+	// After the run the epilogue has drained every update: a fresh read
+	// must see all steps·gpus of them.
+	dst := make([]float32, cfg.Dim)
+	meta, err := eng.Lookup(hot, dst, serve.Fresh())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(steps * gpus); meta.Version != want {
+		t.Fatalf("post-run version = %d, want %d", meta.Version, want)
+	}
+	m := eng.Metrics()
+	if m.Lookups == 0 {
+		t.Fatal("no lookups recorded")
+	}
+	if job.Controller() != nil && meta.Watermark != steps-1 {
+		t.Fatalf("post-run watermark = %d, want %d", meta.Watermark, int64(steps-1))
+	}
+}
+
+func TestServeWhileTrainFrugal(t *testing.T)     { serveWhileTrain(t, runtime.EngineFrugal) }
+func TestServeWhileTrainFrugalSync(t *testing.T) { serveWhileTrain(t, runtime.EngineFrugalSync) }
+func TestServeWhileTrainDirect(t *testing.T)     { serveWhileTrain(t, runtime.EngineDirect) }
+
+// TestRejectStale drives bounded(0) lookups in reject mode against the
+// frugal engine: rejected reads must carry *ErrTooStale, admitted reads
+// must meet the bound, and at least the post-run read must succeed.
+func TestRejectStale(t *testing.T) {
+	const gpus, steps = 2, 150
+	cfg := runtime.Config{
+		Engine: runtime.EngineFrugal, NumGPUs: gpus, Rows: 1024, Dim: 8,
+		CacheRatio: 0.25, Seed: 5, CheckConsistency: true,
+	}
+	trace := &hotTrace{hot: 4, gpus: gpus, batch: 32, steps: steps,
+		gen: data.NewScrambledZipf(5, 1024, 0.9)}
+	job, err := runtime.NewMicro(cfg, trace, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.New(job.Host(), job.Controller(), serve.Options{RejectStale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		dst := make([]float32, cfg.Dim)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			meta, err := eng.Lookup(4, dst, serve.Bounded(0))
+			if err != nil {
+				stale, ok := err.(*serve.ErrTooStale)
+				if !ok {
+					t.Errorf("lookup: %v", err)
+					return
+				}
+				if stale.Staleness <= stale.Bound {
+					t.Errorf("rejected within bound: %+v", stale)
+					return
+				}
+				continue
+			}
+			if meta.Staleness > 0 || meta.Refreshed {
+				t.Errorf("admitted read not within bound: %+v", meta)
+				return
+			}
+		}
+	}()
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	wg.Wait()
+	dst := make([]float32, cfg.Dim)
+	if _, err := eng.Lookup(4, dst, serve.Bounded(0)); err != nil {
+		t.Fatalf("post-run bounded(0) rejected: %v", err)
+	}
+}
+
+// TestCheckpointRoundTrip serves a slab through Save/LoadHost and checks
+// the served bytes match the original.
+func TestCheckpointRoundTrip(t *testing.T) {
+	h := staticHost(t, 32, 4)
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := runtime.LoadHost(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.NewStatic(loaded, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float32, 4)
+	if _, err := eng.Lookup(9, dst, serve.Stale()); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 9 || dst[1] != 1 {
+		t.Fatalf("served row = %v", dst)
+	}
+}

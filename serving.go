@@ -1,0 +1,143 @@
+package frugal
+
+import (
+	"io"
+	"net/http"
+
+	"frugal/internal/obs"
+	"frugal/internal/runtime"
+	"frugal/internal/serve"
+	"frugal/internal/serve/loadgen"
+)
+
+// ServeLevel is a serving consistency level: ServeStale (read host memory
+// as-is), ServeBounded(k) (admit at most k gate steps of flush lag), or
+// ServeFresh (force-flush pending updates before every read).
+type ServeLevel = serve.Level
+
+// ServeStale returns the zero-coordination level.
+func ServeStale() ServeLevel { return serve.Stale() }
+
+// ServeBounded returns the level admitting at most k gate steps of lag.
+func ServeBounded(k int64) ServeLevel { return serve.Bounded(k) }
+
+// ServeFresh returns the force-flush-before-read level.
+func ServeFresh() ServeLevel { return serve.Fresh() }
+
+// ParseServeLevel parses "stale", "bounded", "bounded(k)" or "fresh".
+func ParseServeLevel(s string) (ServeLevel, error) { return serve.ParseLevel(s) }
+
+// ServeRowMeta is the consistency metadata of one served row.
+type ServeRowMeta = serve.RowMeta
+
+// ServeCandidate is one top-K similarity result.
+type ServeCandidate = serve.Candidate
+
+// ServeMetrics is a snapshot of a server's read-path metrics.
+type ServeMetrics = obs.ServeSnapshot
+
+// ErrTooStale is returned by bounded lookups on a RejectStale server when
+// the row's flush lag exceeds the bound.
+type ErrTooStale = serve.ErrTooStale
+
+// ServeOptions configures a Server.
+type ServeOptions struct {
+	// Level is the default consistency level (zero value: stale).
+	Level ServeLevel
+	// RejectStale refuses bounded lookups that exceed the bound instead
+	// of force-flushing the row.
+	RejectStale bool
+	// MaxTopK caps top-K query sizes (default 128).
+	MaxTopK int
+}
+
+func (o ServeOptions) internal() serve.Options {
+	return serve.Options{Default: o.Level, RejectStale: o.RejectStale, MaxTopK: o.MaxTopK}
+}
+
+// Server answers embedding lookups and top-K similarity queries from a
+// job's host-memory parameter slab (or a loaded checkpoint). Safe for any
+// number of concurrent callers, concurrently with the training job it is
+// attached to.
+type Server struct {
+	eng *serve.Engine
+}
+
+// Serve attaches a query engine to the job's host slab. Call it at any
+// point — before, during, or after Run — and query while training runs;
+// the consistency levels govern how far a served row may lag the training
+// frontier. For the synchronous engines (direct, frugal-sync) every level
+// is trivially fresh, since their updates reach host memory at commit
+// time.
+func (j *TrainingJob) Serve(opt ServeOptions) (*Server, error) {
+	eng, err := serve.New(j.job.Host(), j.job.Controller(), opt.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Server{eng: eng}, nil
+}
+
+// NewServerFromCheckpoint serves a checkpoint written by SaveCheckpoint
+// (or frugal-train -checkpoint-out) without constructing a training job.
+// The slab is static, so top-K scans use the unlocked batched kernel and
+// every consistency level is trivially satisfied.
+func NewServerFromCheckpoint(r io.Reader, opt ServeOptions) (*Server, error) {
+	host, err := runtime.LoadHost(r)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := serve.NewStatic(host, opt.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Server{eng: eng}, nil
+}
+
+// Rows returns the number of servable embedding rows.
+func (s *Server) Rows() int64 { return s.eng.Rows() }
+
+// Dim returns the embedding dimension.
+func (s *Server) Dim() int { return s.eng.Dim() }
+
+// Lookup copies row `key` into dst (len(dst) == Dim()) at the server's
+// default level. Allocation-free.
+func (s *Server) Lookup(key uint64, dst []float32) (ServeRowMeta, error) {
+	return s.eng.Lookup(key, dst, s.eng.DefaultLevel())
+}
+
+// LookupLevel is Lookup at an explicit consistency level.
+func (s *Server) LookupLevel(key uint64, dst []float32, lvl ServeLevel) (ServeRowMeta, error) {
+	return s.eng.Lookup(key, dst, lvl)
+}
+
+// TopK returns the k rows most similar to query by dot product, best
+// first, at the server's default level.
+func (s *Server) TopK(query []float32, k int) ([]ServeCandidate, error) {
+	return s.eng.TopK(query, k, s.eng.DefaultLevel())
+}
+
+// TopKLevel is TopK at an explicit consistency level.
+func (s *Server) TopKLevel(query []float32, k int, lvl ServeLevel) ([]ServeCandidate, error) {
+	return s.eng.TopK(query, k, lvl)
+}
+
+// Handler returns the server's HTTP API: /lookup, /topk, /healthz and
+// /debug/vars (read-path metrics).
+func (s *Server) Handler() http.Handler { return s.eng.Handler() }
+
+// Metrics snapshots the server's query counters and latency histograms.
+func (s *Server) Metrics() ServeMetrics { return s.eng.Metrics() }
+
+// LoadGenOptions configures RunLoadGen: worker count, duration, Zipf key
+// skew, top-K mix, consistency level, seed.
+type LoadGenOptions = loadgen.Options
+
+// LoadGenReport is a finished load run's summary: throughput, error and
+// rejection counts, client-observed latency histograms.
+type LoadGenReport = loadgen.Report
+
+// RunLoadGen drives the server with a closed-loop Zipf-skewed workload
+// and returns the aggregate report — the serving benchmark.
+func (s *Server) RunLoadGen(opt LoadGenOptions) (LoadGenReport, error) {
+	return loadgen.Run(s.eng, opt)
+}
