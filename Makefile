@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-core serve-demo bench bench-baseline bench-check check
+.PHONY: build vet test race race-core serve-stress serve-demo bench bench-baseline bench-check check
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The concurrency-heavy packages only — the CI race job.
+# The concurrency-heavy packages only — the CI race job. The serve tree
+# is spelled out so the load generator stays covered even if the packages
+# are ever reorganised.
 race-core:
-	$(GO) test -race ./internal/runtime/... ./internal/p2f/... ./internal/fault/... ./internal/pq/... ./internal/lfht/... ./internal/serve/...
+	$(GO) test -race ./internal/runtime/... ./internal/p2f/... ./internal/fault/... ./internal/pq/... ./internal/lfht/... ./internal/serve ./internal/serve/loadgen
+
+# The overload-control suite under the race detector: open-loop shedding,
+# the hot-key refresh storm, admission semantics, and the server
+# shutdown goroutine-leak check.
+serve-stress:
+	$(GO) test -race -count=1 -v \
+		-run 'TestOpenLoopOverloadSheds|TestRefreshStormCoalesces|TestEngineShedsUnderHeldCapacity|TestAdmission|TestHTTPServerShutdownNoLeak|TestFlushKeySharedCoalesces' \
+		./internal/serve ./internal/serve/loadgen ./internal/p2f
 
 # Train a small checkpoint, then hammer it with the serving load
 # generator for 5s and print the latency report.

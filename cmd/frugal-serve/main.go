@@ -10,16 +10,24 @@
 //	curl 'localhost:8080/lookup?key=42&level=bounded(2)'
 //	curl 'localhost:8080/topk?q=0.1,0.2,0.3&k=5'
 //
-// With -loadgen it runs the closed-loop load generator against the
-// checkpoint instead and prints a latency report (`make serve-demo`).
+// The server sheds load past -max-inflight (429 + Retry-After), bounds
+// every request by -request-timeout, and drains connections for up to
+// -drain on SIGINT/SIGTERM before exiting.
+//
+// With -loadgen it runs the load generator against the checkpoint
+// instead and prints a latency report (`make serve-demo`) — closed-loop
+// by default, open-loop at a fixed arrival rate with -rate.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"frugal"
 )
@@ -33,8 +41,12 @@ func run() int {
 		level       = flag.String("level", "stale", "default consistency level: stale, bounded(k), fresh")
 		rejectStale = flag.Bool("reject-stale", false, "refuse bounded lookups over the bound instead of force-flushing")
 		maxTopK     = flag.Int("max-topk", 128, "largest accepted top-K query size")
-		loadGen     = flag.Duration("loadgen", 0, "run the closed-loop load generator for this long and exit (0 = serve HTTP)")
-		workers     = flag.Int("workers", 4, "load-generator closed-loop workers")
+		maxInflight = flag.Int("max-inflight", 256, "admission-control capacity in lookup units (0 = unlimited)")
+		reqTimeout  = flag.Duration("request-timeout", 2*time.Second, "per-request deadline (0 = none)")
+		drain       = flag.Duration("drain", 5*time.Second, "connection-drain budget on shutdown")
+		loadGen     = flag.Duration("loadgen", 0, "run the load generator for this long and exit (0 = serve HTTP)")
+		rate        = flag.Float64("rate", 0, "load-generator open-loop arrival rate, queries/s (0 = closed loop)")
+		workers     = flag.Int("workers", 4, "load-generator workers")
 		zipf        = flag.Float64("zipf", 0.9, "load-generator Zipf key-skew exponent θ")
 		topkFrac    = flag.Float64("topk-frac", 0.05, "load-generator fraction of top-K queries")
 		k           = flag.Int("k", 10, "load-generator top-K size")
@@ -45,7 +57,8 @@ func run() int {
 
 	lvl, err := validate(options{
 		Addr: *addr, Checkpoint: *checkpoint, Level: *level, MaxTopK: *maxTopK,
-		LoadGen: *loadGen, Workers: *workers, Zipf: *zipf, TopKFrac: *topkFrac, K: *k,
+		MaxInflight: *maxInflight, RequestTimeout: *reqTimeout, Drain: *drain,
+		LoadGen: *loadGen, Rate: *rate, Workers: *workers, Zipf: *zipf, TopKFrac: *topkFrac, K: *k,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "frugal-serve:", err)
@@ -60,6 +73,7 @@ func run() int {
 	}
 	srv, err := frugal.NewServerFromCheckpoint(f, frugal.ServeOptions{
 		Level: lvl, RejectStale: *rejectStale, MaxTopK: *maxTopK,
+		MaxInflight: *maxInflight, RequestTimeout: *reqTimeout,
 	})
 	f.Close()
 	if err != nil {
@@ -71,6 +85,7 @@ func run() int {
 		rep, err := srv.RunLoadGen(frugal.LoadGenOptions{
 			Workers: *workers, Duration: *loadGen, Zipf: *zipf,
 			TopKFraction: *topkFrac, K: *k, Level: lvl, Seed: *seed,
+			ArrivalRate: *rate,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -89,25 +104,61 @@ func run() int {
 		return 0
 	}
 
-	fmt.Printf("serving %d rows × dim %d at %s (level %s)\n", srv.Rows(), srv.Dim(), *addr, lvl)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	hs, err := srv.Listen(*addr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("serving %d rows × dim %d at %s (level %s, max-inflight %d)\n",
+		srv.Rows(), srv.Dim(), hs.Addr(), lvl, *maxInflight)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve() }()
+	select {
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	fmt.Printf("shutting down, draining connections (up to %v)\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "drain incomplete:", err)
 		return 1
 	}
 	return 0
 }
 
 func report(rep frugal.LoadGenReport) {
+	fmt.Printf("mode:             %s\n", rep.Mode)
 	fmt.Printf("level:            %s\n", rep.Level)
 	fmt.Printf("workers:          %d\n", rep.Workers)
 	fmt.Printf("elapsed:          %v\n", rep.Elapsed)
 	fmt.Printf("throughput:       %.0f queries/s\n", rep.QPS)
-	fmt.Printf("lookups:          %d (mean %v)\n", rep.Lookups, rep.LookupLatency.Mean())
-	fmt.Printf("topk queries:     %d (mean %v)\n", rep.TopKs, rep.TopKLatency.Mean())
+	fmt.Printf("lookups:          %d (mean %v, p99 %v)\n",
+		rep.Lookups, rep.LookupLatency.Mean(), rep.LookupLatency.Quantile(0.99))
+	fmt.Printf("topk queries:     %d (mean %v, p99 %v)\n",
+		rep.TopKs, rep.TopKLatency.Mean(), rep.TopKLatency.Quantile(0.99))
+	if rep.Mode == "open" {
+		fmt.Printf("offered:          %d (dropped %d at the client queue)\n", rep.Offered, rep.Dropped)
+	}
+	if rep.Shed > 0 {
+		fmt.Printf("shed:             %d (admission control)\n", rep.Shed)
+	}
 	if rep.Rejected > 0 {
 		fmt.Printf("rejected:         %d (staleness bound)\n", rep.Rejected)
 	}
 	if rep.Errors > 0 {
 		fmt.Printf("errors:           %d\n", rep.Errors)
+	}
+	if rep.Aborted {
+		fmt.Printf("aborted:          run stopped on persistent errors: %s\n", rep.FirstError)
 	}
 }

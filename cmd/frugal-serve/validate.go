@@ -10,16 +10,20 @@ import (
 
 // options are the flag values vetted before any serving work starts.
 type options struct {
-	Addr       string
-	Checkpoint string
-	Level      string
-	MaxTopK    int
-	LoadGen    time.Duration
-	Workers    int
-	Zipf       float64
-	TopKFrac   float64
-	K          int
-	statFile   func(string) error // test seam; nil = os.Stat
+	Addr           string
+	Checkpoint     string
+	Level          string
+	MaxTopK        int
+	MaxInflight    int
+	RequestTimeout time.Duration
+	Drain          time.Duration
+	LoadGen        time.Duration
+	Rate           float64
+	Workers        int
+	Zipf           float64
+	TopKFrac       float64
+	K              int
+	statFile       func(string) error // test seam; nil = os.Stat
 }
 
 // validate rejects invalid flag combinations up front with a usage error —
@@ -47,8 +51,28 @@ func validate(o options) (frugal.ServeLevel, error) {
 	if o.MaxTopK < 1 {
 		return frugal.ServeLevel{}, fmt.Errorf("-max-topk must be at least 1 (got %d)", o.MaxTopK)
 	}
+	if o.MaxInflight < 0 {
+		return frugal.ServeLevel{}, fmt.Errorf("-max-inflight must not be negative (got %d; 0 disables admission control)", o.MaxInflight)
+	}
+	if o.MaxInflight > 0 && o.MaxInflight < 8 {
+		// The engine charges a top-K query 8 lookup units; a smaller pool
+		// could never admit one.
+		return frugal.ServeLevel{}, fmt.Errorf("-max-inflight must be 0 or at least 8 (got %d; a top-K query costs 8 units)", o.MaxInflight)
+	}
+	if o.RequestTimeout < 0 {
+		return frugal.ServeLevel{}, fmt.Errorf("-request-timeout must not be negative (got %v)", o.RequestTimeout)
+	}
+	if o.Drain < 0 {
+		return frugal.ServeLevel{}, fmt.Errorf("-drain must not be negative (got %v)", o.Drain)
+	}
 	if o.LoadGen < 0 {
 		return frugal.ServeLevel{}, fmt.Errorf("-loadgen must not be negative (got %v)", o.LoadGen)
+	}
+	if o.Rate < 0 {
+		return frugal.ServeLevel{}, fmt.Errorf("-rate must not be negative (got %v; 0 keeps the closed loop)", o.Rate)
+	}
+	if o.Rate > 0 && o.LoadGen == 0 {
+		return frugal.ServeLevel{}, fmt.Errorf("-rate needs -loadgen (the open loop is a load-generator mode)")
 	}
 	if o.LoadGen == 0 && o.Addr == "" {
 		return frugal.ServeLevel{}, fmt.Errorf("-addr must not be empty without -loadgen (nothing to do)")

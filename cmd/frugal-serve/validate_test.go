@@ -25,6 +25,10 @@ func TestValidateAccepts(t *testing.T) {
 		func(o *options) { o.Level = "bounded(3)" },
 		func(o *options) { o.LoadGen = time.Second },
 		func(o *options) { o.LoadGen = time.Second; o.Addr = "" },
+		func(o *options) { o.MaxInflight = 0 }, // 0 = admission control off
+		func(o *options) { o.MaxInflight = 8 },
+		func(o *options) { o.RequestTimeout = 2 * time.Second; o.Drain = 5 * time.Second },
+		func(o *options) { o.LoadGen = time.Second; o.Rate = 5000 },
 	}
 	for i, mod := range cases {
 		o := good()
@@ -53,6 +57,12 @@ func TestValidateRejects(t *testing.T) {
 		{"bad zipf", func(o *options) { o.LoadGen = time.Second; o.Zipf = 1.5 }, "-zipf"},
 		{"bad topk-frac", func(o *options) { o.LoadGen = time.Second; o.TopKFrac = 2 }, "-topk-frac"},
 		{"k over max", func(o *options) { o.LoadGen = time.Second; o.K = 500 }, "-k"},
+		{"negative max-inflight", func(o *options) { o.MaxInflight = -1 }, "-max-inflight"},
+		{"max-inflight under topk weight", func(o *options) { o.MaxInflight = 4 }, "-max-inflight"},
+		{"negative request-timeout", func(o *options) { o.RequestTimeout = -time.Second }, "-request-timeout"},
+		{"negative drain", func(o *options) { o.Drain = -time.Second }, "-drain"},
+		{"negative rate", func(o *options) { o.LoadGen = time.Second; o.Rate = -1 }, "-rate"},
+		{"rate without loadgen", func(o *options) { o.Rate = 100 }, "-rate"},
 	}
 	for _, tc := range cases {
 		o := good()

@@ -314,7 +314,7 @@ func RunPerf(quick bool) PerfReport {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		})
 	}
-	rep.Benchmarks = append(rep.Benchmarks, loadgenRow(quick))
+	rep.Benchmarks = append(rep.Benchmarks, loadgenRow(quick), openLoopRow(quick))
 	return rep
 }
 
@@ -339,6 +339,34 @@ func loadgenRow(quick bool) PerfBench {
 	return PerfBench{
 		Name:    "serve/loadgen-lookup-mean",
 		NsPerOp: float64(rep.LookupLatency.Mean().Nanoseconds()),
+	}
+}
+
+// openLoopRow reports admitted-lookup p99 under open-loop overload: a
+// fixed 10k/s arrival rate against an admission-bounded engine, the
+// configuration the overload tests exercise. Advisory like every
+// wall-clock row — it exists so a perf run shows how shed-under-pressure
+// latency moves, not to gate on it.
+func openLoopRow(quick bool) PerfBench {
+	d := time.Second
+	if quick {
+		d = 100 * time.Millisecond
+	}
+	eng, err := serve.NewStatic(newServeHost(), serve.Options{
+		MaxInflight: 32, AdmitWait: time.Millisecond,
+	})
+	if err != nil {
+		panic(err) // fixed valid options
+	}
+	rep, err := loadgen.Run(eng, loadgen.Options{
+		Workers: 8, Duration: d, ArrivalRate: 10_000, MaxOutstanding: 256,
+	})
+	if err != nil {
+		panic(err) // fixed valid options
+	}
+	return PerfBench{
+		Name:    "serve/openloop-lookup-p99",
+		NsPerOp: float64(rep.LookupLatency.Quantile(0.99).Nanoseconds()),
 	}
 }
 

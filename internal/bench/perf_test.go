@@ -53,9 +53,9 @@ func TestRunPerfQuick(t *testing.T) {
 		t.Skip("perf suite in -short mode")
 	}
 	rep := RunPerf(true)
-	// The suite rows plus the appended loadgen latency row.
-	if len(rep.Benchmarks) != len(perfSuite())+1 {
-		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(perfSuite())+1)
+	// The suite rows plus the appended loadgen latency and open-loop rows.
+	if len(rep.Benchmarks) != len(perfSuite())+2 {
+		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(perfSuite())+2)
 	}
 	for _, pb := range rep.Benchmarks {
 		if pb.NsPerOp <= 0 {

@@ -145,6 +145,39 @@ func (s HistSnapshot) Mean() time.Duration {
 	return s.Sum / time.Duration(s.Count)
 }
 
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 < q ≤ 1), a conservative (over-)estimate with the usual
+// fixed-bucket resolution. Returns 0 before any observation. An
+// observation in the overflow bucket reports the largest finite bound
+// doubled — the layout has no upper edge to name.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(q*float64(s.Count) + 0.999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	maxFinite := time.Duration(0)
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if b.Le < time.Duration(int64(^uint64(0)>>1)) && b.Le > maxFinite {
+			maxFinite = b.Le
+		}
+		if cum >= rank {
+			if b.Le == time.Duration(int64(^uint64(0)>>1)) {
+				return 2 * maxFinite
+			}
+			return b.Le
+		}
+	}
+	return maxFinite
+}
+
 func (h *Histogram) snapshot() HistSnapshot {
 	s := HistSnapshot{Count: h.count.Load(), Sum: time.Duration(h.sum.Load())}
 	for i := range h.buckets {

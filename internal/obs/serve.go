@@ -13,6 +13,8 @@ type ServeObs struct {
 	topks     Counter
 	rejected  Counter // bounded reads refused for exceeding the staleness bound
 	refreshed Counter // reads satisfied by force-flushing the pending write set
+	shed      Counter // requests refused by admission control (overload)
+	canceled  Counter // requests abandoned on context cancellation/deadline
 	lookupLat Histogram
 	topkLat   Histogram
 }
@@ -23,6 +25,7 @@ func NewServeObs(n int) *ServeObs {
 	return &ServeObs{
 		lookups: newCounter(n), topks: newCounter(n),
 		rejected: newCounter(n), refreshed: newCounter(n),
+		shed: newCounter(n), canceled: newCounter(n),
 		lookupLat: newHistogram(DurationBuckets),
 		topkLat:   newHistogram(DurationBuckets),
 	}
@@ -64,12 +67,35 @@ func (s *ServeObs) Refreshed(client int) {
 	s.refreshed.Add(client, 1)
 }
 
+// Shed records a request refused by admission control: the engine was at
+// its inflight capacity and the bounded admission wait expired (or the
+// wait queue itself was full). Shed requests answer 429 with Retry-After;
+// a rising shed counter is the overload signal.
+func (s *ServeObs) Shed(client int) {
+	if s == nil {
+		return
+	}
+	s.shed.Add(client, 1)
+}
+
+// Canceled records a request abandoned because its context was canceled
+// or its deadline expired — during the admission wait or between top-K
+// scan chunks.
+func (s *ServeObs) Canceled(client int) {
+	if s == nil {
+		return
+	}
+	s.canceled.Add(client, 1)
+}
+
 // ServeSnapshot is a point-in-time copy of a ServeObs.
 type ServeSnapshot struct {
 	Lookups       int64        `json:"lookups"`
 	TopKs         int64        `json:"topks"`
 	Rejected      int64        `json:"rejected"`
 	Refreshed     int64        `json:"refreshed"`
+	Shed          int64        `json:"shed"`
+	Canceled      int64        `json:"canceled"`
 	LookupLatency HistSnapshot `json:"lookupLatency"`
 	TopKLatency   HistSnapshot `json:"topkLatency"`
 }
@@ -84,6 +110,8 @@ func (s *ServeObs) Snapshot() ServeSnapshot {
 		TopKs:         s.topks.Total(),
 		Rejected:      s.rejected.Total(),
 		Refreshed:     s.refreshed.Total(),
+		Shed:          s.shed.Total(),
+		Canceled:      s.canceled.Total(),
 		LookupLatency: s.lookupLat.snapshot(),
 		TopKLatency:   s.topkLat.snapshot(),
 	}

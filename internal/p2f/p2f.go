@@ -150,6 +150,10 @@ type Stats struct {
 	PrefetchedSteps int64
 	// CommittedSteps is the number of fully committed steps.
 	CommittedSteps int64
+	// CoalescedFlushes counts FlushKeyShared callers that piggybacked on
+	// another caller's in-flight flush instead of running their own —
+	// refresh-storm pressure the singleflight layer absorbed.
+	CoalescedFlushes int64
 }
 
 // Controller orchestrates P²F: it owns the g-entry directory, the priority
@@ -183,6 +187,12 @@ type Controller struct {
 	deferredFlushes atomic.Int64
 	urgentFlushes   atomic.Int64
 	prefetchedSteps atomic.Int64
+
+	// Singleflight state for FlushKeyShared: at most one serving-triggered
+	// flush per key is in flight; concurrent requesters wait on it.
+	flightMu  sync.Mutex
+	flight    map[uint64]*flushCall
+	coalesced atomic.Int64
 
 	// Self-healing state (see recovery.go). waiters counts trainers
 	// currently blocked in WaitForStep — the watchdog's "someone is owed
@@ -225,6 +235,7 @@ func NewController(opt Options) (*Controller, error) {
 		dir:           lfht.NewWithHint[*pq.GEntry](opt.DirectoryHint),
 		sample:        make(chan Batch, opt.Lookahead),
 		commits:       make(map[int64]int),
+		flight:        make(map[uint64]*flushCall),
 		committedStep: -1,
 		stop:          make(chan struct{}),
 		fl:            opt.Obs.FlushSink(),
@@ -563,6 +574,57 @@ func (c *Controller) FlushKey(key uint64) bool {
 	return true
 }
 
+// flushCall is one in-flight FlushKeyShared execution. wm is the
+// committed-step watermark loaded by the leader *before* its TakeWrites:
+// every update committed at or before wm is covered by this flush, so a
+// waiter that only needs freshness up to wm may safely piggyback.
+type flushCall struct {
+	done    chan struct{}
+	wm      int64
+	flushed bool
+}
+
+// FlushKeyShared is FlushKey with singleflight coalescing: when N
+// concurrent readers of one hot stale key all demand a refresh, one of
+// them runs the flush and the rest wait on it — one urgent flush instead
+// of N goroutines hammering the g-entry lock (and, through broadcast, the
+// controller mutex the trainers' gate sleeps on). This is the serving
+// layer's refresh path for `fresh` and over-bound `bounded(k)` reads.
+//
+// Coalescing preserves the freshness contract: a waiter joins an
+// in-flight call only if that call's watermark (loaded before its
+// TakeWrites) covers the watermark current at the waiter's own entry.
+// Otherwise the in-flight flush may predate commits the waiter must
+// observe, and the waiter retries after it completes — at most one extra
+// flush, never a stale admit.
+func (c *Controller) FlushKeyShared(key uint64) bool {
+	need := c.watermark.Load()
+	for {
+		c.flightMu.Lock()
+		if call, ok := c.flight[key]; ok {
+			joinable := call.wm >= need
+			c.flightMu.Unlock()
+			<-call.done
+			if joinable {
+				c.coalesced.Add(1)
+				return call.flushed
+			}
+			continue // the in-flight flush started before our watermark
+		}
+		call := &flushCall{done: make(chan struct{}), wm: c.watermark.Load()}
+		c.flight[key] = call
+		c.flightMu.Unlock()
+
+		call.flushed = c.FlushKey(key)
+
+		c.flightMu.Lock()
+		delete(c.flight, key)
+		c.flightMu.Unlock()
+		close(call.done)
+		return call.flushed
+	}
+}
+
 // ----------------------------------------------------------------------
 // Flusher pool
 
@@ -672,13 +734,14 @@ func (c *Controller) Stats() Stats {
 	committed := c.committedStep + 1
 	c.mu.Unlock()
 	return Stats{
-		StallTime:       time.Duration(c.stallNanos.Load()),
-		Stalls:          c.stalls.Load(),
-		FlushedUpdates:  c.flushedUpdates.Load(),
-		DeferredFlushes: c.deferredFlushes.Load(),
-		UrgentFlushes:   c.urgentFlushes.Load(),
-		PrefetchedSteps: c.prefetchedSteps.Load(),
-		CommittedSteps:  committed,
+		StallTime:        time.Duration(c.stallNanos.Load()),
+		Stalls:           c.stalls.Load(),
+		FlushedUpdates:   c.flushedUpdates.Load(),
+		DeferredFlushes:  c.deferredFlushes.Load(),
+		UrgentFlushes:    c.urgentFlushes.Load(),
+		PrefetchedSteps:  c.prefetchedSteps.Load(),
+		CommittedSteps:   committed,
+		CoalescedFlushes: c.coalesced.Load(),
 	}
 }
 

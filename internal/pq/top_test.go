@@ -1,0 +1,61 @@
+package pq
+
+import "testing"
+
+// TestTopSelfHealsBelowRaisedLowerBound plants a live finite entry below a
+// raised scan lower bound — the outcome of the Enqueue/RaiseLowerBound
+// race the compressed scan range admits — and asserts Top still reports
+// it. Before the fallback, Top returned Inf here: an over-report that
+// would open the consistency gate while an unflushed entry with a pending
+// read was still queued (a stale read). Dequeue has self-healed this race
+// since the beginning (twolevel.go's compressed-scan fallback); Top now
+// shares it.
+func TestTopSelfHealsBelowRaisedLowerBound(t *testing.T) {
+	q := MustTwoLevelPQ(TwoLevelOptions{MaxStep: 100})
+	g := NewGEntry(1)
+	g.Mu.Lock()
+	q.Enqueue(g, 5)
+	g.Mu.Unlock()
+
+	// Simulate the race: the bound is raised past a live entry (the
+	// RaiseLowerBound contract says this cannot happen for settled state,
+	// but a concurrent enqueue below the bound can interleave with the
+	// casMin/casMax pair in exactly this order).
+	q.RaiseLowerBound(20)
+
+	if top := q.Top(); top != 5 {
+		t.Fatalf("Top = %d, want 5: gate would open over a live finite entry", top)
+	}
+	// The fallback must also have healed the bound so dequeuers find the
+	// entry without their own full rescan.
+	got, p, ok := q.Dequeue()
+	if !ok || p != 5 || got != g {
+		t.Fatalf("Dequeue after heal = (%v, %d, %v), want (entry, 5, true)", got, p, ok)
+	}
+	if top := q.Top(); top != Inf {
+		t.Fatalf("Top on drained queue = %d, want Inf", top)
+	}
+}
+
+// TestTopSkipsFallbackWhenOnlyDeferred pins the guard: with only ∞
+// (deferred) entries queued, Top must return Inf without disturbing the
+// compressed bounds — the fallback is for racing *finite* entries only.
+func TestTopSkipsFallbackWhenOnlyDeferred(t *testing.T) {
+	q := MustTwoLevelPQ(TwoLevelOptions{MaxStep: 100})
+	// Raise upper via a finite entry that is then moved to ∞, leaving the
+	// queue with deferred work only.
+	g := NewGEntry(2)
+	g.Mu.Lock()
+	q.Enqueue(g, 30)
+	q.AdjustPriority(g, 30, Inf)
+	g.Mu.Unlock()
+	q.RaiseLowerBound(40)
+	if top := q.Top(); top != Inf {
+		t.Fatalf("Top = %d, want Inf (only deferred work queued)", top)
+	}
+	// The lower bound must be untouched: the fallback (which resets it to
+	// 0) should not have run at all.
+	if lo := q.lower.Load(); lo != 40 {
+		t.Fatalf("lower bound = %d, want 40 (fallback ran on deferred-only state)", lo)
+	}
+}

@@ -35,6 +35,13 @@ type TwoLevelPQ struct {
 	hint    int
 
 	count atomic.Int64
+	// finite counts live finite-priority entries. It is incremented
+	// *before* an entry becomes visible in a finite slot and decremented
+	// only after it is claimed (or moved to ∞), so a zero reading proves no
+	// finite entry can be hiding below the compressed scan range — the
+	// guard that keeps Top's self-healing fallback off the common
+	// only-deferred-work path.
+	finite atomic.Int64
 
 	// Scan-range compression state (§3.4 optimisation).
 	compress bool
@@ -152,6 +159,9 @@ func (q *TwoLevelPQ) Enqueue(g *GEntry, p int64) {
 	idx := q.slotIndex(p)
 	g.Priority = p
 	g.InQueue = true
+	if p != Inf {
+		q.finite.Add(1)
+	}
 	q.table(idx).Insert(g.Key, g)
 	q.count.Add(1)
 	q.o.Enqueue(g.Key)
@@ -170,9 +180,15 @@ func (q *TwoLevelPQ) AdjustPriority(g *GEntry, old, new int64) {
 		return
 	}
 	oldIdx, newIdx := q.slotIndex(old), q.slotIndex(new)
+	if new != Inf && old == Inf {
+		q.finite.Add(1)
+	}
 	q.table(newIdx).Insert(g.Key, g)
 	g.Priority = new
 	q.table(oldIdx).Delete(g.Key)
+	if new == Inf && old != Inf {
+		q.finite.Add(-1)
+	}
 	q.o.Adjust(g.Key)
 	if new != Inf {
 		casMin(&q.lower, new)
@@ -208,6 +224,9 @@ func (q *TwoLevelPQ) claim(g *GEntry, p int64) bool {
 		return false
 	}
 	g.InQueue = false
+	if p != Inf {
+		q.finite.Add(-1)
+	}
 	q.o.Dequeue(g.Key)
 	return true
 }
@@ -352,6 +371,9 @@ func (q *TwoLevelPQ) ProcessBatch(max int, fn func(g *GEntry, slotPriority int64
 			g.Mu.Unlock()
 			if claimed {
 				q.count.Add(-1)
+				if p != Inf {
+					q.finite.Add(-1)
+				}
 				q.o.Dequeue(g.Key)
 			} else {
 				q.o.StalePop(g.Key)
@@ -378,8 +400,18 @@ func (q *TwoLevelPQ) ProcessBatch(max int, fn func(g *GEntry, slotPriority int64
 // Top returns the smallest finite priority currently in the queue, or Inf
 // when only deferred (∞) work remains. A residue node can make Top
 // transiently under-report, which is safe for the consistency gate: it
-// only blocks training longer, never lets a stale read through. Top never
-// over-reports as long as the RaiseLowerBound contract is respected.
+// only blocks training longer, never lets a stale read through.
+//
+// Over-reporting is the dangerous direction — a Top that misses a live
+// finite entry opens the §3.3 gate early, i.e. a stale read. The
+// compressed scan range is only a hint: an Enqueue below the lower bound
+// can race with a RaiseLowerBound and leave a live entry beneath [lo, hi],
+// exactly the race Dequeue/DequeueBatch/ProcessBatch self-heal. Top gets
+// the same fallback, guarded by the live finite-entry count: when the
+// bounded scan comes up empty while finite entries remain, it resets the
+// lower bound and rescans the full index. (The guard is the finite count
+// rather than the total count so that the common only-deferred-work state
+// — count > 0, everything at ∞ — never pays a full-index scan.)
 func (q *TwoLevelPQ) Top() int64 {
 	if q.count.Load() == 0 {
 		return Inf
@@ -388,6 +420,16 @@ func (q *TwoLevelPQ) Top() int64 {
 	for p := lo; p <= hi; p++ {
 		if t := q.peek(p); t != nil && !t.Empty() {
 			return p
+		}
+	}
+	if q.compress && q.finite.Load() > 0 {
+		// Same self-healing fallback as Dequeue: a finite-priority entry
+		// may live below the (racy) lower bound.
+		casMin(&q.lower, 0)
+		for p := int64(0); p <= q.upper.Load(); p++ {
+			if t := q.peek(p); t != nil && !t.Empty() {
+				return p
+			}
 		}
 	}
 	return Inf

@@ -1,12 +1,14 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"frugal/internal/obs"
 )
@@ -20,7 +22,9 @@ import (
 //	GET  /debug/vars                    read-path metrics (obs.MetricsHandler)
 //
 // level defaults to the engine's Options.Default. Bounded reads refused
-// under RejectStale answer 503 with a JSON error body.
+// under RejectStale answer 503 with a JSON error body. Requests shed by
+// admission control answer 429, requests that outlive Options.
+// RequestTimeout answer 503 — both with a Retry-After header.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/lookup", e.handleLookup)
@@ -62,10 +66,37 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	var stale *ErrTooStale
-	if errors.As(err, &stale) {
+	var shed *ErrShed
+	switch {
+	case errors.As(err, &shed):
+		// Overload: the client must back off, not retry immediately.
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", retryAfterSeconds(shed.RetryAfter))
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.As(err, &stale):
 		status = http.StatusServiceUnavailable // retryable: the flusher pool will catch up
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// retryAfterSeconds renders d for a Retry-After header: whole seconds,
+// rounded up, at least 1 (the header has no sub-second form).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// requestCtx attaches the engine's per-request deadline to r's context.
+func (e *Engine) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if e.opt.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), e.opt.RequestTimeout)
 }
 
 // level resolves the optional ?level= / "level" parameter.
@@ -87,8 +118,10 @@ func (e *Engine) handleLookup(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	ctx, cancel := e.requestCtx(r)
+	defer cancel()
 	resp := lookupResponse{Key: key, Level: lvl.String(), Values: make([]float32, e.Dim())}
-	meta, err := e.Lookup(key, resp.Values, lvl)
+	meta, err := e.LookupCtx(ctx, key, resp.Values, lvl)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -127,12 +160,16 @@ func (e *Engine) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	res, err := e.TopK(req.Query, req.K, lvl)
+	ctx, cancel := e.requestCtx(r)
+	defer cancel()
+	res, err := e.TopKCtx(ctx, req.Query, req.K, lvl)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, topkResponse{K: req.K, Level: lvl.String(), Results: res})
+	// Report the effective k: TopK clamps req.K to the row count, and the
+	// response must not claim more results than it carries.
+	writeJSON(w, http.StatusOK, topkResponse{K: len(res), Level: lvl.String(), Results: res})
 }
 
 func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -104,6 +104,32 @@ func TestHTTPTopK(t *testing.T) {
 	}
 }
 
+// TestHTTPTopKEffectiveK pins the response contract when the engine
+// clamps k to the row count: the reported k must match the result count,
+// not echo the client's request.
+func TestHTTPTopKEffectiveK(t *testing.T) {
+	srv := testServer(t) // 100 rows, MaxTopK default 128
+	var got struct {
+		K       int               `json:"k"`
+		Results []json.RawMessage `json:"results"`
+	}
+	resp := getJSON(t, srv.URL+"/topk?q=1,0,0,0&k=128", &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(got.Results) != 100 {
+		t.Fatalf("got %d results, want the full 100-row table", len(got.Results))
+	}
+	if got.K != 100 {
+		t.Fatalf("reported k = %d, want the effective 100 (client asked for 128)", got.K)
+	}
+	// Unclamped requests report the k they deliver, unchanged.
+	resp = getJSON(t, srv.URL+"/topk?q=1,0,0,0&k=7", &got)
+	if resp.StatusCode != http.StatusOK || got.K != 7 || len(got.Results) != 7 {
+		t.Fatalf("k=7: status %d, k %d, results %d", resp.StatusCode, got.K, len(got.Results))
+	}
+}
+
 func TestHTTPHealthAndMetrics(t *testing.T) {
 	srv := testServer(t)
 	var health struct {

@@ -1,11 +1,21 @@
-// Package loadgen is a closed-loop load generator for the serving engine:
-// N workers issue lookup and top-K queries back-to-back against an
-// Engine, keys drawn from a scrambled-Zipf distribution (the access skew
-// every embedding workload in the paper exhibits), latencies recorded
-// through the same obs histograms the engine itself uses. Closed-loop
-// means each worker waits for its previous query before issuing the next
-// — the measured latency is service latency, not queue-wait under an
-// open-arrival overload.
+// Package loadgen is a load generator for the serving engine, with two
+// arrival disciplines:
+//
+//   - Closed-loop (the default): N workers issue lookup and top-K queries
+//     back-to-back, each waiting for its previous query before issuing the
+//     next. The measured latency is service latency, and the offered load
+//     self-limits at the engine's capacity — a closed loop can never drive
+//     the server past saturation.
+//   - Open-loop (ArrivalRate > 0): a dispatcher injects queries at a fixed
+//     rate regardless of how the engine is coping, the discipline real
+//     user traffic follows. This is the only way to measure overload
+//     behaviour — shed counts, queue growth, admitted-request latency
+//     under pressure — because the arrival rate does not slow down when
+//     the server does.
+//
+// Keys are drawn from a scrambled-Zipf distribution (the access skew
+// every embedding workload in the paper exhibits); latencies are recorded
+// through the same obs histograms the engine itself uses.
 package loadgen
 
 import (
@@ -23,7 +33,9 @@ import (
 
 // Options configures a load run.
 type Options struct {
-	// Workers is the closed-loop concurrency (default 4).
+	// Workers is the executing concurrency (default 4). Closed-loop: each
+	// worker is one synchronous client. Open-loop: the worker pool drains
+	// the arrival queue.
 	Workers int
 	// Duration is how long to run (default 2s).
 	Duration time.Duration
@@ -44,6 +56,22 @@ type Options struct {
 	UseDefault bool
 	// Seed makes the key sequence reproducible (default 1).
 	Seed int64
+
+	// ArrivalRate switches to open-loop mode: queries arrive at this fixed
+	// rate (per second) no matter how the engine is doing. 0 keeps the
+	// closed loop.
+	ArrivalRate float64
+	// MaxOutstanding caps the open-loop arrival queue (default 4096).
+	// Arrivals past it are counted as Dropped instead of queueing without
+	// bound — the generator must not itself become an unbounded queue in
+	// front of the engine.
+	MaxOutstanding int
+	// HardErrorLimit aborts the run after this many consecutive hard
+	// errors (default 64). Staleness rejections and admission sheds are
+	// expected outcomes and do not count; anything else signals a
+	// misconfigured engine, and burning the whole Duration in a tight
+	// error loop would hide it behind a "successful" report.
+	HardErrorLimit int
 }
 
 func (o *Options) normalize() error {
@@ -83,11 +111,27 @@ func (o *Options) normalize() error {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.ArrivalRate < 0 {
+		return fmt.Errorf("loadgen: ArrivalRate must be ≥ 0, got %v", o.ArrivalRate)
+	}
+	if o.MaxOutstanding == 0 {
+		o.MaxOutstanding = 4096
+	}
+	if o.MaxOutstanding < 1 {
+		return fmt.Errorf("loadgen: MaxOutstanding must be ≥ 1, got %d", o.MaxOutstanding)
+	}
+	if o.HardErrorLimit == 0 {
+		o.HardErrorLimit = 64
+	}
+	if o.HardErrorLimit < 1 {
+		return fmt.Errorf("loadgen: HardErrorLimit must be ≥ 1, got %d", o.HardErrorLimit)
+	}
 	return nil
 }
 
 // Report summarises one load run.
 type Report struct {
+	Mode     string        `json:"mode"` // "closed" or "open"
 	Workers  int           `json:"workers"`
 	Level    string        `json:"level"`
 	Elapsed  time.Duration `json:"elapsedNanos"`
@@ -95,16 +139,67 @@ type Report struct {
 	Lookups  int64         `json:"lookups"`
 	TopKs    int64         `json:"topks"`
 	Rejected int64         `json:"rejected"` // bounded reads refused (RejectStale engines)
-	Errors   int64         `json:"errors"`   // non-staleness failures (always a bug)
+	Shed     int64         `json:"shed"`     // refused by admission control (overload, expected)
+	Errors   int64         `json:"errors"`   // hard failures (always a bug)
 	QPS      float64       `json:"qps"`
-	// Client-observed latency, per query type.
+	// Open-loop arrival accounting: Offered = queries the arrival process
+	// generated, Dropped = arrivals the bounded queue refused. Zero in
+	// closed-loop mode, where offered load ≡ completed load.
+	Offered int64 `json:"offered,omitempty"`
+	Dropped int64 `json:"dropped,omitempty"`
+	// Aborted reports the run stopped early on HardErrorLimit consecutive
+	// hard errors; FirstError is the first hard error observed.
+	Aborted    bool   `json:"aborted,omitempty"`
+	FirstError string `json:"firstError,omitempty"`
+	// Client-observed latency, per query type. Open-loop latencies count
+	// from arrival (queue wait included) — that is the number a user sees.
 	LookupLatency obs.HistSnapshot `json:"lookupLatency"`
 	TopKLatency   obs.HistSnapshot `json:"topkLatency"`
 }
 
+// runState is the accounting shared by both arrival disciplines.
+type runState struct {
+	opt      Options
+	lvl      serve.Level
+	sobs     *obs.ServeObs
+	rejected atomic.Int64
+	shed     atomic.Int64
+	failures atomic.Int64
+	streak   atomic.Int64 // consecutive hard errors across all workers
+	stop     atomic.Bool
+	errOnce  sync.Once
+	firstErr atomic.Value // string
+}
+
+// observe classifies one query outcome and handles the abort trip-wire.
+// Returns false once the run should stop.
+func (s *runState) observe(err error) bool {
+	if err == nil {
+		s.streak.Store(0)
+		return !s.stop.Load()
+	}
+	var stale *serve.ErrTooStale
+	var shed *serve.ErrShed
+	switch {
+	case errors.As(err, &stale):
+		s.rejected.Add(1)
+	case errors.As(err, &shed):
+		s.shed.Add(1)
+	default:
+		s.failures.Add(1)
+		s.errOnce.Do(func() { s.firstErr.Store(err.Error()) })
+		if s.streak.Add(1) >= int64(s.opt.HardErrorLimit) {
+			// A worker spinning on the same hard error would otherwise burn
+			// the whole Duration at 100% CPU and still report "success".
+			s.stop.Store(true)
+		}
+	}
+	return !s.stop.Load()
+}
+
 // Run drives the engine with opt's workload and returns the aggregate
-// report. It returns once Duration has elapsed and every in-flight query
-// has completed.
+// report. It returns once Duration has elapsed (or the run aborted on
+// persistent hard errors) and every in-flight query has completed.
 func Run(eng *serve.Engine, opt Options) (Report, error) {
 	if eng == nil {
 		return Report{}, errors.New("loadgen: nil engine")
@@ -116,64 +211,161 @@ func Run(eng *serve.Engine, opt Options) (Report, error) {
 	if opt.UseDefault {
 		lvl = eng.DefaultLevel()
 	}
-	sobs := obs.NewServeObs(opt.Workers)
-	var rejected, failures atomic.Int64
+	st := &runState{opt: opt, lvl: lvl, sobs: obs.NewServeObs(opt.Workers)}
 	startAll := time.Now()
-	deadline := startAll.Add(opt.Duration)
-	var wg sync.WaitGroup
-	for w := 0; w < opt.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(opt.Seed + int64(w)*7919))
-			keys := data.NewScrambledZipf(opt.Seed+int64(w), uint64(eng.Rows()), opt.Zipf)
-			dst := make([]float32, eng.Dim())
-			query := make([]float32, eng.Dim())
-			for i := range query {
-				query[i] = float32(rng.NormFloat64())
-			}
-			for time.Now().Before(deadline) {
-				var err error
-				start := time.Now()
-				if rng.Float64() < opt.TopKFraction {
-					_, err = eng.TopK(query, opt.K, lvl)
-					if err == nil {
-						sobs.TopK(w, time.Since(start))
-					}
-				} else {
-					_, err = eng.Lookup(keys.Next(), dst, lvl)
-					if err == nil {
-						sobs.Lookup(w, time.Since(start))
-					}
-				}
-				if err != nil {
-					var stale *serve.ErrTooStale
-					if errors.As(err, &stale) {
-						rejected.Add(1)
-					} else {
-						failures.Add(1)
-					}
-				}
-			}
-		}(w)
+	var offered, dropped int64
+	if opt.ArrivalRate > 0 {
+		offered, dropped = runOpen(eng, st, startAll)
+	} else {
+		runClosed(eng, st, startAll)
 	}
-	wg.Wait()
 	elapsed := time.Since(startAll)
-	s := sobs.Snapshot()
+	s := st.sobs.Snapshot()
 	rep := Report{
+		Mode:          "closed",
 		Workers:       opt.Workers,
 		Level:         lvl.String(),
 		Elapsed:       elapsed,
 		Lookups:       s.Lookups,
 		TopKs:         s.TopKs,
-		Rejected:      rejected.Load(),
-		Errors:        failures.Load(),
+		Rejected:      st.rejected.Load(),
+		Shed:          st.shed.Load(),
+		Errors:        st.failures.Load(),
 		Ops:           s.Lookups + s.TopKs,
+		Offered:       offered,
+		Dropped:       dropped,
+		Aborted:       st.stop.Load(),
 		LookupLatency: s.LookupLatency,
 		TopKLatency:   s.TopKLatency,
+	}
+	if opt.ArrivalRate > 0 {
+		rep.Mode = "open"
+	}
+	if fe, ok := st.firstErr.Load().(string); ok {
+		rep.FirstError = fe
 	}
 	if secs := rep.Elapsed.Seconds(); secs > 0 {
 		rep.QPS = float64(rep.Ops) / secs
 	}
 	return rep, nil
+}
+
+// runClosed is the classic closed loop: each worker waits for its own
+// previous query.
+func runClosed(eng *serve.Engine, st *runState, startAll time.Time) {
+	deadline := startAll.Add(st.opt.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < st.opt.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(st.opt.Seed + int64(w)*7919))
+			keys := data.NewScrambledZipf(st.opt.Seed+int64(w), uint64(eng.Rows()), st.opt.Zipf)
+			dst := make([]float32, eng.Dim())
+			query := newQuery(eng.Dim(), rng)
+			for time.Now().Before(deadline) {
+				var err error
+				start := time.Now()
+				if rng.Float64() < st.opt.TopKFraction {
+					_, err = eng.TopK(query, st.opt.K, st.lvl)
+					if err == nil {
+						st.sobs.TopK(w, time.Since(start))
+					}
+				} else {
+					_, err = eng.Lookup(keys.Next(), dst, st.lvl)
+					if err == nil {
+						st.sobs.Lookup(w, time.Since(start))
+					}
+				}
+				if !st.observe(err) {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// arrival is one open-loop query, stamped at generation time so the
+// recorded latency includes its wait in the (bounded) arrival queue.
+type arrival struct {
+	at    time.Time
+	key   uint64
+	isTop bool
+}
+
+// runOpen injects arrivals at Options.ArrivalRate into a bounded queue a
+// worker pool drains. Returns (offered, dropped).
+func runOpen(eng *serve.Engine, st *runState, startAll time.Time) (int64, int64) {
+	queue := make(chan arrival, st.opt.MaxOutstanding)
+	var wg sync.WaitGroup
+	for w := 0; w < st.opt.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(st.opt.Seed + int64(w)*7919))
+			dst := make([]float32, eng.Dim())
+			query := newQuery(eng.Dim(), rng)
+			for a := range queue {
+				if st.stop.Load() {
+					continue // drain the queue without doing work
+				}
+				var err error
+				if a.isTop {
+					_, err = eng.TopK(query, st.opt.K, st.lvl)
+					if err == nil {
+						st.sobs.TopK(w, time.Since(a.at))
+					}
+				} else {
+					_, err = eng.Lookup(a.key, dst, st.lvl)
+					if err == nil {
+						st.sobs.Lookup(w, time.Since(a.at))
+					}
+				}
+				st.observe(err)
+			}
+		}(w)
+	}
+
+	// The dispatcher paces arrivals with a fractional accumulator over a
+	// 1ms tick: acc += rate·dt, and ⌊acc⌋ arrivals fire per tick. Rates
+	// below 1000/s emit on the ticks where the accumulator crosses 1, so
+	// any rate is honoured in expectation without a per-arrival timer.
+	var offered, dropped int64
+	rng := rand.New(rand.NewSource(st.opt.Seed*31 + 17))
+	keys := data.NewScrambledZipf(st.opt.Seed*31+17, uint64(eng.Rows()), st.opt.Zipf)
+	deadline := startAll.Add(st.opt.Duration)
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	acc := 0.0
+	last := startAll
+	for now := range tick.C {
+		if now.After(deadline) || st.stop.Load() {
+			break
+		}
+		acc += st.opt.ArrivalRate * now.Sub(last).Seconds()
+		last = now
+		for ; acc >= 1; acc-- {
+			a := arrival{at: now, key: keys.Next(), isTop: rng.Float64() < st.opt.TopKFraction}
+			offered++
+			select {
+			case queue <- a:
+			default:
+				// Queue full: the engine is this far behind the offered
+				// rate. Drop at the client rather than queue unboundedly.
+				dropped++
+			}
+		}
+	}
+	close(queue)
+	wg.Wait()
+	return offered, dropped
+}
+
+func newQuery(dim int, rng *rand.Rand) []float32 {
+	q := make([]float32, dim)
+	for i := range q {
+		q[i] = float32(rng.NormFloat64())
+	}
+	return q
 }

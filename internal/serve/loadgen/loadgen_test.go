@@ -44,6 +44,159 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
+// TestOpenLoopOverloadSheds measures the engine's closed-loop capacity,
+// then drives an open-loop arrival process at ≥2× that rate against an
+// admission-bounded engine. The engine must shed (not queue unboundedly),
+// admitted-request latency must stay bounded, and the arrival accounting
+// must balance: every offered query is dropped at the client queue or
+// completes with exactly one outcome.
+func TestOpenLoopOverloadSheds(t *testing.T) {
+	h, err := runtime.NewHost(8192, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Init(func(key uint64, row []float32) { row[0] = float32(key) })
+	eng, err := serve.NewStatic(h, serve.Options{
+		MaxInflight: 8, TopKWeight: 8,
+		AdmitWait: 200 * time.Microsecond, MaxWaiters: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := loadgen.Options{
+		Workers: 8, Zipf: 0.9, TopKFraction: 0.5, K: 8, Seed: 3,
+	}
+
+	capRun := base
+	capRun.Duration = 300 * time.Millisecond
+	capRep, err := loadgen.Run(eng, capRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capRep.Mode != "closed" || capRep.Ops == 0 {
+		t.Fatalf("capacity run: %+v", capRep)
+	}
+
+	over := base
+	over.Duration = 600 * time.Millisecond
+	over.Workers = 16
+	over.ArrivalRate = 2 * capRep.QPS
+	over.MaxOutstanding = 64
+	rep, err := loadgen.Run(eng, over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" {
+		t.Fatalf("mode = %q, want open", rep.Mode)
+	}
+	if rep.Errors != 0 || rep.Aborted {
+		t.Fatalf("hard errors under overload: %+v", rep)
+	}
+	if rep.Offered == 0 {
+		t.Fatal("open loop offered nothing")
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("no queries shed at 2× capacity (offered %d, ops %d): admission control idle",
+			rep.Offered, rep.Ops)
+	}
+	// Conservation: offered = dropped at the client + one outcome each.
+	if got := rep.Dropped + rep.Ops + rep.Shed + rep.Rejected + rep.Errors; got != rep.Offered {
+		t.Fatalf("arrival accounting leaks: offered %d ≠ dropped %d + ops %d + shed %d + rejected %d + errors %d",
+			rep.Offered, rep.Dropped, rep.Ops, rep.Shed, rep.Rejected, rep.Errors)
+	}
+	// Bounded latency for admitted work: the client queue is capped and
+	// the admission wait is bounded, so p99 cannot grow with the overload.
+	// The bound is deliberately loose — it catches unbounded queueing, not
+	// scheduler noise.
+	for _, lat := range []time.Duration{rep.LookupLatency.Quantile(0.99), rep.TopKLatency.Quantile(0.99)} {
+		if lat > 2*time.Second {
+			t.Fatalf("admitted p99 = %v: latency unbounded under overload (%+v)", lat, rep)
+		}
+	}
+}
+
+// TestAbortOnPersistentHardErrors aims the generator at an engine that
+// fails every query (K over the engine's MaxTopK) and checks the run
+// aborts fast instead of hot-spinning through the full Duration — and
+// says why.
+func TestAbortOnPersistentHardErrors(t *testing.T) {
+	h, err := runtime.NewHost(512, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.NewStatic(h, serve.Options{MaxTopK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rep, err := loadgen.Run(eng, loadgen.Options{
+		Workers: 4, Duration: 30 * time.Second, // must never run this long
+		TopKFraction: 1, K: 16, // every query: k over MaxTopK, a hard error
+		HardErrorLimit: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("misconfigured run burned %v before aborting", took)
+	}
+	if !rep.Aborted {
+		t.Fatalf("run did not abort: %+v", rep)
+	}
+	if rep.FirstError == "" {
+		t.Fatal("abort without a surfaced first error")
+	}
+	if rep.Errors < 32 {
+		t.Fatalf("errors = %d, want ≥ HardErrorLimit", rep.Errors)
+	}
+	if rep.Ops != 0 {
+		t.Fatalf("ops = %d on an all-failing engine", rep.Ops)
+	}
+}
+
+// TestOpenLoopAccountingQuiet drives a light open-loop run well under
+// capacity: nothing dropped, nothing shed, latency recorded from arrival.
+func TestOpenLoopAccountingQuiet(t *testing.T) {
+	h, err := runtime.NewHost(256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Init(func(key uint64, row []float32) { row[0] = float32(key) })
+	eng, err := serve.NewStatic(h, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadgen.Run(eng, loadgen.Options{
+		Workers: 4, Duration: 300 * time.Millisecond, ArrivalRate: 500, K: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" {
+		t.Fatalf("mode = %q", rep.Mode)
+	}
+	if rep.Offered == 0 || rep.Ops == 0 {
+		t.Fatalf("no traffic: %+v", rep)
+	}
+	if rep.Dropped != 0 || rep.Shed != 0 || rep.Errors != 0 || rep.Aborted {
+		t.Fatalf("losses under light load: %+v", rep)
+	}
+	if rep.Ops != rep.Offered {
+		t.Fatalf("ops %d ≠ offered %d on an idle engine", rep.Ops, rep.Offered)
+	}
+	bad := []loadgen.Options{
+		{ArrivalRate: -1},
+		{ArrivalRate: 100, MaxOutstanding: -1},
+		{HardErrorLimit: -1},
+	}
+	for i, opt := range bad {
+		opt.Duration = 10 * time.Millisecond
+		if _, err := loadgen.Run(eng, opt); err == nil {
+			t.Errorf("case %d accepted: %+v", i, opt)
+		}
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	h, err := runtime.NewHost(16, 4)
 	if err != nil {

@@ -31,6 +31,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -135,6 +137,26 @@ type Options struct {
 	MaxTopK int
 	// Shards sizes the metrics counters (default 8).
 	Shards int
+
+	// MaxInflight caps the engine's concurrent admitted work, in lookup
+	// units: a lookup costs 1, a top-K query costs TopKWeight. 0 disables
+	// admission control entirely (the pre-overload-control behaviour).
+	MaxInflight int
+	// TopKWeight is the admission cost of one top-K query relative to a
+	// lookup (default 8). Must not exceed MaxInflight, or no top-K query
+	// could ever be admitted.
+	TopKWeight int
+	// AdmitWait bounds how long a request may wait for admission before
+	// being shed (default 5ms). Shed requests fail with *ErrShed — they
+	// are never queued unboundedly.
+	AdmitWait time.Duration
+	// MaxWaiters caps the admission wait queue (default 4×MaxInflight).
+	// Arrivals beyond it are shed immediately, without waiting.
+	MaxWaiters int
+	// RequestTimeout is the per-request deadline the HTTP handlers attach
+	// to each request context (0: none). Direct LookupCtx/TopKCtx callers
+	// manage their own deadlines.
+	RequestTimeout time.Duration
 }
 
 func (o *Options) normalize() error {
@@ -149,6 +171,36 @@ func (o *Options) normalize() error {
 	}
 	if o.Shards <= 0 {
 		o.Shards = 8
+	}
+	if o.MaxInflight < 0 {
+		return fmt.Errorf("serve: MaxInflight must be ≥ 0, got %d", o.MaxInflight)
+	}
+	if o.MaxInflight > 0 {
+		if o.TopKWeight == 0 {
+			o.TopKWeight = 8
+		}
+		if o.TopKWeight < 1 {
+			return fmt.Errorf("serve: TopKWeight must be ≥ 1, got %d", o.TopKWeight)
+		}
+		if o.TopKWeight > o.MaxInflight {
+			return fmt.Errorf("serve: TopKWeight %d exceeds MaxInflight %d — no top-K query could ever be admitted",
+				o.TopKWeight, o.MaxInflight)
+		}
+		if o.AdmitWait == 0 {
+			o.AdmitWait = 5 * time.Millisecond
+		}
+		if o.AdmitWait < 0 {
+			return fmt.Errorf("serve: AdmitWait must be ≥ 0, got %v", o.AdmitWait)
+		}
+		if o.MaxWaiters == 0 {
+			o.MaxWaiters = 4 * o.MaxInflight
+		}
+		if o.MaxWaiters < 0 {
+			return fmt.Errorf("serve: MaxWaiters must be ≥ 0, got %d", o.MaxWaiters)
+		}
+	}
+	if o.RequestTimeout < 0 {
+		return fmt.Errorf("serve: RequestTimeout must be ≥ 0, got %v", o.RequestTimeout)
 	}
 	return nil
 }
@@ -210,6 +262,7 @@ type Engine struct {
 	opt    Options
 	static bool // no live writers: top-K may scan the slab unlocked
 	sobs   *obs.ServeObs
+	adm    *admission // nil: admission control disabled
 
 	scratch sync.Pool // *topkScratch
 }
@@ -236,6 +289,9 @@ func newEngine(host *runtime.Host, ctrl *p2f.Controller, opt Options, static boo
 		return nil, err
 	}
 	e := &Engine{host: host, ctrl: ctrl, opt: opt, static: static, sobs: obs.NewServeObs(opt.Shards)}
+	if opt.MaxInflight > 0 {
+		e.adm = newAdmission(int64(opt.MaxInflight), opt.AdmitWait, opt.MaxWaiters)
+	}
 	dim := host.Dim()
 	e.scratch.New = func() any {
 		return &topkScratch{scores: make([]float32, topkChunk), row: make([]float32, dim)}
@@ -259,10 +315,57 @@ func (e *Engine) DefaultLevel() Level { return e.opt.Default }
 // histograms.
 func (e *Engine) Metrics() obs.ServeSnapshot { return e.sobs.Snapshot() }
 
-// Lookup copies row `key` into dst (len(dst) == Dim()) at the given
-// consistency level and reports the row's consistency metadata. The call
-// is allocation-free — the serving hot path.
+// admitClass claims one admission slot of the class's weight, recording
+// the shed/canceled outcome. The uncontended path allocates nothing.
+func (e *Engine) admitClass(ctx context.Context, class string, shard int) (int64, error) {
+	if e.adm == nil {
+		return 0, nil
+	}
+	need := int64(1)
+	if class == classTopK {
+		need = int64(e.opt.TopKWeight)
+	}
+	if err := e.adm.Acquire(ctx, need, class); err != nil {
+		var shed *ErrShed
+		if errors.As(err, &shed) {
+			e.sobs.Shed(shard)
+		} else {
+			e.sobs.Canceled(shard)
+		}
+		return 0, err
+	}
+	return need, nil
+}
+
+// exit releases an admitted request's slot (no-op when admission is off).
+func (e *Engine) exit(need int64) {
+	if e.adm != nil {
+		e.adm.Release(need)
+	}
+}
+
+// Inflight reports the admitted work units currently in the engine, in
+// lookup units (0 when admission control is disabled).
+func (e *Engine) Inflight() int64 {
+	if e.adm == nil {
+		return 0
+	}
+	return e.adm.Inflight()
+}
+
+// Lookup is LookupCtx without a deadline — the allocation-free hot path
+// for callers that manage their own cancellation.
 func (e *Engine) Lookup(key uint64, dst []float32, lvl Level) (RowMeta, error) {
+	return e.LookupCtx(context.Background(), key, dst, lvl)
+}
+
+// LookupCtx copies row `key` into dst (len(dst) == Dim()) at the given
+// consistency level and reports the row's consistency metadata. The call
+// is allocation-free on the admitted path — the serving hot path. Under
+// admission control (Options.MaxInflight) it may fail with *ErrShed; a
+// canceled or expired ctx fails with the context's error, checked after
+// the admission wait (the one place a lookup can block).
+func (e *Engine) LookupCtx(ctx context.Context, key uint64, dst []float32, lvl Level) (RowMeta, error) {
 	start := time.Now()
 	if key >= uint64(e.host.Rows()) {
 		return RowMeta{}, fmt.Errorf("serve: key %d out of range (rows %d)", key, e.host.Rows())
@@ -271,6 +374,15 @@ func (e *Engine) Lookup(key uint64, dst []float32, lvl Level) (RowMeta, error) {
 		return RowMeta{}, fmt.Errorf("serve: dst length %d, want dim %d", len(dst), e.host.Dim())
 	}
 	if err := lvl.Validate(); err != nil {
+		return RowMeta{}, err
+	}
+	need, err := e.admitClass(ctx, classLookup, int(key))
+	if err != nil {
+		return RowMeta{}, err
+	}
+	defer e.exit(need)
+	if err := ctx.Err(); err != nil {
+		e.sobs.Canceled(int(key))
 		return RowMeta{}, err
 	}
 	meta, err := e.resolve(key, lvl)
@@ -306,12 +418,15 @@ func (e *Engine) resolve(key uint64, lvl Level) (RowMeta, error) {
 		if e.opt.RejectStale {
 			return RowMeta{}, &ErrTooStale{Key: key, Staleness: lag, Bound: lvl.Bound, Watermark: wm}
 		}
-		e.ctrl.FlushKey(key)
+		// Coalesced: N concurrent readers of one hot stale key trigger one
+		// urgent flush, not N storms on the controller mutex the trainers'
+		// gate depends on.
+		e.ctrl.FlushKeyShared(key)
 		e.sobs.Refreshed(int(key))
 		return RowMeta{Watermark: wm, Staleness: 0, Refreshed: true}, nil
 	default: // KindFresh
 		wm := e.ctrl.Watermark()
-		refreshed := e.ctrl.FlushKey(key)
+		refreshed := e.ctrl.FlushKeyShared(key)
 		if refreshed {
 			e.sobs.Refreshed(int(key))
 		}
@@ -339,6 +454,15 @@ func (e *Engine) staleBound() int64 {
 // RejectStale does not apply, since dropping a candidate would silently
 // change the result set.
 func (e *Engine) TopK(query []float32, k int, lvl Level) ([]Candidate, error) {
+	return e.TopKCtx(context.Background(), query, k, lvl)
+}
+
+// TopKCtx is TopK with deadline propagation: the scan checks ctx between
+// slab chunks and between candidate rescores, so a slow wide query stops
+// burning CPU the moment its client gives up. Under admission control a
+// top-K query costs Options.TopKWeight lookup units and may fail with
+// *ErrShed.
+func (e *Engine) TopKCtx(ctx context.Context, query []float32, k int, lvl Level) ([]Candidate, error) {
 	start := time.Now()
 	if len(query) != e.host.Dim() {
 		return nil, fmt.Errorf("serve: query length %d, want dim %d", len(query), e.host.Dim())
@@ -349,6 +473,11 @@ func (e *Engine) TopK(query []float32, k int, lvl Level) ([]Candidate, error) {
 	if err := lvl.Validate(); err != nil {
 		return nil, err
 	}
+	need, err := e.admitClass(ctx, classTopK, k)
+	if err != nil {
+		return nil, err
+	}
+	defer e.exit(need)
 	rows := e.host.Rows()
 	if int64(k) > rows {
 		k = int(rows)
@@ -356,6 +485,12 @@ func (e *Engine) TopK(query []float32, k int, lvl Level) ([]Candidate, error) {
 	sc := e.scratch.Get().(*topkScratch)
 	heap := sc.heap[:0]
 	for from := int64(0); from < rows; from += topkChunk {
+		if err := ctx.Err(); err != nil {
+			sc.heap = heap[:0]
+			e.scratch.Put(sc)
+			e.sobs.Canceled(k)
+			return nil, err
+		}
 		n := rows - from
 		if n > topkChunk {
 			n = topkChunk
@@ -380,6 +515,13 @@ func (e *Engine) TopK(query []float32, k int, lvl Level) ([]Candidate, error) {
 	sc.heap = heap[:0]
 	if e.ctrl != nil && lvl.Kind != KindStale {
 		for i := range out {
+			if err := ctx.Err(); err != nil {
+				// A rescore may force-flush, the expensive tail of the
+				// query — stop as soon as the client has given up.
+				e.scratch.Put(sc)
+				e.sobs.Canceled(k)
+				return nil, err
+			}
 			out[i] = e.rescore(query, out[i], lvl, sc.row)
 		}
 	} else if e.ctrl != nil {
@@ -412,13 +554,13 @@ func (e *Engine) rescore(query []float32, c Candidate, lvl Level, row []float32)
 		if lag <= lvl.Bound {
 			c.Meta = RowMeta{Watermark: wm, Staleness: lag}
 		} else {
-			e.ctrl.FlushKey(c.Key)
+			e.ctrl.FlushKeyShared(c.Key)
 			e.sobs.Refreshed(int(c.Key))
 			c.Meta = RowMeta{Watermark: wm, Staleness: 0, Refreshed: true}
 		}
 	default: // KindFresh
 		wm := e.ctrl.Watermark()
-		refreshed := e.ctrl.FlushKey(c.Key)
+		refreshed := e.ctrl.FlushKeyShared(c.Key)
 		if refreshed {
 			e.sobs.Refreshed(int(c.Key))
 		}

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// HTTPServer wraps http.Server with the lifecycle cmd/frugal-serve (and
+// any embedder) needs: bind first so the listen address — including a
+// kernel-assigned :0 port — is known before serving, then drain in-flight
+// connections on Shutdown instead of dropping them mid-response.
+type HTTPServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewHTTPServer binds addr (host:port; port 0 picks a free port) and
+// returns a server ready to Serve the handler. The listener is open on
+// return — connections queue in the kernel until Serve runs.
+func NewHTTPServer(addr string, handler http.Handler) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &HTTPServer{
+		srv: &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second},
+		ln:  ln,
+	}, nil
+}
+
+// Addr returns the bound listen address (resolved, so ":0" reports the
+// real port).
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Serve accepts connections until Shutdown (or Close). It blocks; run it
+// in its own goroutine. A Shutdown-initiated stop returns nil rather than
+// http.ErrServerClosed — orderly exit is not an error.
+func (s *HTTPServer) Serve() error {
+	err := s.srv.Serve(s.ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to drain, up to ctx's deadline. On deadline it returns ctx's
+// error with the remaining connections forcibly closed by Close.
+func (s *HTTPServer) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Drain deadline hit: cut the stragglers rather than leak their
+		// goroutines past the caller's shutdown budget.
+		s.srv.Close()
+	}
+	return err
+}
+
+// Close force-closes the listener and every active connection.
+func (s *HTTPServer) Close() error { return s.srv.Close() }

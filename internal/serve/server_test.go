@@ -1,0 +1,96 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"frugal/internal/serve"
+)
+
+// TestHTTPServerShutdownNoLeak runs the graceful server end to end —
+// bind, serve traffic, drain — and asserts the goroutine count settles
+// back to its pre-server level: shutdown must not strand acceptor or
+// connection goroutines.
+func TestHTTPServerShutdownNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	h := staticHost(t, 64, 4)
+	eng, err := serve.NewStatic(h, serve.Options{MaxInflight: 16, RequestTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := serve.NewHTTPServer("127.0.0.1:0", eng.Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Addr() == "" || hs.Addr() == "127.0.0.1:0" {
+		t.Fatalf("Addr() = %q, want a resolved port", hs.Addr())
+	}
+	served := make(chan error, 1)
+	go func() { served <- hs.Serve() }()
+
+	client := &http.Client{Timeout: 2 * time.Second}
+	for i := 0; i < 8; i++ {
+		resp, err := client.Get(fmt.Sprintf("http://%s/lookup?key=%d", hs.Addr(), i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("lookup %d: status %d", i, resp.StatusCode)
+		}
+	}
+	client.CloseIdleConnections()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v after graceful shutdown, want nil", err)
+	}
+	// A request after shutdown must be refused at the socket.
+	if _, err := client.Get("http://" + hs.Addr() + "/healthz"); err == nil {
+		t.Fatal("request succeeded after Shutdown")
+	}
+
+	// Goroutines wind down asynchronously after Shutdown returns; give
+	// them a settle window before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before server, %d after shutdown\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestHTTPServerBindError pins the failure mode: a taken port errors at
+// construction, not at first request.
+func TestHTTPServerBindError(t *testing.T) {
+	h := staticHost(t, 8, 4)
+	eng, err := serve.NewStatic(h, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := serve.NewHTTPServer("127.0.0.1:0", eng.Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	if _, err := serve.NewHTTPServer(first.Addr(), eng.Handler()); err == nil {
+		t.Fatal("second bind on the same port succeeded")
+	}
+}

@@ -3,6 +3,7 @@ package frugal
 import (
 	"io"
 	"net/http"
+	"time"
 
 	"frugal/internal/obs"
 	"frugal/internal/runtime"
@@ -40,6 +41,11 @@ type ServeMetrics = obs.ServeSnapshot
 // the row's flush lag exceeds the bound.
 type ErrTooStale = serve.ErrTooStale
 
+// ErrShed is returned when admission control refuses a query: the server
+// was at MaxInflight and the bounded admission wait expired. Shed is the
+// overload valve — back off for RetryAfter and retry.
+type ErrShed = serve.ErrShed
+
 // ServeOptions configures a Server.
 type ServeOptions struct {
 	// Level is the default consistency level (zero value: stale).
@@ -49,10 +55,23 @@ type ServeOptions struct {
 	RejectStale bool
 	// MaxTopK caps top-K query sizes (default 128).
 	MaxTopK int
+	// MaxInflight caps concurrent admitted work in lookup units (a top-K
+	// query costs 8 lookups); requests beyond it wait at most AdmitWait
+	// and are then shed with *ErrShed. 0 disables admission control.
+	MaxInflight int
+	// AdmitWait bounds the admission wait (default 5ms when MaxInflight
+	// is set).
+	AdmitWait time.Duration
+	// RequestTimeout is the per-request deadline the HTTP handlers attach
+	// to every request (0: none).
+	RequestTimeout time.Duration
 }
 
 func (o ServeOptions) internal() serve.Options {
-	return serve.Options{Default: o.Level, RejectStale: o.RejectStale, MaxTopK: o.MaxTopK}
+	return serve.Options{
+		Default: o.Level, RejectStale: o.RejectStale, MaxTopK: o.MaxTopK,
+		MaxInflight: o.MaxInflight, AdmitWait: o.AdmitWait, RequestTimeout: o.RequestTimeout,
+	}
 }
 
 // Server answers embedding lookups and top-K similarity queries from a
@@ -125,19 +144,35 @@ func (s *Server) TopKLevel(query []float32, k int, lvl ServeLevel) ([]ServeCandi
 // /debug/vars (read-path metrics).
 func (s *Server) Handler() http.Handler { return s.eng.Handler() }
 
+// HTTPServer is a gracefully-stoppable HTTP front end: it binds its
+// listener up front (so ":0" resolves before serving) and Shutdown drains
+// in-flight connections instead of dropping them.
+type HTTPServer = serve.HTTPServer
+
+// Listen binds addr and returns an HTTPServer ready to Serve the
+// server's Handler. Run Serve in a goroutine and call Shutdown with a
+// drain deadline to stop.
+func (s *Server) Listen(addr string) (*HTTPServer, error) {
+	return serve.NewHTTPServer(addr, s.Handler())
+}
+
 // Metrics snapshots the server's query counters and latency histograms.
 func (s *Server) Metrics() ServeMetrics { return s.eng.Metrics() }
 
 // LoadGenOptions configures RunLoadGen: worker count, duration, Zipf key
-// skew, top-K mix, consistency level, seed.
+// skew, top-K mix, consistency level, seed — and, with ArrivalRate > 0,
+// the open-loop (fixed-arrival-rate) discipline that can drive the
+// server past saturation.
 type LoadGenOptions = loadgen.Options
 
-// LoadGenReport is a finished load run's summary: throughput, error and
-// rejection counts, client-observed latency histograms.
+// LoadGenReport is a finished load run's summary: throughput, error,
+// shed and rejection counts, client-observed latency histograms, and —
+// in open-loop mode — offered/dropped arrival accounting.
 type LoadGenReport = loadgen.Report
 
-// RunLoadGen drives the server with a closed-loop Zipf-skewed workload
-// and returns the aggregate report — the serving benchmark.
+// RunLoadGen drives the server with a Zipf-skewed workload (closed-loop
+// by default, open-loop with ArrivalRate set) and returns the aggregate
+// report — the serving benchmark.
 func (s *Server) RunLoadGen(opt LoadGenOptions) (LoadGenReport, error) {
 	return loadgen.Run(s.eng, opt)
 }
