@@ -86,9 +86,9 @@ func BenchmarkExp11ModelSensitivity(b *testing.B) { benchExperiment(b, "exp11") 
 func benchRuntime(b *testing.B, engine Engine) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		job, err := NewMicrobenchmark(Config{
+		job, err := New(Config{
 			Engine: engine, NumGPUs: 4, Seed: int64(i),
-		}, MicroOptions{KeySpace: 50_000, Batch: 512, Steps: 50})
+		}, Microbenchmark{Options: MicroOptions{KeySpace: 50_000, Batch: 512, Steps: 50}})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,8 +7,13 @@
 //
 //	frugal-train -micro -steps 200 -checkpoint-out demo.ckpt
 //	frugal-serve -checkpoint demo.ckpt -addr :8080
-//	curl 'localhost:8080/lookup?key=42&level=bounded(2)'
-//	curl 'localhost:8080/topk?q=0.1,0.2,0.3&k=5'
+//	curl 'localhost:8080/v1/lookup?key=42&level=bounded(2)'
+//	curl 'localhost:8080/v1/topk?q=0.1,0.2,0.3&k=5'
+//
+// With -index=ivf the server builds an inverted-file index at startup
+// and answers top-K queries by scanning only the -nprobe nearest of
+// -centroids partitions — sublinear in the row count; per-query
+// overrides ride on the request (&index=flat, &nprobe=16).
 //
 // The server sheds load past -max-inflight (429 + Retry-After), bounds
 // every request by -request-timeout, and drains connections for up to
@@ -52,13 +57,17 @@ func run() int {
 		k           = flag.Int("k", 10, "load-generator top-K size")
 		seed        = flag.Int64("seed", 1, "load-generator random seed")
 		jsonOut     = flag.Bool("json", false, "emit the load-generator report as JSON")
+		index       = flag.String("index", "flat", "top-K scan strategy: flat (exhaustive) or ivf (sublinear inverted file)")
+		centroids   = flag.Int("centroids", 0, "IVF partition count (0 = default, about 4 times the square root of the row count)")
+		nprobe      = flag.Int("nprobe", 0, "IVF partitions scanned per query (0 = default 8)")
 	)
 	flag.Parse()
 
-	lvl, err := validate(options{
+	lvl, kind, err := validate(options{
 		Addr: *addr, Checkpoint: *checkpoint, Level: *level, MaxTopK: *maxTopK,
 		MaxInflight: *maxInflight, RequestTimeout: *reqTimeout, Drain: *drain,
 		LoadGen: *loadGen, Rate: *rate, Workers: *workers, Zipf: *zipf, TopKFrac: *topkFrac, K: *k,
+		Index: *index, Centroids: *centroids, NProbe: *nprobe,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "frugal-serve:", err)
@@ -74,6 +83,7 @@ func run() int {
 	srv, err := frugal.NewServerFromCheckpoint(f, frugal.ServeOptions{
 		Level: lvl, RejectStale: *rejectStale, MaxTopK: *maxTopK,
 		MaxInflight: *maxInflight, RequestTimeout: *reqTimeout,
+		Index: kind, Centroids: *centroids, NProbe: *nprobe,
 	})
 	f.Close()
 	if err != nil {
@@ -109,8 +119,8 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	fmt.Printf("serving %d rows × dim %d at %s (level %s, max-inflight %d)\n",
-		srv.Rows(), srv.Dim(), hs.Addr(), lvl, *maxInflight)
+	fmt.Printf("serving %d rows × dim %d at %s (level %s, index %s, max-inflight %d)\n",
+		srv.Rows(), srv.Dim(), hs.Addr(), lvl, srv.Index(), *maxInflight)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -23,20 +23,40 @@ type options struct {
 	Zipf           float64
 	TopKFrac       float64
 	K              int
+	Index          string
+	Centroids      int
+	NProbe         int
 	statFile       func(string) error // test seam; nil = os.Stat
 }
 
 // validate rejects invalid flag combinations up front with a usage error —
 // a bad consistency level, a negative staleness bound, a missing
 // checkpoint — instead of failing after the slab is half-loaded or the
-// load run has started. It returns the parsed default consistency level.
-func validate(o options) (frugal.ServeLevel, error) {
+// load run has started. It returns the parsed default consistency level
+// and top-K index kind.
+func validate(o options) (frugal.ServeLevel, frugal.IndexKind, error) {
+	fail := func(err error) (frugal.ServeLevel, frugal.IndexKind, error) {
+		return frugal.ServeLevel{}, frugal.IndexAuto, err
+	}
 	lvl, err := frugal.ParseServeLevel(o.Level)
 	if err != nil {
-		return frugal.ServeLevel{}, fmt.Errorf("-level: %w", err)
+		return fail(fmt.Errorf("-level: %w", err))
+	}
+	kind, err := frugal.ParseIndexKind(o.Index)
+	if err != nil {
+		return fail(fmt.Errorf("-index: %w", err))
+	}
+	if o.Centroids < 0 {
+		return fail(fmt.Errorf("-centroids must not be negative (got %d; 0 picks the default)", o.Centroids))
+	}
+	if o.NProbe < 0 {
+		return fail(fmt.Errorf("-nprobe must not be negative (got %d; 0 picks the default)", o.NProbe))
+	}
+	if kind != frugal.IndexIVF && (o.Centroids > 0 || o.NProbe > 0) {
+		return fail(fmt.Errorf("-centroids/-nprobe need -index=ivf (got -index=%s)", kind))
 	}
 	if o.Checkpoint == "" {
-		return frugal.ServeLevel{}, fmt.Errorf("-checkpoint is required (train one with frugal-train -checkpoint-out)")
+		return fail(fmt.Errorf("-checkpoint is required (train one with frugal-train -checkpoint-out)"))
 	}
 	stat := o.statFile
 	if stat == nil {
@@ -46,50 +66,50 @@ func validate(o options) (frugal.ServeLevel, error) {
 		}
 	}
 	if err := stat(o.Checkpoint); err != nil {
-		return frugal.ServeLevel{}, fmt.Errorf("-checkpoint: %w", err)
+		return fail(fmt.Errorf("-checkpoint: %w", err))
 	}
 	if o.MaxTopK < 1 {
-		return frugal.ServeLevel{}, fmt.Errorf("-max-topk must be at least 1 (got %d)", o.MaxTopK)
+		return fail(fmt.Errorf("-max-topk must be at least 1 (got %d)", o.MaxTopK))
 	}
 	if o.MaxInflight < 0 {
-		return frugal.ServeLevel{}, fmt.Errorf("-max-inflight must not be negative (got %d; 0 disables admission control)", o.MaxInflight)
+		return fail(fmt.Errorf("-max-inflight must not be negative (got %d; 0 disables admission control)", o.MaxInflight))
 	}
 	if o.MaxInflight > 0 && o.MaxInflight < 8 {
 		// The engine charges a top-K query 8 lookup units; a smaller pool
 		// could never admit one.
-		return frugal.ServeLevel{}, fmt.Errorf("-max-inflight must be 0 or at least 8 (got %d; a top-K query costs 8 units)", o.MaxInflight)
+		return fail(fmt.Errorf("-max-inflight must be 0 or at least 8 (got %d; a top-K query costs 8 units)", o.MaxInflight))
 	}
 	if o.RequestTimeout < 0 {
-		return frugal.ServeLevel{}, fmt.Errorf("-request-timeout must not be negative (got %v)", o.RequestTimeout)
+		return fail(fmt.Errorf("-request-timeout must not be negative (got %v)", o.RequestTimeout))
 	}
 	if o.Drain < 0 {
-		return frugal.ServeLevel{}, fmt.Errorf("-drain must not be negative (got %v)", o.Drain)
+		return fail(fmt.Errorf("-drain must not be negative (got %v)", o.Drain))
 	}
 	if o.LoadGen < 0 {
-		return frugal.ServeLevel{}, fmt.Errorf("-loadgen must not be negative (got %v)", o.LoadGen)
+		return fail(fmt.Errorf("-loadgen must not be negative (got %v)", o.LoadGen))
 	}
 	if o.Rate < 0 {
-		return frugal.ServeLevel{}, fmt.Errorf("-rate must not be negative (got %v; 0 keeps the closed loop)", o.Rate)
+		return fail(fmt.Errorf("-rate must not be negative (got %v; 0 keeps the closed loop)", o.Rate))
 	}
 	if o.Rate > 0 && o.LoadGen == 0 {
-		return frugal.ServeLevel{}, fmt.Errorf("-rate needs -loadgen (the open loop is a load-generator mode)")
+		return fail(fmt.Errorf("-rate needs -loadgen (the open loop is a load-generator mode)"))
 	}
 	if o.LoadGen == 0 && o.Addr == "" {
-		return frugal.ServeLevel{}, fmt.Errorf("-addr must not be empty without -loadgen (nothing to do)")
+		return fail(fmt.Errorf("-addr must not be empty without -loadgen (nothing to do)"))
 	}
 	if o.LoadGen > 0 {
 		if o.Workers < 1 {
-			return frugal.ServeLevel{}, fmt.Errorf("-workers must be at least 1 (got %d)", o.Workers)
+			return fail(fmt.Errorf("-workers must be at least 1 (got %d)", o.Workers))
 		}
 		if o.Zipf <= 0 || o.Zipf >= 1 {
-			return frugal.ServeLevel{}, fmt.Errorf("-zipf must be in (0, 1) (got %v)", o.Zipf)
+			return fail(fmt.Errorf("-zipf must be in (0, 1) (got %v)", o.Zipf))
 		}
 		if o.TopKFrac < 0 || o.TopKFrac > 1 {
-			return frugal.ServeLevel{}, fmt.Errorf("-topk-frac must be in [0, 1] (got %v)", o.TopKFrac)
+			return fail(fmt.Errorf("-topk-frac must be in [0, 1] (got %v)", o.TopKFrac))
 		}
 		if o.K < 1 || o.K > o.MaxTopK {
-			return frugal.ServeLevel{}, fmt.Errorf("-k must be in [1, -max-topk] (got %d, max-topk %d)", o.K, o.MaxTopK)
+			return fail(fmt.Errorf("-k must be in [1, -max-topk] (got %d, max-topk %d)", o.K, o.MaxTopK))
 		}
 	}
-	return lvl, nil
+	return lvl, kind, nil
 }

@@ -29,11 +29,14 @@ func TestValidateAccepts(t *testing.T) {
 		func(o *options) { o.MaxInflight = 8 },
 		func(o *options) { o.RequestTimeout = 2 * time.Second; o.Drain = 5 * time.Second },
 		func(o *options) { o.LoadGen = time.Second; o.Rate = 5000 },
+		func(o *options) { o.Index = "ivf" },
+		func(o *options) { o.Index = "ivf"; o.Centroids = 512; o.NProbe = 8 },
+		func(o *options) { o.Index = "flat" },
 	}
 	for i, mod := range cases {
 		o := good()
 		mod(&o)
-		if _, err := validate(o); err != nil {
+		if _, _, err := validate(o); err != nil {
 			t.Errorf("case %d: unexpected error: %v", i, err)
 		}
 	}
@@ -63,11 +66,16 @@ func TestValidateRejects(t *testing.T) {
 		{"negative drain", func(o *options) { o.Drain = -time.Second }, "-drain"},
 		{"negative rate", func(o *options) { o.LoadGen = time.Second; o.Rate = -1 }, "-rate"},
 		{"rate without loadgen", func(o *options) { o.Rate = 100 }, "-rate"},
+		{"bad index", func(o *options) { o.Index = "hnsw" }, "-index"},
+		{"negative centroids", func(o *options) { o.Index = "ivf"; o.Centroids = -1 }, "-centroids"},
+		{"negative nprobe", func(o *options) { o.Index = "ivf"; o.NProbe = -1 }, "-nprobe"},
+		{"centroids without ivf", func(o *options) { o.Centroids = 64 }, "-index=ivf"},
+		{"nprobe without ivf", func(o *options) { o.Index = "flat"; o.NProbe = 4 }, "-index=ivf"},
 	}
 	for _, tc := range cases {
 		o := good()
 		tc.mod(&o)
-		_, err := validate(o)
+		_, _, err := validate(o)
 		if err == nil {
 			t.Errorf("%s: validate accepted", tc.name)
 			continue
@@ -89,11 +97,11 @@ func TestValidateMissingCheckpoint(t *testing.T) {
 	o := good()
 	o.statFile = nil
 	o.Checkpoint = present
-	if _, err := validate(o); err != nil {
+	if _, _, err := validate(o); err != nil {
 		t.Fatalf("existing checkpoint rejected: %v", err)
 	}
 	o.Checkpoint = filepath.Join(dir, "absent.ckpt")
-	if _, err := validate(o); err == nil {
+	if _, _, err := validate(o); err == nil {
 		t.Fatal("missing checkpoint accepted")
 	}
 }
@@ -101,7 +109,7 @@ func TestValidateMissingCheckpoint(t *testing.T) {
 func TestValidateLevelValue(t *testing.T) {
 	o := good()
 	o.Level = "bounded(7)"
-	lvl, err := validate(o)
+	lvl, _, err := validate(o)
 	if err != nil {
 		t.Fatal(err)
 	}

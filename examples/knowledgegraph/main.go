@@ -22,21 +22,21 @@ func main() {
 			// dimension; give it a proportionally larger step.
 			lr = 1.0
 		}
-		job, err := frugal.NewKnowledgeGraph(frugal.Config{
+		job, err := frugal.New(frugal.Config{
 			Engine:           frugal.EngineFrugal,
 			NumGPUs:          2,
 			CacheRatio:       0.05,
 			LR:               lr,
 			CheckConsistency: true,
 			Seed:             11,
-		}, frugal.DatasetFB15k, frugal.KGOptions{
+		}, frugal.KnowledgeGraph{Dataset: frugal.DatasetFB15k, Options: frugal.KGOptions{
 			Model:     m,
 			Scale:     100, // ~6k entities
 			Batch:     64,
 			NegSample: 32,
 			Steps:     500,
 			Dim:       16, // dim 400 in the paper; 16 keeps the example fast
-		})
+		}})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -25,14 +25,14 @@ func main() {
 			CheckConsistency: true,
 			Seed:             7,
 		}
-		job, err := frugal.NewRecommendation(cfg, frugal.DatasetCriteo, frugal.RECOptions{
+		job, err := frugal.New(cfg, frugal.Recommendation{Dataset: frugal.DatasetCriteo, Options: frugal.RECOptions{
 			Scale: 1_000_000,
 			Batch: 64,
 			Steps: 150,
 			// A small top net keeps the example quick; drop Hidden for the
 			// paper's 512-512-256-1.
 			Hidden: []int{64, 32},
-		})
+		}})
 		if err != nil {
 			log.Fatal(err)
 		}

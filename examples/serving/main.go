@@ -13,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -47,25 +48,29 @@ func main() {
 		done <- err
 	}()
 
-	// Query while training runs. Each lookup reports the row's version
-	// (updates applied to host memory), the gate watermark it was judged
-	// against, and its flush lag in gate steps.
+	// Query while training runs, through the unified Query entrypoint:
+	// one request shape for lookups (Key/Dst) and similarity searches
+	// (Vector/K). Each lookup reports the row's version (updates applied
+	// to host memory), the gate watermark it was judged against, and its
+	// flush lag in gate steps.
+	ctx := context.Background()
 	row := make([]float32, srv.Dim())
 	for i := 0; i < 5; i++ {
-		meta, err := srv.Lookup(4, row)
+		resp, err := srv.Query(ctx, frugal.ServeRequest{Key: 4, Dst: row, UseDefault: true})
 		if err != nil {
 			log.Fatal(err)
 		}
+		meta := resp.Meta
 		fmt.Printf("live lookup: version %d, watermark %d, staleness %d, refreshed %v\n",
 			meta.Version, meta.Watermark, meta.Staleness, meta.Refreshed)
 		time.Sleep(2 * time.Millisecond)
 	}
-	top, err := srv.TopKLevel(row, 3, frugal.ServeStale())
+	top, err := srv.Query(ctx, frugal.ServeRequest{Vector: row, K: 3, Level: frugal.ServeStale()})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("live top-3 by dot product: ")
-	for _, c := range top {
+	for _, c := range top.Results {
 		fmt.Printf("key %d (%.3f)  ", c.Key, c.Score)
 	}
 	fmt.Println()
@@ -79,12 +84,12 @@ func main() {
 	// keys were never touched.
 	hot, hotMeta := uint64(0), frugal.ServeRowMeta{}
 	for key := uint64(0); key < uint64(srv.Rows()); key++ {
-		meta, err := srv.LookupLevel(key, row, frugal.ServeFresh())
+		resp, err := srv.Query(ctx, frugal.ServeRequest{Key: key, Dst: row, Level: frugal.ServeFresh()})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if meta.Version > hotMeta.Version {
-			hot, hotMeta = key, meta
+		if resp.Meta.Version > hotMeta.Version {
+			hot, hotMeta = key, resp.Meta
 		}
 		if key > 2000 && hotMeta.Version > 0 {
 			break
@@ -99,10 +104,22 @@ func main() {
 	if err := job.SaveCheckpoint(&ckpt); err != nil {
 		log.Fatal(err)
 	}
-	frozen, err := frugal.NewServerFromCheckpoint(&ckpt, frugal.ServeOptions{})
+	// The frozen slab is also where a sublinear top-K index pays off:
+	// IndexIVF partitions the rows by k-means at construction and scans
+	// only the NProbe nearest partitions per query.
+	frozen, err := frugal.NewServerFromCheckpoint(&ckpt, frugal.ServeOptions{Index: frugal.IndexIVF})
 	if err != nil {
 		log.Fatal(err)
 	}
+	ivfTop, err := frozen.Query(ctx, frugal.ServeRequest{Vector: row, K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint top-3 via %s index: ", ivfTop.Index)
+	for _, c := range ivfTop.Results {
+		fmt.Printf("key %d (%.3f)  ", c.Key, c.Score)
+	}
+	fmt.Println()
 	rep, err := frozen.RunLoadGen(frugal.LoadGenOptions{Workers: 2})
 	if err != nil {
 		log.Fatal(err)

@@ -38,9 +38,9 @@ func main() {
 
 	// 2. Replay through two engines.
 	run := func(engine frugal.Engine) *frugal.TrainingJob {
-		job, err := frugal.NewReplay(frugal.Config{
+		job, err := frugal.New(frugal.Config{
 			Engine: engine, NumGPUs: 4, CheckConsistency: true, Seed: 3,
-		}, strings.NewReader(trace.String()), frugal.ReplayOptions{Dim: 8})
+		}, frugal.Replay{Source: strings.NewReader(trace.String()), Options: frugal.ReplayOptions{Dim: 8}})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -349,14 +349,6 @@ type RECOptions struct {
 	Hidden []int
 }
 
-// NewRecommendation builds a DLRM training job over a synthetic stand-in
-// for a Table 2 REC dataset.
-//
-// Deprecated: use New with a Recommendation workload.
-func NewRecommendation(cfg Config, ds Dataset, opt RECOptions) (*TrainingJob, error) {
-	return New(cfg, Recommendation{Dataset: ds, Options: opt})
-}
-
 // KGOptions configures a knowledge-graph embedding job.
 type KGOptions struct {
 	// Model is one of TransE, DistMult, ComplEx, SimplE (default TransE).
@@ -376,14 +368,6 @@ type KGOptions struct {
 	Dim int
 }
 
-// NewKnowledgeGraph builds a KG embedding job over a synthetic stand-in
-// for a Table 2 KG dataset.
-//
-// Deprecated: use New with a KnowledgeGraph workload.
-func NewKnowledgeGraph(cfg Config, ds Dataset, opt KGOptions) (*TrainingJob, error) {
-	return New(cfg, KnowledgeGraph{Dataset: ds, Options: opt})
-}
-
 // MicroOptions configures an embedding-only microbenchmark job (the
 // workload family of Exp #1).
 type MicroOptions struct {
@@ -397,16 +381,6 @@ type MicroOptions struct {
 	Batch int
 	// Steps bounds the run (default 100).
 	Steps int64
-}
-
-// NewMicrobenchmark builds a pure-embedding training job: every key in a
-// batch is read, given a synthetic gradient, and written back through the
-// engine's update path. It is the fastest way to exercise the P²F
-// machinery end to end.
-//
-// Deprecated: use New with a Microbenchmark workload.
-func NewMicrobenchmark(cfg Config, opt MicroOptions) (*TrainingJob, error) {
-	return New(cfg, Microbenchmark{Options: opt})
 }
 
 // GNNOptions configures a graph-learning (GraphSAGE-style link
@@ -424,15 +398,6 @@ type GNNOptions struct {
 	Edges int
 	// Steps bounds the run (default 200).
 	Steps int64
-}
-
-// NewGraphLearning builds the third application family the paper's
-// introduction motivates: GraphSAGE-style link prediction where every
-// gradient lands in node embeddings and travels the P²F flush path.
-//
-// Deprecated: use New with a GraphLearning workload.
-func NewGraphLearning(cfg Config, opt GNNOptions) (*TrainingJob, error) {
-	return New(cfg, GraphLearning{Options: opt})
 }
 
 // KGEval reports link-prediction quality: for each held-out triple the
@@ -519,16 +484,6 @@ type ReplayOptions struct {
 	Rows int64
 	// Steps bounds the run (default: the whole trace).
 	Steps int64
-}
-
-// NewReplay builds a microbenchmark-style training job that replays a
-// recorded key trace (the format cmd/frugal-datagen -trace emits: one
-// batch per line, keys space-separated). Recorded production traces can
-// thus drive the real runtime directly.
-//
-// Deprecated: use New with a Replay workload.
-func NewReplay(cfg Config, r io.Reader, opt ReplayOptions) (*TrainingJob, error) {
-	return New(cfg, Replay{Source: r, Options: opt})
 }
 
 // Experiment identifies one reproducible table or figure of the paper.

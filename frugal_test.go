@@ -21,9 +21,9 @@ func TestDatasetsRegistry(t *testing.T) {
 
 func TestMicrobenchmarkAllEngines(t *testing.T) {
 	for _, engine := range []Engine{EngineFrugal, EngineFrugalSync, EngineDirect} {
-		job, err := NewMicrobenchmark(Config{
+		job, err := New(Config{
 			Engine: engine, NumGPUs: 2, CheckConsistency: true, Seed: 1,
-		}, MicroOptions{KeySpace: 2000, Batch: 64, Steps: 30})
+		}, Microbenchmark{Options: MicroOptions{KeySpace: 2000, Batch: 64, Steps: 30}})
 		if err != nil {
 			t.Fatalf("%s: %v", engine, err)
 		}
@@ -41,8 +41,7 @@ func TestMicrobenchmarkAllEngines(t *testing.T) {
 }
 
 func TestRecommendationJob(t *testing.T) {
-	job, err := NewRecommendation(Config{NumGPUs: 2, CheckConsistency: true, Seed: 2},
-		DatasetAvazu, RECOptions{Scale: 1_000_000, Batch: 16, Steps: 40, Hidden: []int{16}})
+	job, err := New(Config{NumGPUs: 2, CheckConsistency: true, Seed: 2}, Recommendation{Dataset: DatasetAvazu, Options: RECOptions{Scale: 1_000_000, Batch: 16, Steps: 40, Hidden: []int{16}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,15 +59,14 @@ func TestRecommendationJob(t *testing.T) {
 }
 
 func TestRecommendationRejectsKGDataset(t *testing.T) {
-	if _, err := NewRecommendation(Config{}, DatasetFB15k, RECOptions{}); err == nil {
+	if _, err := New(Config{}, Recommendation{Dataset: DatasetFB15k, Options: RECOptions{}}); err == nil {
 		t.Fatal("KG dataset must be rejected")
 	}
 }
 
 func TestKnowledgeGraphJobAllModels(t *testing.T) {
 	for _, m := range []string{"TransE", "DistMult", "ComplEx", "SimplE"} {
-		job, err := NewKnowledgeGraph(Config{NumGPUs: 2, CheckConsistency: true, Seed: 3},
-			DatasetFB15k, KGOptions{Model: m, Scale: 100, Batch: 8, NegSample: 4, Steps: 15, Dim: 8})
+		job, err := New(Config{NumGPUs: 2, CheckConsistency: true, Seed: 3}, KnowledgeGraph{Dataset: DatasetFB15k, Options: KGOptions{Model: m, Scale: 100, Batch: 8, NegSample: 4, Steps: 15, Dim: 8}})
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
@@ -79,16 +77,16 @@ func TestKnowledgeGraphJobAllModels(t *testing.T) {
 }
 
 func TestKnowledgeGraphRejectsBadInput(t *testing.T) {
-	if _, err := NewKnowledgeGraph(Config{}, DatasetAvazu, KGOptions{}); err == nil {
+	if _, err := New(Config{}, KnowledgeGraph{Dataset: DatasetAvazu, Options: KGOptions{}}); err == nil {
 		t.Fatal("REC dataset must be rejected")
 	}
-	if _, err := NewKnowledgeGraph(Config{}, DatasetFB15k, KGOptions{Model: "RotatE"}); err == nil {
+	if _, err := New(Config{}, KnowledgeGraph{Dataset: DatasetFB15k, Options: KGOptions{Model: "RotatE"}}); err == nil {
 		t.Fatal("unknown model must be rejected")
 	}
 }
 
 func TestMicrobenchmarkRejectsBadDistribution(t *testing.T) {
-	if _, err := NewMicrobenchmark(Config{}, MicroOptions{Distribution: "pareto"}); err == nil {
+	if _, err := New(Config{}, Microbenchmark{Options: MicroOptions{Distribution: "pareto"}}); err == nil {
 		t.Fatal("unknown distribution must be rejected")
 	}
 }
@@ -112,8 +110,7 @@ func TestExperimentsRegistry(t *testing.T) {
 
 func TestReplayJob(t *testing.T) {
 	trace := "1 2 3 4\n5 6 7 8\n1 2 5 6\n" // 3 batches over keys 1..8
-	job, err := NewReplay(Config{NumGPUs: 2, CheckConsistency: true}, strings.NewReader(trace),
-		ReplayOptions{Dim: 4})
+	job, err := New(Config{NumGPUs: 2, CheckConsistency: true}, Replay{Source: strings.NewReader(trace), Options: ReplayOptions{Dim: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,15 +121,14 @@ func TestReplayJob(t *testing.T) {
 	if res.Steps != 3 {
 		t.Fatalf("steps = %d, want 3", res.Steps)
 	}
-	if _, err := NewReplay(Config{}, strings.NewReader(""), ReplayOptions{}); err == nil {
+	if _, err := New(Config{}, Replay{Source: strings.NewReader(""), Options: ReplayOptions{}}); err == nil {
 		t.Fatal("empty trace must error")
 	}
 }
 
 func TestCheckpointThroughPublicAPI(t *testing.T) {
 	mk := func() *TrainingJob {
-		job, err := NewMicrobenchmark(Config{NumGPUs: 2, Seed: 5, Optimizer: OptimizerAdagrad},
-			MicroOptions{KeySpace: 1000, Batch: 32, Steps: 20})
+		job, err := New(Config{NumGPUs: 2, Seed: 5, Optimizer: OptimizerAdagrad}, Microbenchmark{Options: MicroOptions{KeySpace: 1000, Batch: 32, Steps: 20}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -165,7 +161,7 @@ func TestKGEvaluation(t *testing.T) {
 	cfg := Config{NumGPUs: 2, LR: 0.5, Seed: 19, CheckConsistency: true}
 	opt := KGOptions{Model: "TransE", Scale: 400, Batch: 128, NegSample: 64, Steps: 1500, Dim: 16}
 
-	untrainedJob, err := NewKnowledgeGraph(cfg, DatasetFB15k, opt)
+	untrainedJob, err := New(cfg, KnowledgeGraph{Dataset: DatasetFB15k, Options: opt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +171,7 @@ func TestKGEvaluation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	trainedJob, err := NewKnowledgeGraph(cfg, DatasetFB15k, opt)
+	trainedJob, err := New(cfg, KnowledgeGraph{Dataset: DatasetFB15k, Options: opt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,8 +197,7 @@ func TestKGEvaluation(t *testing.T) {
 }
 
 func TestGraphLearningJob(t *testing.T) {
-	job, err := NewGraphLearning(Config{NumGPUs: 2, LR: 0.2, Seed: 61, CheckConsistency: true},
-		GNNOptions{Nodes: 1500, Fanout: 3, Dim: 16, Edges: 48, Steps: 60})
+	job, err := New(Config{NumGPUs: 2, LR: 0.2, Seed: 61, CheckConsistency: true}, GraphLearning{Options: GNNOptions{Nodes: 1500, Fanout: 3, Dim: 16, Edges: 48, Steps: 60}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,18 @@ func TestComparePerf(t *testing.T) {
 	if len(failures) != 1 || !strings.Contains(failures[0], "a: allocs/op regressed 0 → 3") {
 		t.Fatalf("failures = %v, want exactly the allocs regression on a", failures)
 	}
+	// The recall gate: a quality row under the floor is a hard failure
+	// even when the baseline already was, and passing rows are silent.
+	recallBase := PerfReport{Benchmarks: []PerfBench{{Name: "r", Recall: 0.90}}}
+	recallCur := PerfReport{Benchmarks: []PerfBench{{Name: "r", Recall: 0.93}}}
+	failures, _ = ComparePerf(recallCur, recallBase)
+	if len(failures) != 1 || !strings.Contains(failures[0], "r: recall 0.9300 under the 0.95 floor") {
+		t.Fatalf("recall failures = %v", failures)
+	}
+	recallCur.Benchmarks[0].Recall = 0.99
+	if failures, _ = ComparePerf(recallCur, recallBase); len(failures) != 0 {
+		t.Fatalf("passing recall flagged: %v", failures)
+	}
 	joined := strings.Join(notes, "\n")
 	for _, want := range []string{"a: ns/op", "new: new benchmark", "missing from current run: gone"} {
 		if !strings.Contains(joined, want) {
@@ -53,11 +65,20 @@ func TestRunPerfQuick(t *testing.T) {
 		t.Skip("perf suite in -short mode")
 	}
 	rep := RunPerf(true)
-	// The suite rows plus the appended loadgen latency and open-loop rows.
-	if len(rep.Benchmarks) != len(perfSuite())+2 {
-		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(perfSuite())+2)
+	// The suite rows plus the appended recall, loadgen latency and
+	// open-loop rows.
+	if len(rep.Benchmarks) != len(perfSuite())+3 {
+		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(perfSuite())+3)
 	}
 	for _, pb := range rep.Benchmarks {
+		if pb.Recall > 0 {
+			// Quality rows carry recall instead of a latency figure, and
+			// must clear the CI floor on every run.
+			if pb.Recall < recallFloor {
+				t.Fatalf("%s: recall %.4f under the %.2f floor", pb.Name, pb.Recall, recallFloor)
+			}
+			continue
+		}
 		if pb.NsPerOp <= 0 {
 			t.Fatalf("%s: ns/op = %v", pb.Name, pb.NsPerOp)
 		}

@@ -194,6 +194,11 @@ type Controller struct {
 	flight    map[uint64]*flushCall
 	coalesced atomic.Int64
 
+	// flushHooks holds the registered flush observers ([]func(uint64)),
+	// copy-on-write so notifyFlush stays lock-free. See AddFlushHook.
+	flushHooks atomic.Value
+	hookMu     sync.Mutex
+
 	// Self-healing state (see recovery.go). waiters counts trainers
 	// currently blocked in WaitForStep — the watchdog's "someone is owed
 	// progress" signal. degraded flips once, to write-through mode.
@@ -504,6 +509,41 @@ func (c *Controller) ReadDone(s int64, keys []uint64) {
 // against it, and a synchronous force-flush for reads that cannot
 // tolerate any lag.
 
+// AddFlushHook registers fn to be called with the key of every write set
+// the controller pushes through its sink — the flusher pool, FlushKey,
+// and the degraded write-through path alike. It is the index-maintenance
+// feed: a hook pairs the key with the watermark current at notification
+// time to bound how far a derived structure (e.g. the serving layer's IVF
+// index) lags host memory.
+//
+// Contract: fn runs on the flushing goroutine with the key's g-entry lock
+// held, so it must be cheap and non-blocking (enqueue work, never flush,
+// query, or take slow locks). Hooks cannot be removed; register before
+// serving traffic starts.
+func (c *Controller) AddFlushHook(fn func(key uint64)) {
+	c.hookMu.Lock()
+	defer c.hookMu.Unlock()
+	var hooks []func(uint64)
+	if v := c.flushHooks.Load(); v != nil {
+		old := v.([]func(uint64))
+		hooks = make([]func(uint64), len(old), len(old)+1)
+		copy(hooks, old)
+	}
+	c.flushHooks.Store(append(hooks, fn))
+}
+
+// notifyFlush invokes the registered flush hooks. Called with g.Mu held
+// at every Sink.Flush site; lock-free for the common no-hook case.
+func (c *Controller) notifyFlush(key uint64) {
+	v := c.flushHooks.Load()
+	if v == nil {
+		return
+	}
+	for _, fn := range v.([]func(uint64)) {
+		fn(key)
+	}
+}
+
 // Watermark returns the committed-step watermark: every trainer has
 // committed all steps ≤ the returned value (-1 before the first step
 // completes). Together with RowStaleness it bounds how far a host row can
@@ -563,6 +603,7 @@ func (c *Controller) FlushKey(key uint64) bool {
 	}
 	w := g.TakeWrites()
 	c.opt.Sink.Flush(g.Key, w)
+	c.notifyFlush(g.Key)
 	c.flushedUpdates.Add(int64(len(w)))
 	c.urgentFlushes.Add(1)
 	g.FlushedWrites(w) // Mu held throughout; sink does not retain w
@@ -705,6 +746,7 @@ func (c *Controller) flushEntry(flusher int, g *pq.GEntry, slotPriority int64) b
 		start = time.Now()
 	}
 	c.opt.Sink.Flush(g.Key, w)
+	c.notifyFlush(g.Key)
 	c.flushedUpdates.Add(int64(len(w)))
 	// g.Mu has been held since TakeWrites and the sink is done with the
 	// slice (FlushSink must not retain it), so the entry can reuse its

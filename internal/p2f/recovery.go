@@ -234,6 +234,7 @@ func (c *Controller) commitDegraded(s int64, updates []KeyDelta) {
 		g.AddWriteState(s, kd.Delta, kd.StateDelta)
 		w := g.TakeWrites()
 		c.opt.Sink.Flush(g.Key, w)
+		c.notifyFlush(g.Key)
 		c.flushedUpdates.Add(int64(len(w)))
 		g.FlushedWrites(w) // Mu held throughout; sink does not retain w
 		g.Mu.Unlock()

@@ -209,6 +209,31 @@ func (h *Host) Snapshot(key uint64) []float32 {
 	return out
 }
 
+// ReadRows copies the n = len(dst)/Dim() consecutive rows starting at
+// `from` into dst, each row under its stripe lock — the block-iteration
+// primitive index build and repair use to walk a live slab. Row copies
+// are individually consistent (never half an update) but the block as a
+// whole is not a point-in-time snapshot; writers that land mid-walk are
+// reconciled by the index's flush-repair queue. Panics if dst is not a
+// whole number of rows or the range exceeds the slab.
+func (h *Host) ReadRows(from int64, dst []float32) {
+	d := h.dim
+	if len(dst)%d != 0 {
+		panic(fmt.Sprintf("runtime: ReadRows dst %d not a multiple of dim %d", len(dst), d))
+	}
+	n := int64(len(dst) / d)
+	if from < 0 || from+n > h.rows {
+		panic(fmt.Sprintf("runtime: ReadRows range [%d,%d) outside %d rows", from, from+n, h.rows))
+	}
+	for i := int64(0); i < n; i++ {
+		key := uint64(from + i)
+		l := h.lock(key)
+		l.Lock()
+		tensor.Copy(dst[i*int64(d):(i+1)*int64(d)], h.row(key))
+		l.Unlock()
+	}
+}
+
 // ScoreRows computes out[i] = query · row(from+i) for len(out) consecutive
 // rows in one batched matrix-vector kernel over the contiguous slab. It
 // takes no locks: callers must guarantee the range is quiescent (a loaded

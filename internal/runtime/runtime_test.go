@@ -476,3 +476,29 @@ func TestGNNJobValidation(t *testing.T) {
 		t.Fatal("steps=0 must error")
 	}
 }
+
+// TestHostReadRows pins the block-read iteration primitive: the copied
+// block matches per-row ReadRow output, and partial ranges land at the
+// right offsets.
+func TestHostReadRows(t *testing.T) {
+	h, err := NewHost(17, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Init(func(key uint64, row []float32) {
+		for d := range row {
+			row[d] = float32(key)*100 + float32(d)
+		}
+	})
+	block := make([]float32, 6*5)
+	h.ReadRows(7, block)
+	one := make([]float32, 5)
+	for i := 0; i < 6; i++ {
+		h.ReadRow(uint64(7+i), one)
+		for d := 0; d < 5; d++ {
+			if block[i*5+d] != one[d] {
+				t.Fatalf("row %d dim %d: block %v, ReadRow %v", 7+i, d, block[i*5+d], one[d])
+			}
+		}
+	}
+}

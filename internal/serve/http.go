@@ -13,22 +13,35 @@ import (
 	"frugal/internal/obs"
 )
 
-// Handler returns the engine's HTTP mux:
+// Handler returns the engine's HTTP mux. The API is versioned under /v1;
+// the unversioned routes are aliases kept for pre-v1 clients:
 //
-//	GET  /lookup?key=K[&level=L]        one row with consistency metadata
-//	GET  /topk?q=0.1,0.2,...&k=N[&level=L]
-//	POST /topk    {"query":[...],"k":N,"level":"L"}
-//	GET  /healthz                       shape + liveness
+//	GET  /v1/lookup?key=K[&level=L]     one row with consistency metadata
+//	GET  /v1/topk?q=0.1,0.2,...&k=N[&level=L][&index=flat|ivf][&nprobe=P]
+//	POST /v1/topk {"query":[...],"k":N,"level":"L","index":"ivf","nprobe":P}
+//	GET  /healthz                       shape + liveness + index state
 //	GET  /debug/vars                    read-path metrics (obs.MetricsHandler)
 //
-// level defaults to the engine's Options.Default. Bounded reads refused
-// under RejectStale answer 503 with a JSON error body. Requests shed by
-// admission control answer 429, requests that outlive Options.
-// RequestTimeout answer 503 — both with a Retry-After header.
+// level defaults to the engine's Options.Default; index defaults to the
+// engine's configured strategy. Every error answers with the same JSON
+// envelope {"error","code","retry_after_ms"}, so clients can distinguish
+// machine-actionable rejections by code:
+//
+//	bad_request  (400) malformed parameters — do not retry
+//	shed         (429) admission control refused — back off retry_after_ms
+//	deadline     (503) the request outlived its deadline — retry
+//	too_stale    (503) bounded read refused under RejectStale — retry
+//	             after the flusher pool catches up
+//
+// The 429/503 responses also carry the matching Retry-After header.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/lookup", e.handleLookup)
-	mux.HandleFunc("/topk", e.handleTopK)
+	for _, p := range []string{"/v1/lookup", "/lookup"} {
+		mux.HandleFunc(p, e.handleLookup)
+	}
+	for _, p := range []string{"/v1/topk", "/topk"} {
+		mux.HandleFunc(p, e.handleTopK)
+	}
 	mux.HandleFunc("/healthz", e.handleHealthz)
 	mux.Handle("/debug/vars", obs.MetricsHandler("frugal_serve", func() any { return e.Metrics() }))
 	return mux
@@ -42,20 +55,37 @@ type lookupResponse struct {
 }
 
 type topkRequest struct {
-	Query []float32 `json:"query"`
-	K     int       `json:"k"`
-	Level string    `json:"level,omitempty"`
+	Query  []float32 `json:"query"`
+	K      int       `json:"k"`
+	Level  string    `json:"level,omitempty"`
+	Index  string    `json:"index,omitempty"`
+	NProbe int       `json:"nprobe,omitempty"`
 }
 
 type topkResponse struct {
 	K       int         `json:"k"`
 	Level   string      `json:"level"`
+	Index   string      `json:"index"`
 	Results []Candidate `json:"results"`
 }
 
+// errorResponse is the one JSON error envelope every handler answers
+// with. Code makes 429/503/staleness rejections machine-distinguishable;
+// RetryAfterMS mirrors the Retry-After header (0: not retryable on a
+// timer).
 type errorResponse struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
+
+// The machine-readable error codes of the v1 envelope.
+const (
+	codeBadRequest = "bad_request"
+	codeShed       = "shed"
+	codeDeadline   = "deadline"
+	codeTooStale   = "too_stale"
+)
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -65,26 +95,44 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
+	resp := errorResponse{Error: err.Error(), Code: codeBadRequest}
 	var stale *ErrTooStale
 	var shed *ErrShed
 	switch {
 	case errors.As(err, &shed):
 		// Overload: the client must back off, not retry immediately.
 		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", retryAfterSeconds(shed.RetryAfter))
+		resp.Code = codeShed
+		resp.RetryAfterMS = retryAfterMS(shed.RetryAfter)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		status = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "1")
+		resp.Code = codeDeadline
+		resp.RetryAfterMS = retryAfterMS(time.Second)
 	case errors.As(err, &stale):
 		status = http.StatusServiceUnavailable // retryable: the flusher pool will catch up
+		resp.Code = codeTooStale
+		resp.RetryAfterMS = retryAfterMS(time.Second)
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	if resp.RetryAfterMS > 0 {
+		w.Header().Set("Retry-After", retryAfterSeconds(resp.RetryAfterMS))
+	}
+	writeJSON(w, status, resp)
 }
 
-// retryAfterSeconds renders d for a Retry-After header: whole seconds,
-// rounded up, at least 1 (the header has no sub-second form).
-func retryAfterSeconds(d time.Duration) string {
-	secs := int64((d + time.Second - 1) / time.Second)
+// retryAfterMS renders d in whole milliseconds, rounded up, at least 1.
+func retryAfterMS(d time.Duration) int64 {
+	ms := int64((d + time.Millisecond - 1) / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// retryAfterSeconds renders a millisecond count for a Retry-After
+// header: whole seconds, rounded up, at least 1 (the header has no
+// sub-second form).
+func retryAfterSeconds(ms int64) string {
+	secs := (ms + 999) / 1000
 	if secs < 1 {
 		secs = 1
 	}
@@ -120,14 +168,15 @@ func (e *Engine) handleLookup(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := e.requestCtx(r)
 	defer cancel()
-	resp := lookupResponse{Key: key, Level: lvl.String(), Values: make([]float32, e.Dim())}
-	meta, err := e.LookupCtx(ctx, key, resp.Values, lvl)
+	dst := make([]float32, e.Dim())
+	resp, err := e.Query(ctx, Request{Key: key, Dst: dst, Level: lvl})
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	resp.RowMeta = meta
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, lookupResponse{
+		Key: key, Level: resp.Level.String(), Values: resp.Values, RowMeta: resp.Meta,
+	})
 }
 
 func (e *Engine) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -154,22 +203,41 @@ func (e *Engine) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 		req.K = k
 		req.Level = q.Get("level")
+		req.Index = q.Get("index")
+		if np := q.Get("nprobe"); np != "" {
+			n, err := strconv.Atoi(np)
+			if err != nil {
+				writeError(w, fmt.Errorf("serve: bad nprobe parameter: %w", err))
+				return
+			}
+			req.NProbe = n
+		}
 	}
 	lvl, err := e.level(req.Level)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	ctx, cancel := e.requestCtx(r)
-	defer cancel()
-	res, err := e.TopKCtx(ctx, req.Query, req.K, lvl)
+	kind, err := ParseIndexKind(req.Index)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	// Report the effective k: TopK clamps req.K to the row count, and the
-	// response must not claim more results than it carries.
-	writeJSON(w, http.StatusOK, topkResponse{K: len(res), Level: lvl.String(), Results: res})
+	ctx, cancel := e.requestCtx(r)
+	defer cancel()
+	resp, err := e.Query(ctx, Request{
+		Vector: req.Query, K: req.K, Level: lvl, Index: kind, NProbe: req.NProbe,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Report the effective k: the scan clamps req.K to the row count, and
+	// the response must not claim more results than it carries.
+	writeJSON(w, http.StatusOK, topkResponse{
+		K: len(resp.Results), Level: resp.Level.String(), Index: resp.Index.String(),
+		Results: resp.Results,
+	})
 }
 
 func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -179,5 +247,6 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"dim":    e.Dim(),
 		"live":   e.Live(),
 		"level":  e.DefaultLevel().String(),
+		"index":  e.IndexStats(),
 	})
 }

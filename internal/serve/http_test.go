@@ -130,6 +130,137 @@ func TestHTTPTopKEffectiveK(t *testing.T) {
 	}
 }
 
+// TestHTTPV1Routes pins the versioned API: /v1/* is canonical and the
+// legacy unversioned routes answer identically.
+func TestHTTPV1Routes(t *testing.T) {
+	srv := testServer(t)
+	var v1, legacy struct {
+		Key    uint64    `json:"key"`
+		Values []float32 `json:"values"`
+	}
+	if resp := getJSON(t, srv.URL+"/v1/lookup?key=7", &v1); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/lookup status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/lookup?key=7", &legacy); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/lookup status %d", resp.StatusCode)
+	}
+	if v1.Key != legacy.Key || v1.Values[0] != legacy.Values[0] {
+		t.Fatalf("v1 and legacy lookup diverge: %+v vs %+v", v1, legacy)
+	}
+	var topk struct {
+		Index   string            `json:"index"`
+		Results []json.RawMessage `json:"results"`
+	}
+	if resp := getJSON(t, srv.URL+"/v1/topk?q=1,0,0,0&k=2", &topk); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/topk status %d", resp.StatusCode)
+	}
+	if topk.Index != "flat" || len(topk.Results) != 2 {
+		t.Fatalf("/v1/topk = index %q, %d results", topk.Index, len(topk.Results))
+	}
+}
+
+// TestHTTPErrorEnvelope pins the one JSON error shape and its
+// machine-readable codes.
+func TestHTTPErrorEnvelope(t *testing.T) {
+	srv := testServer(t)
+	var envelope struct {
+		Error        string `json:"error"`
+		Code         string `json:"code"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	resp, err := http.Get(srv.URL + "/v1/lookup?key=abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Code != "bad_request" || envelope.Error == "" {
+		t.Fatalf("envelope = %+v", envelope)
+	}
+	if envelope.RetryAfterMS != 0 {
+		t.Fatalf("bad_request advertised retry_after_ms %d", envelope.RetryAfterMS)
+	}
+	// Unknown index kinds and malformed nprobe are 400s too.
+	for _, bad := range []string{
+		"/v1/topk?q=1,0,0,0&k=2&index=hnsw",
+		"/v1/topk?q=1,0,0,0&k=2&nprobe=x",
+		"/v1/topk?q=1,0,0,0&k=2&index=ivf", // engine has no IVF index
+	} {
+		if resp := getJSON(t, srv.URL+bad, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestHTTPTopKIndexParams exercises the index/nprobe parameters against
+// an engine that carries an IVF index.
+func TestHTTPTopKIndexParams(t *testing.T) {
+	host, _ := clusteredHost(t, 512, 8, 8)
+	eng, err := serve.NewStatic(host, serve.Options{
+		Index: serve.IndexIVF, Centroids: 8, NProbe: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(eng.Handler())
+	t.Cleanup(srv.Close)
+
+	var got struct {
+		Index   string `json:"index"`
+		Results []struct {
+			Key uint64 `json:"key"`
+		} `json:"results"`
+	}
+	// Default: the engine's configured IVF strategy.
+	if resp := getJSON(t, srv.URL+"/v1/topk?q=1,0,0,0,0,0,0,0&k=4", &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got.Index != "ivf" || len(got.Results) != 4 {
+		t.Fatalf("default index = %q, %d results", got.Index, len(got.Results))
+	}
+	// Explicit flat fallback on the same engine.
+	if resp := getJSON(t, srv.URL+"/v1/topk?q=1,0,0,0,0,0,0,0&k=4&index=flat", &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("flat status %d", resp.StatusCode)
+	}
+	if got.Index != "flat" {
+		t.Fatalf("index override = %q, want flat", got.Index)
+	}
+	// POST body carries the same parameters.
+	body, _ := json.Marshal(map[string]any{
+		"query": []float32{1, 0, 0, 0, 0, 0, 0, 0}, "k": 4, "index": "ivf", "nprobe": 2,
+	})
+	post, err := http.Post(srv.URL+"/v1/topk", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer post.Body.Close()
+	got.Index = ""
+	if err := json.NewDecoder(post.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if post.StatusCode != http.StatusOK || got.Index != "ivf" {
+		t.Fatalf("POST with nprobe: status %d, index %q", post.StatusCode, got.Index)
+	}
+	// Healthz reports the index state.
+	var health struct {
+		Index struct {
+			Kind      string `json:"kind"`
+			Centroids int    `json:"centroids"`
+		} `json:"index"`
+	}
+	if resp := getJSON(t, srv.URL+"/healthz", &health); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if health.Index.Kind != "ivf" || health.Index.Centroids != 8 {
+		t.Fatalf("healthz index = %+v", health.Index)
+	}
+}
+
 func TestHTTPHealthAndMetrics(t *testing.T) {
 	srv := testServer(t)
 	var health struct {

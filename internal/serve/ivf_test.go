@@ -1,0 +1,308 @@
+package serve_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"frugal/internal/data"
+	"frugal/internal/runtime"
+	"frugal/internal/serve"
+)
+
+// clusteredHost builds a deterministic mixture slab: `clusters` centers
+// drawn uniform in [-1,1]^dim, each row its key-assigned center plus
+// small noise. Unlike staticHost's degenerate ramp, this is data an IVF
+// index can meaningfully cluster — and the fixed seed makes the golden
+// recall figure reproducible.
+func clusteredHost(t *testing.T, rows int64, dim, clusters int) (*runtime.Host, [][]float32) {
+	t.Helper()
+	h, err := runtime.NewHost(rows, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	centers := make([][]float32, clusters)
+	for c := range centers {
+		centers[c] = make([]float32, dim)
+		for d := range centers[c] {
+			centers[c][d] = rng.Float32()*2 - 1
+		}
+	}
+	h.Init(func(key uint64, row []float32) {
+		center := centers[key%uint64(clusters)]
+		for d := range row {
+			row[d] = center[d] + (rng.Float32()*2-1)*0.1
+		}
+	})
+	return h, centers
+}
+
+// recallAt returns |got ∩ want| / |want|.
+func recallAt(got, want []serve.Candidate) float64 {
+	keys := make(map[uint64]bool, len(want))
+	for _, c := range want {
+		keys[c.Key] = true
+	}
+	hit := 0
+	for _, c := range got {
+		if keys[c.Key] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+// TestIVFRecallGolden is the recall@16 golden test: on a fixed-seed
+// clusterable slab the IVF index must agree with the exhaustive scan on
+// at least 95% of the top 16, averaged over a fixed query set.
+func TestIVFRecallGolden(t *testing.T) {
+	const (
+		rows, dim, clusters = 8192, 32, 64
+		k, queries          = 16, 32
+	)
+	host, centers := clusteredHost(t, rows, dim, clusters)
+	flat, err := serve.NewStatic(host, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivf, err := serve.NewStatic(host, serve.Options{
+		Index: serve.IndexIVF, Centroids: clusters, NProbe: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ivf.Index() != serve.IndexIVF || flat.Index() != serve.IndexFlat {
+		t.Fatalf("engine index kinds: ivf=%v flat=%v", ivf.Index(), flat.Index())
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	query := make([]float32, dim)
+	var recall float64
+	ctx := context.Background()
+	for q := 0; q < queries; q++ {
+		center := centers[rng.Intn(clusters)]
+		for d := range query {
+			query[d] = center[d] + (rng.Float32()*2-1)*0.2
+		}
+		truth, err := flat.Query(ctx, serve.Request{Vector: query, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ivf.Query(ctx, serve.Request{Vector: query, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Index != serve.IndexIVF || truth.Index != serve.IndexFlat {
+			t.Fatalf("effective kinds: got %v, truth %v", got.Index, truth.Index)
+		}
+		recall += recallAt(got.Results, truth.Results)
+
+		// The flat hint on the IVF engine is the exact fallback: result
+		// sets must match the flat engine key for key, score for score.
+		fb, err := ivf.Query(ctx, serve.Request{Vector: query, K: k, Index: serve.IndexFlat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range truth.Results {
+			if fb.Results[i] != truth.Results[i] {
+				t.Fatalf("query %d: flat fallback diverged at rank %d: %+v vs %+v",
+					q, i, fb.Results[i], truth.Results[i])
+			}
+		}
+	}
+	recall /= queries
+	t.Logf("recall@%d over %d queries: %.4f", k, queries, recall)
+	if recall < 0.95 {
+		t.Fatalf("recall@%d = %.4f, want ≥ 0.95", k, recall)
+	}
+}
+
+// TestQueryRequestValidation pins the unified-entrypoint error contract.
+func TestQueryRequestValidation(t *testing.T) {
+	h := staticHost(t, 64, 8)
+	eng, err := serve.NewStatic(h, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	query := make([]float32, 8)
+	for name, req := range map[string]serve.Request{
+		"K-without-vector":      {Key: 1, K: 5},
+		"nprobe-without-vector": {Key: 1, NProbe: 2},
+		"index-without-vector":  {Key: 1, Index: serve.IndexFlat},
+		"ivf-not-built":         {Vector: query, K: 5, Index: serve.IndexIVF},
+		"nprobe-on-flat":        {Vector: query, K: 5, NProbe: 2},
+		"negative-nprobe":       {Vector: query, K: 5, NProbe: -1},
+		"bad-index":             {Vector: query, K: 5, Index: serve.IndexKind(9)},
+		"bad-level":             {Key: 1, Level: serve.Level{Kind: serve.Kind(9)}},
+	} {
+		if _, err := eng.Query(ctx, req); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Lookup without Dst allocates; with Dst it aliases.
+	resp, err := eng.Query(ctx, serve.Request{Key: 9})
+	if err != nil || len(resp.Values) != 8 || resp.Values[0] != 9 {
+		t.Fatalf("dst-less lookup: %v %v", resp.Values, err)
+	}
+	dst := make([]float32, 8)
+	resp, err = eng.Query(ctx, serve.Request{Key: 3, Dst: dst})
+	if err != nil || &resp.Values[0] != &dst[0] || dst[0] != 3 {
+		t.Fatalf("dst lookup did not alias: %v %v", resp.Values, err)
+	}
+	// UseDefault applies the engine default level.
+	lvlEng, err := serve.NewStatic(h, serve.Options{Default: serve.Fresh()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = lvlEng.Query(ctx, serve.Request{Key: 1, Dst: dst, UseDefault: true})
+	if err != nil || resp.Level != serve.Fresh() {
+		t.Fatalf("UseDefault level = %v, %v", resp.Level, err)
+	}
+}
+
+// TestServeWhileTrainIVFInvariant is the -race IVF staleness-invariant
+// test: while EngineFrugal flushes rewrite indexed rows, concurrent
+// queries through the IVF index must uphold
+//
+//   - per candidate, the read-staleness contract: bounded(k) metadata
+//     never reports staleness > k, and the hot key's version covers
+//     every update the (watermark, staleness) pair admits — candidate
+//     row version ≥ G·(watermark+1−staleness), the gate requirement;
+//   - per query, the *index* staleness contract: after a bounded(k)
+//     query at watermark ≥ wm₀, no unrepaired flush recorded at
+//     watermark ≤ wm₀−k remains queued — the scanned partitions are at
+//     most k gate steps behind host memory.
+//
+// K equals the row count and NProbe equals Centroids, so every row —
+// the hot key included — is a candidate of every query and the checks
+// run on complete result sets.
+func TestServeWhileTrainIVFInvariant(t *testing.T) {
+	const (
+		gpus    = 2
+		rowsN   = 96
+		steps   = 300
+		hot     = uint64(4)
+		readers = 4
+		bound   = int64(2)
+	)
+	cfg := runtime.Config{
+		Engine: runtime.EngineFrugal, NumGPUs: gpus, Rows: rowsN, Dim: 16,
+		CacheRatio: 0.25, Seed: 11, CheckConsistency: true,
+	}
+	trace := &hotTrace{
+		hot: hot, gpus: gpus, batch: 64, steps: steps,
+		gen: data.NewScrambledZipf(11, rowsN, 0.9),
+	}
+	job, err := runtime.NewMicro(cfg, trace, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.New(job.Host(), job.Controller(), serve.Options{
+		Index: serve.IndexIVF, Centroids: 16, NProbe: 16, MaxTopK: rowsN,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	levels := []serve.Level{serve.Stale(), serve.Bounded(bound), serve.Fresh()}
+	ctx := context.Background()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			dst := make([]float32, cfg.Dim)
+			query := make([]float32, cfg.Dim)
+			query[0] = 1
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				lvl := levels[(r+i)%len(levels)]
+				// wm0: a watermark observed before the query is issued.
+				pre, err := eng.Query(ctx, serve.Request{Key: hot, Dst: dst})
+				if err != nil {
+					t.Errorf("reader %d: pre-lookup: %v", r, err)
+					return
+				}
+				wm0 := pre.Meta.Watermark
+				resp, err := eng.Query(ctx, serve.Request{Vector: query, K: rowsN, Level: lvl})
+				if err != nil {
+					t.Errorf("reader %d: query: %v", r, err)
+					return
+				}
+				if resp.Index != serve.IndexIVF {
+					t.Errorf("reader %d: served by %v, want ivf", r, resp.Index)
+					return
+				}
+				hotSeen := false
+				for _, c := range resp.Results {
+					if lvl.Kind == serve.KindBounded && c.Meta.Staleness > bound {
+						t.Errorf("reader %d: candidate %d staleness %d over bound %d",
+							r, c.Key, c.Meta.Staleness, bound)
+						return
+					}
+					if c.Key != hot {
+						continue
+					}
+					hotSeen = true
+					if floor := c.Meta.Watermark + 1 - c.Meta.Staleness; floor > 0 && c.Meta.Version < gpus*uint64(floor) {
+						t.Errorf("reader %d: %v hot candidate version %d < %d·(wm %d + 1 − lag %d): staler than admitted",
+							r, lvl, c.Meta.Version, gpus, c.Meta.Watermark, c.Meta.Staleness)
+						return
+					}
+				}
+				if !hotSeen {
+					t.Errorf("reader %d: hot key missing from full-coverage result set", r)
+					return
+				}
+				if lvl.Kind == serve.KindBounded {
+					// The index invariant: the bounded query drained every
+					// repair recorded at watermark ≤ wm−bound, and wm ≥ wm0,
+					// so nothing at or below wm0−bound may remain.
+					st := eng.IndexStats()
+					if st.Pending > 0 && st.OldestPending <= wm0-bound {
+						t.Errorf("reader %d: index %d steps behind: oldest unrepaired flush at wm %d, query watermark ≥ %d, bound %d",
+							r, wm0-st.OldestPending, st.OldestPending, wm0, bound)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	wg.Wait()
+
+	// Post-run: a fresh query drains the whole repair queue, and the hot
+	// row's version shows every committed update.
+	query := make([]float32, cfg.Dim)
+	query[0] = 1
+	resp, err := eng.Query(ctx, serve.Request{Vector: query, K: rowsN, Level: serve.Fresh()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != rowsN {
+		t.Fatalf("post-run result set %d, want %d", len(resp.Results), rowsN)
+	}
+	for _, c := range resp.Results {
+		if c.Key == hot && c.Meta.Version != uint64(steps*gpus) {
+			t.Fatalf("post-run hot version = %d, want %d", c.Meta.Version, steps*gpus)
+		}
+	}
+	if st := eng.IndexStats(); st.Pending != 0 {
+		t.Fatalf("fresh query left %d repairs pending", st.Pending)
+	}
+	if st := eng.IndexStats(); st.Repairs == 0 {
+		t.Fatal("training rewrote indexed rows but no repairs ran")
+	}
+}

@@ -19,6 +19,7 @@
 package loadgen
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -54,6 +55,12 @@ type Options struct {
 	// (The zero Level is a valid level — Stale — so Options distinguishes
 	// "unset" explicitly.)
 	UseDefault bool
+	// Index selects the top-K scan strategy (IndexAuto: whatever the
+	// engine was built with).
+	Index serve.IndexKind
+	// NProbe overrides the IVF probe width for top-K queries (0: the
+	// engine's configured width; only valid with Index: IndexIVF).
+	NProbe int
 	// Seed makes the key sequence reproducible (default 1).
 	Seed int64
 
@@ -107,6 +114,12 @@ func (o *Options) normalize() error {
 	}
 	if err := o.Level.Validate(); err != nil {
 		return err
+	}
+	if err := o.Index.Validate(); err != nil {
+		return err
+	}
+	if o.NProbe < 0 {
+		return fmt.Errorf("loadgen: NProbe must be ≥ 0, got %d", o.NProbe)
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -263,16 +276,20 @@ func runClosed(eng *serve.Engine, st *runState, startAll time.Time) {
 			keys := data.NewScrambledZipf(st.opt.Seed+int64(w), uint64(eng.Rows()), st.opt.Zipf)
 			dst := make([]float32, eng.Dim())
 			query := newQuery(eng.Dim(), rng)
+			ctx := context.Background()
 			for time.Now().Before(deadline) {
 				var err error
 				start := time.Now()
 				if rng.Float64() < st.opt.TopKFraction {
-					_, err = eng.TopK(query, st.opt.K, st.lvl)
+					_, err = eng.Query(ctx, serve.Request{
+						Vector: query, K: st.opt.K, Level: st.lvl,
+						Index: st.opt.Index, NProbe: st.opt.NProbe,
+					})
 					if err == nil {
 						st.sobs.TopK(w, time.Since(start))
 					}
 				} else {
-					_, err = eng.Lookup(keys.Next(), dst, st.lvl)
+					_, err = eng.Query(ctx, serve.Request{Key: keys.Next(), Dst: dst, Level: st.lvl})
 					if err == nil {
 						st.sobs.Lookup(w, time.Since(start))
 					}
@@ -306,18 +323,22 @@ func runOpen(eng *serve.Engine, st *runState, startAll time.Time) (int64, int64)
 			rng := rand.New(rand.NewSource(st.opt.Seed + int64(w)*7919))
 			dst := make([]float32, eng.Dim())
 			query := newQuery(eng.Dim(), rng)
+			ctx := context.Background()
 			for a := range queue {
 				if st.stop.Load() {
 					continue // drain the queue without doing work
 				}
 				var err error
 				if a.isTop {
-					_, err = eng.TopK(query, st.opt.K, st.lvl)
+					_, err = eng.Query(ctx, serve.Request{
+						Vector: query, K: st.opt.K, Level: st.lvl,
+						Index: st.opt.Index, NProbe: st.opt.NProbe,
+					})
 					if err == nil {
 						st.sobs.TopK(w, time.Since(a.at))
 					}
 				} else {
-					_, err = eng.Lookup(a.key, dst, st.lvl)
+					_, err = eng.Query(ctx, serve.Request{Key: a.key, Dst: dst, Level: st.lvl})
 					if err == nil {
 						st.sobs.Lookup(w, time.Since(a.at))
 					}

@@ -34,7 +34,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -154,9 +154,21 @@ type Options struct {
 	// Arrivals beyond it are shed immediately, without waiting.
 	MaxWaiters int
 	// RequestTimeout is the per-request deadline the HTTP handlers attach
-	// to each request context (0: none). Direct LookupCtx/TopKCtx callers
-	// manage their own deadlines.
+	// to each request context (0: none). Direct Query callers manage
+	// their own deadlines.
 	RequestTimeout time.Duration
+
+	// Index selects the top-K scan strategy: IndexFlat (or IndexAuto,
+	// the zero value) scans the whole slab; IndexIVF builds the
+	// inverted-file index at engine construction and scans only the
+	// NProbe nearest of Centroids partitions (see ivf.go).
+	Index IndexKind
+	// Centroids is the IVF partition count C (default ≈ 4√rows, clamped
+	// to [16, 65536]). Ignored unless Index is IndexIVF.
+	Centroids int
+	// NProbe is how many partitions an IVF query scans (default 8,
+	// clamped to Centroids). Per-request override: Request.NProbe.
+	NProbe int
 }
 
 func (o *Options) normalize() error {
@@ -201,6 +213,18 @@ func (o *Options) normalize() error {
 	}
 	if o.RequestTimeout < 0 {
 		return fmt.Errorf("serve: RequestTimeout must be ≥ 0, got %v", o.RequestTimeout)
+	}
+	if err := o.Index.Validate(); err != nil {
+		return err
+	}
+	if o.Centroids < 0 {
+		return fmt.Errorf("serve: Centroids must be ≥ 0, got %d", o.Centroids)
+	}
+	if o.NProbe < 0 {
+		return fmt.Errorf("serve: NProbe must be ≥ 0, got %d", o.NProbe)
+	}
+	if o.Index != IndexIVF && (o.Centroids > 0 || o.NProbe > 0) {
+		return fmt.Errorf("serve: Centroids/NProbe are IVF knobs; set Index: IndexIVF")
 	}
 	return nil
 }
@@ -252,6 +276,9 @@ type topkScratch struct {
 	scores []float32
 	row    []float32
 	heap   []Candidate
+	// IVF engines only: centroid scores and probe selection.
+	cent   []float32
+	probes []int
 }
 
 // Engine serves reads from one host slab. Safe for concurrent use by any
@@ -263,6 +290,7 @@ type Engine struct {
 	static bool // no live writers: top-K may scan the slab unlocked
 	sobs   *obs.ServeObs
 	adm    *admission // nil: admission control disabled
+	idx    *ivfIndex  // nil: flat scans only
 
 	scratch sync.Pool // *topkScratch
 }
@@ -293,8 +321,41 @@ func newEngine(host *runtime.Host, ctrl *p2f.Controller, opt Options, static boo
 		e.adm = newAdmission(int64(opt.MaxInflight), opt.AdmitWait, opt.MaxWaiters)
 	}
 	dim := host.Dim()
+	centroids := 0
+	if opt.Index == IndexIVF {
+		centroids = opt.Centroids
+		if centroids == 0 {
+			centroids = 4 * int(math.Sqrt(float64(host.Rows())))
+			centroids = max(16, min(centroids, 65536))
+		}
+		if int64(centroids) > host.Rows() {
+			centroids = int(host.Rows())
+		}
+		nprobe := opt.NProbe
+		if nprobe == 0 {
+			nprobe = 8
+		}
+		idx := newIVFIndex(host.Rows(), dim, centroids, nprobe)
+		// The flush hook is installed before the build walks the slab:
+		// a flush landing mid-build enqueues a repair, so nothing the
+		// build misses goes unrecorded. The hook pairs the key with the
+		// watermark current at flush time — the bound repair enforces.
+		if ctrl != nil {
+			ctrl.AddFlushHook(func(key uint64) {
+				idx.markDirty(key, ctrl.Watermark())
+			})
+		}
+		idx.build(host)
+		e.idx = idx
+		centroids = len(idx.parts)
+	}
 	e.scratch.New = func() any {
-		return &topkScratch{scores: make([]float32, topkChunk), row: make([]float32, dim)}
+		sc := &topkScratch{scores: make([]float32, topkChunk), row: make([]float32, dim)}
+		if centroids > 0 {
+			sc.cent = make([]float32, centroids)
+			sc.probes = make([]int, centroids)
+		}
+		return sc
 	}
 	return e, nil
 }
@@ -353,19 +414,129 @@ func (e *Engine) Inflight() int64 {
 	return e.adm.Inflight()
 }
 
-// Lookup is LookupCtx without a deadline — the allocation-free hot path
-// for callers that manage their own cancellation.
+// Request describes one query for Engine.Query — the single entrypoint
+// both request shapes go through. A nil Vector makes it a point lookup
+// of Key; a non-nil Vector makes it a top-K similarity query.
+type Request struct {
+	// Key is the row to read. Lookups only (Vector nil).
+	Key uint64
+	// Vector is the top-K query vector (len == Dim()); nil selects the
+	// lookup shape.
+	Vector []float32
+	// K is the top-K result count, in [1, Options.MaxTopK]. Top-K only.
+	K int
+	// Dst, when non-nil, receives the looked-up row (len == Dim()) and
+	// keeps the lookup allocation-free; when nil the engine allocates.
+	// Lookups only.
+	Dst []float32
+	// Level is the consistency level. The zero Level is Stale; set
+	// UseDefault to apply the engine's Options.Default instead.
+	Level Level
+	// UseDefault replaces Level with the engine's default level.
+	UseDefault bool
+	// Index picks the top-K scan strategy: IndexAuto (the zero value)
+	// uses the engine's configuration, IndexFlat forces the exhaustive
+	// scan (always available — the ground-truth fallback), IndexIVF
+	// requires an engine built with Options.Index: IndexIVF.
+	Index IndexKind
+	// NProbe overrides the IVF probe width for this query (0: engine
+	// default). IVF top-K only.
+	NProbe int
+}
+
+// Response is Query's result. Lookups fill Values and Meta; top-K
+// queries fill Results. Level and Index echo what was actually applied.
+type Response struct {
+	// Values is the looked-up row. It aliases Request.Dst when that was
+	// provided.
+	Values []float32
+	// Meta is the looked-up row's consistency metadata.
+	Meta RowMeta
+	// Results are the top-K candidates, best first.
+	Results []Candidate
+	// Level is the effective consistency level.
+	Level Level
+	// Index is the effective scan strategy (top-K only; IndexAuto on
+	// lookups).
+	Index IndexKind
+}
+
+// Query answers one request — lookup or top-K, selected by Request's
+// Vector field — at the requested consistency level and (for top-K) via
+// the requested index. It subsumes the former Lookup/LookupCtx/TopK/
+// TopKCtx matrix; those survive as deprecated wrappers.
+//
+// The lookup shape is allocation-free on the admitted path when
+// Request.Dst is provided. Under admission control it may fail with
+// *ErrShed; a canceled or expired ctx fails with the context's error,
+// checked after the admission wait.
+func (e *Engine) Query(ctx context.Context, req Request) (Response, error) {
+	lvl := req.Level
+	if req.UseDefault {
+		lvl = e.opt.Default
+	}
+	if req.Vector == nil {
+		if req.K != 0 {
+			return Response{}, fmt.Errorf("serve: K is a top-K parameter; set Vector")
+		}
+		if req.Index != IndexAuto || req.NProbe != 0 {
+			return Response{}, fmt.Errorf("serve: Index/NProbe are top-K parameters; set Vector")
+		}
+		dst := req.Dst
+		if dst == nil {
+			dst = make([]float32, e.host.Dim())
+		}
+		meta, err := e.lookup(ctx, req.Key, dst, lvl)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Values: dst, Meta: meta, Level: lvl}, nil
+	}
+	if err := req.Index.Validate(); err != nil {
+		return Response{}, err
+	}
+	kind := req.Index
+	if kind == IndexAuto {
+		kind = IndexFlat
+		if e.idx != nil {
+			kind = IndexIVF
+		}
+	}
+	if kind == IndexIVF && e.idx == nil {
+		return Response{}, fmt.Errorf("serve: no IVF index on this engine (build it with Options.Index: IndexIVF)")
+	}
+	if req.NProbe < 0 {
+		return Response{}, fmt.Errorf("serve: NProbe must be ≥ 0, got %d", req.NProbe)
+	}
+	if req.NProbe > 0 && kind != IndexIVF {
+		return Response{}, fmt.Errorf("serve: NProbe is an IVF parameter")
+	}
+	out, err := e.topK(ctx, req.Vector, req.K, lvl, kind, req.NProbe)
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{Results: out, Level: lvl, Index: kind}, nil
+}
+
+// Lookup copies row `key` into dst at the given level.
+//
+// Deprecated: use Query with the lookup shape ({Key, Dst, Level}).
 func (e *Engine) Lookup(key uint64, dst []float32, lvl Level) (RowMeta, error) {
 	return e.LookupCtx(context.Background(), key, dst, lvl)
 }
 
-// LookupCtx copies row `key` into dst (len(dst) == Dim()) at the given
-// consistency level and reports the row's consistency metadata. The call
-// is allocation-free on the admitted path — the serving hot path. Under
-// admission control (Options.MaxInflight) it may fail with *ErrShed; a
-// canceled or expired ctx fails with the context's error, checked after
-// the admission wait (the one place a lookup can block).
+// LookupCtx copies row `key` into dst with deadline propagation.
+//
+// Deprecated: use Query with the lookup shape ({Key, Dst, Level}).
 func (e *Engine) LookupCtx(ctx context.Context, key uint64, dst []float32, lvl Level) (RowMeta, error) {
+	resp, err := e.Query(ctx, Request{Key: key, Dst: dst, Level: lvl})
+	return resp.Meta, err
+}
+
+// lookup is the point-read path: copy row `key` into dst (len(dst) ==
+// Dim()) at the given consistency level and report the row's consistency
+// metadata. Allocation-free on the admitted path — the serving hot path.
+func (e *Engine) lookup(ctx context.Context, key uint64, dst []float32, lvl Level) (RowMeta, error) {
 	start := time.Now()
 	if key >= uint64(e.host.Rows()) {
 		return RowMeta{}, fmt.Errorf("serve: key %d out of range (rows %d)", key, e.host.Rows())
@@ -444,25 +615,39 @@ func (e *Engine) staleBound() int64 {
 }
 
 // TopK returns the k rows with the highest dot-product similarity to
-// query (len(query) == Dim()), ordered by descending score. The slab scan
-// itself always reads committed host state (per-row stripe-locked on a
-// live slab, one batched kernel per chunk on a static one); the
-// consistency level is then enforced per *candidate*: under Bounded and
-// Fresh, each winning row is refreshed as Lookup would and re-scored, so
-// the returned scores meet the level even though non-candidates were
-// scanned at host freshness. Bounded violations always refresh —
-// RejectStale does not apply, since dropping a candidate would silently
-// change the result set.
+// query, best first, at the given level.
+//
+// Deprecated: use Query with the top-K shape ({Vector, K, Level}).
 func (e *Engine) TopK(query []float32, k int, lvl Level) ([]Candidate, error) {
 	return e.TopKCtx(context.Background(), query, k, lvl)
 }
 
-// TopKCtx is TopK with deadline propagation: the scan checks ctx between
-// slab chunks and between candidate rescores, so a slow wide query stops
-// burning CPU the moment its client gives up. Under admission control a
-// top-K query costs Options.TopKWeight lookup units and may fail with
-// *ErrShed.
+// TopKCtx is TopK with deadline propagation.
+//
+// Deprecated: use Query with the top-K shape ({Vector, K, Level}).
 func (e *Engine) TopKCtx(ctx context.Context, query []float32, k int, lvl Level) ([]Candidate, error) {
+	resp, err := e.Query(ctx, Request{Vector: query, K: k, Level: lvl})
+	return resp.Results, err
+}
+
+// topK answers a top-K similarity query (len(query) == Dim(), k in
+// [1, MaxTopK]), ordered by descending score. kind picks the candidate
+// source: IndexFlat scans the whole slab (per-row stripe-locked on a
+// live slab, one batched kernel per chunk on a static one), IndexIVF
+// scans the nprobe partitions nearest to query after draining the repair
+// queue as far as the level demands (see ivf.go). Candidate *selection*
+// is where the two differ; on a live slab the winners' scores are always
+// recomputed against committed host state, and the consistency level is
+// enforced per candidate: under Bounded and Fresh each winning row is
+// refreshed as a lookup would be and re-scored, so the returned scores
+// meet the level even though non-candidates were scanned at host (or
+// index) freshness. Bounded violations always refresh — RejectStale does
+// not apply, since dropping a candidate would silently change the result
+// set. The scan checks ctx between slab chunks and between candidate
+// rescores, so a slow wide query stops burning CPU the moment its client
+// gives up. Under admission control a top-K query costs TopKWeight
+// lookup units and may fail with *ErrShed.
+func (e *Engine) topK(ctx context.Context, query []float32, k int, lvl Level, kind IndexKind, nprobe int) ([]Candidate, error) {
 	start := time.Now()
 	if len(query) != e.host.Dim() {
 		return nil, fmt.Errorf("serve: query length %d, want dim %d", len(query), e.host.Dim())
@@ -483,13 +668,87 @@ func (e *Engine) TopKCtx(ctx context.Context, query []float32, k int, lvl Level)
 		k = int(rows)
 	}
 	sc := e.scratch.Get().(*topkScratch)
-	heap := sc.heap[:0]
-	for from := int64(0); from < rows; from += topkChunk {
-		if err := ctx.Err(); err != nil {
+	var heap []Candidate
+	if kind == IndexIVF {
+		if e.ctrl != nil {
+			e.repairIndex(lvl)
+		}
+		if nprobe == 0 {
+			nprobe = e.idx.nprobe
+		}
+		heap = e.idx.search(query, k, nprobe, sc)
+	} else {
+		heap, err = e.scanFlat(ctx, query, k, sc)
+		if err != nil {
 			sc.heap = heap[:0]
 			e.scratch.Put(sc)
 			e.sobs.Canceled(k)
 			return nil, err
+		}
+	}
+	out := make([]Candidate, len(heap))
+	copy(out, heap)
+	sc.heap = heap[:0]
+	if e.ctrl != nil && lvl.Kind != KindStale {
+		for i := range out {
+			if err := ctx.Err(); err != nil {
+				// A rescore may force-flush, the expensive tail of the
+				// query — stop as soon as the client has given up.
+				e.scratch.Put(sc)
+				e.sobs.Canceled(k)
+				return nil, err
+			}
+			out[i] = e.rescore(query, out[i], lvl, sc.row)
+		}
+	} else if e.ctrl != nil {
+		wm, bound := e.ctrl.Watermark(), e.staleBound()
+		for i := range out {
+			if kind == IndexIVF {
+				// Selection came from the packed partition copies; the
+				// returned score must still reflect committed host
+				// state, so re-read each winner under its stripe lock.
+				out[i].Meta = RowMeta{Version: e.host.ReadRow(out[i].Key, sc.row), Watermark: wm, Staleness: bound}
+				out[i].Score = tensor.Dot(query, sc.row)
+			} else {
+				out[i].Meta = RowMeta{Version: e.host.Version(out[i].Key), Watermark: wm, Staleness: bound}
+			}
+		}
+	} else {
+		for i := range out {
+			if kind == IndexIVF && !e.static {
+				// A live slab without a controller (write-through
+				// engines) has no flush feed to repair the index, but
+				// the winners' scores stay honest: re-read live.
+				out[i].Meta = RowMeta{Version: e.host.ReadRow(out[i].Key, sc.row), Watermark: -1}
+				out[i].Score = tensor.Dot(query, sc.row)
+			} else {
+				out[i].Meta = RowMeta{Version: e.host.Version(out[i].Key), Watermark: -1}
+			}
+		}
+	}
+	e.scratch.Put(sc)
+	// Insertion sort: out is k elements (small), and dodging sort.Slice's
+	// reflection keeps ~1.5µs off a hot path measured in tens of µs.
+	for i := 1; i < len(out); i++ {
+		c := out[i]
+		j := i - 1
+		for ; j >= 0 && (out[j].Score < c.Score || (out[j].Score == c.Score && out[j].Key > c.Key)); j-- {
+			out[j+1] = out[j]
+		}
+		out[j+1] = c
+	}
+	e.sobs.TopK(k, time.Since(start))
+	return out, nil
+}
+
+// scanFlat is the exhaustive slab scan: every row scored, chunk by
+// chunk, into a k-bounded min-heap built in sc.heap.
+func (e *Engine) scanFlat(ctx context.Context, query []float32, k int, sc *topkScratch) ([]Candidate, error) {
+	rows := e.host.Rows()
+	heap := sc.heap[:0]
+	for from := int64(0); from < rows; from += topkChunk {
+		if err := ctx.Err(); err != nil {
+			return heap, err
 		}
 		n := rows - from
 		if n > topkChunk {
@@ -510,39 +769,38 @@ func (e *Engine) TopKCtx(ctx context.Context, query []float32, k int, lvl Level)
 			}
 		}
 	}
-	out := make([]Candidate, len(heap))
-	copy(out, heap)
-	sc.heap = heap[:0]
-	if e.ctrl != nil && lvl.Kind != KindStale {
-		for i := range out {
-			if err := ctx.Err(); err != nil {
-				// A rescore may force-flush, the expensive tail of the
-				// query — stop as soon as the client has given up.
-				e.scratch.Put(sc)
-				e.sobs.Canceled(k)
-				return nil, err
-			}
-			out[i] = e.rescore(query, out[i], lvl, sc.row)
-		}
-	} else if e.ctrl != nil {
-		wm, bound := e.ctrl.Watermark(), e.staleBound()
-		for i := range out {
-			out[i].Meta = RowMeta{Version: e.host.Version(out[i].Key), Watermark: wm, Staleness: bound}
-		}
-	} else {
-		for i := range out {
-			out[i].Meta = RowMeta{Version: e.host.Version(out[i].Key), Watermark: -1}
-		}
+	return heap, nil
+}
+
+// repairIndex drains the IVF repair queue as far as lvl demands: stale
+// pays only the opportunistic budget, bounded(k) everything recorded at
+// watermark ≤ wm−k (the staleness invariant), fresh the whole queue.
+func (e *Engine) repairIndex(lvl Level) {
+	switch lvl.Kind {
+	case KindStale:
+		e.idx.repair(e.host, math.MinInt64, ivfRepairBudget)
+	case KindBounded:
+		e.idx.repair(e.host, e.ctrl.Watermark()-lvl.Bound, ivfRepairBudget)
+	default: // KindFresh
+		e.idx.repair(e.host, math.MaxInt64, 0)
 	}
-	e.scratch.Put(sc)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Key < out[j].Key
-	})
-	e.sobs.TopK(k, time.Since(start))
-	return out, nil
+}
+
+// Index reports the engine's configured top-K scan strategy.
+func (e *Engine) Index() IndexKind {
+	if e.idx != nil {
+		return IndexIVF
+	}
+	return IndexFlat
+}
+
+// IndexStats snapshots the IVF maintenance state. Kind is IndexFlat
+// (with zero counters) when no IVF index is attached.
+func (e *Engine) IndexStats() IndexStats {
+	if e.idx == nil {
+		return IndexStats{Kind: IndexFlat}
+	}
+	return e.idx.stats()
 }
 
 // rescore enforces the consistency level on one top-K candidate: refresh

@@ -3,6 +3,7 @@ package tensor
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -252,4 +253,65 @@ func TestKernelPanicsPreserved(t *testing.T) {
 	mustPanic("MulVec", func() { m.MulVec(a4, a3) })
 	mustPanic("MulVecT", func() { m.MulVecT(a3, a4) })
 	mustPanic("AddOuter", func() { m.AddOuter(1, a3, a4) })
+}
+
+func TestArgMax(t *testing.T) {
+	if got := ArgMax(nil); got != -1 {
+		t.Fatalf("ArgMax(nil) = %d, want -1", got)
+	}
+	cases := []struct {
+		x    []float32
+		want int
+	}{
+		{[]float32{3}, 0},
+		{[]float32{1, 5, 2}, 1},
+		{[]float32{-3, -1, -2}, 1},
+		{[]float32{2, 7, 7, 1}, 1}, // first index wins ties
+		{[]float32{0, 0, 0}, 0},
+	}
+	for _, tc := range cases {
+		if got := ArgMax(tc.x); got != tc.want {
+			t.Fatalf("ArgMax(%v) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+// TestTopIndicesMatchesSort cross-checks the bounded-heap probe selector
+// against a full sort for many shapes, including ties and P >= len(x).
+func TestTopIndicesMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range kernelLengths {
+		x := make([]float32, n)
+		fillRand(rng, x)
+		// Force ties so the lower-index tiebreak is exercised.
+		for i := 3; i+4 < n; i += 4 {
+			x[i+4] = x[i]
+		}
+		for _, p := range []int{0, 1, 2, 3, 8, n, n + 5} {
+			idx := make([]int, p)
+			got := TopIndices(x, idx)
+			want := p
+			if want > n {
+				want = n
+			}
+			if got != want {
+				t.Fatalf("n=%d p=%d: wrote %d, want %d", n, p, got, want)
+			}
+			// Reference: indices sorted by (score desc, index asc).
+			ref := make([]int, n)
+			for i := range ref {
+				ref[i] = i
+			}
+			sort.SliceStable(ref, func(a, b int) bool {
+				ia, ib := ref[a], ref[b]
+				return x[ia] > x[ib] || (x[ia] == x[ib] && ia < ib)
+			})
+			for i := 0; i < got; i++ {
+				if idx[i] != ref[i] {
+					t.Fatalf("n=%d p=%d: idx[%d] = %d (score %v), want %d (score %v)",
+						n, p, i, idx[i], x[idx[i]], ref[i], x[ref[i]])
+				}
+			}
+		}
+	}
 }

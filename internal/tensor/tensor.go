@@ -337,6 +337,67 @@ func (m *Matrix) AddOuter(alpha float32, a, b []float32) {
 	}
 }
 
+// ArgMax returns the index of the largest element of x (the first one on
+// ties), or -1 for an empty slice. It is the centroid-assignment primitive:
+// nearest-by-L2 reduces to ArgMax over dot(c,x) - ||c||²/2, so assignment
+// is one MulVec, one Axpy and one ArgMax.
+func ArgMax(x []float32) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	bv := x[0]
+	for i := 1; i < len(x); i++ {
+		if x[i] > bv {
+			best, bv = i, x[i]
+		}
+	}
+	return best
+}
+
+// TopIndices fills idx with the indices of the len(idx) largest elements
+// of x, in descending score order (ties broken toward the lower index),
+// and returns how many it wrote (min(len(idx), len(x))). It is the probe
+// selector of the inverted-file index: pick the top-P centroids from a
+// scored list of C without sorting all C. The selection is kept sorted
+// in place and maintained by insertion: one branch-predictable compare
+// against the current cutoff per element, plus O(P) shifting on the
+// ~P·ln(C/P) expected improvements — cheaper in practice than a bounded
+// heap, whose every operation chases parent/child links.
+func TopIndices(x []float32, idx []int) int {
+	p := len(idx)
+	if p > len(x) {
+		p = len(x)
+	}
+	if p == 0 {
+		return 0
+	}
+	// beats reports whether element a outranks element b: larger score,
+	// or equal score with the lower index.
+	beats := func(a, b int) bool {
+		return x[a] > x[b] || (x[a] == x[b] && a < b)
+	}
+	// insert v into the sorted prefix idx[:n], dropping the last element.
+	insert := func(n, v int) {
+		i := n - 1
+		for ; i > 0 && beats(v, idx[i-1]); i-- {
+			idx[i] = idx[i-1]
+		}
+		idx[i] = v
+	}
+	n := 0
+	for v := range x {
+		switch {
+		case n < p:
+			n++
+			insert(n, v)
+		case beats(v, idx[p-1]):
+			insert(p, v)
+		}
+	}
+	return p
+}
+
 // ReLU applies max(0, x) in place and returns a mask of activated units for
 // use in the backward pass (1 where x > 0, else 0).
 func ReLU(x []float32, mask []float32) {

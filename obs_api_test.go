@@ -16,7 +16,7 @@ func TestObservabilityFrugalEngine(t *testing.T) {
 	const steps = 30
 	var onStepCalls atomic.Int64
 	var lastStep atomic.Int64
-	job, err := NewMicrobenchmark(Config{
+	job, err := New(Config{
 		Engine: EngineFrugal, NumGPUs: 2, CheckConsistency: true, Seed: 4,
 		Observability: ObsOptions{Enabled: true},
 		OnStep: func(s StepStats) {
@@ -26,7 +26,7 @@ func TestObservabilityFrugalEngine(t *testing.T) {
 				t.Errorf("negative flush backlog at step %d", s.Step)
 			}
 		},
-	}, MicroOptions{KeySpace: 2000, Batch: 64, Steps: steps})
+	}, Microbenchmark{Options: MicroOptions{KeySpace: 2000, Batch: 64, Steps: steps}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,10 +70,10 @@ func TestObservabilityFrugalEngine(t *testing.T) {
 // no-P²F engine reports zero flush counters.
 func TestObservabilityDirectEngine(t *testing.T) {
 	const steps = 20
-	job, err := NewMicrobenchmark(Config{
+	job, err := New(Config{
 		Engine: EngineDirect, NumGPUs: 2, Seed: 4,
 		Observability: ObsOptions{Enabled: true},
-	}, MicroOptions{KeySpace: 2000, Batch: 64, Steps: steps})
+	}, Microbenchmark{Options: MicroOptions{KeySpace: 2000, Batch: 64, Steps: steps}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,8 +95,7 @@ func TestObservabilityDirectEngine(t *testing.T) {
 // TestObservabilityDisabled verifies the zero-cost default: no observer,
 // zero snapshot, WriteTrace errors.
 func TestObservabilityDisabled(t *testing.T) {
-	job, err := NewMicrobenchmark(Config{Engine: EngineFrugal, Seed: 4},
-		MicroOptions{KeySpace: 1000, Batch: 32, Steps: 10})
+	job, err := New(Config{Engine: EngineFrugal, Seed: 4}, Microbenchmark{Options: MicroOptions{KeySpace: 1000, Batch: 32, Steps: 10}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,11 +116,11 @@ func TestObservabilityDisabled(t *testing.T) {
 // the job trains green on the TreeHeap baseline and the queue drains.
 func TestQueueAndDequeueBatchPassthrough(t *testing.T) {
 	q := NewTreeHeapQueue(1024)
-	job, err := NewMicrobenchmark(Config{
+	job, err := New(Config{
 		Engine: EngineFrugal, NumGPUs: 2, CheckConsistency: true, Seed: 6,
 		Queue: q, DequeueBatch: 16,
 		Observability: ObsOptions{Enabled: true},
-	}, MicroOptions{KeySpace: 2000, Batch: 64, Steps: 25})
+	}, Microbenchmark{Options: MicroOptions{KeySpace: 2000, Batch: 64, Steps: 25}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,8 +145,7 @@ func TestQueueAndDequeueBatchPassthrough(t *testing.T) {
 // TestRunContextCancellation covers the public cancellation surface: the
 // typed error, the errors.Is bridge, and the fast return.
 func TestRunContextCancellation(t *testing.T) {
-	job, err := NewMicrobenchmark(Config{Engine: EngineFrugal, NumGPUs: 2, Seed: 8},
-		MicroOptions{KeySpace: 2000, Batch: 64, Steps: 10_000})
+	job, err := New(Config{Engine: EngineFrugal, NumGPUs: 2, Seed: 8}, Microbenchmark{Options: MicroOptions{KeySpace: 2000, Batch: 64, Steps: 10_000}})
 	if err != nil {
 		t.Fatal(err)
 	}

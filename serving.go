@@ -1,6 +1,7 @@
 package frugal
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"time"
@@ -34,6 +35,34 @@ type ServeRowMeta = serve.RowMeta
 // ServeCandidate is one top-K similarity result.
 type ServeCandidate = serve.Candidate
 
+// ServeRequest is the one query shape Server.Query accepts: Key/Dst for
+// a row lookup, Vector/K for a top-K similarity search, plus the
+// consistency level and index selection knobs.
+type ServeRequest = serve.Request
+
+// ServeResponse is Server.Query's result: Values+Meta for lookups,
+// Results for top-K, and the effective level and index kind.
+type ServeResponse = serve.Response
+
+// IndexKind selects the top-K scan strategy: IndexFlat (exhaustive,
+// exact) or IndexIVF (inverted-file, sublinear). IndexAuto defers to the
+// engine configuration.
+type IndexKind = serve.IndexKind
+
+// The index kinds, re-exported for ServeOptions and ServeRequest.
+const (
+	IndexAuto = serve.IndexAuto
+	IndexFlat = serve.IndexFlat
+	IndexIVF  = serve.IndexIVF
+)
+
+// ParseIndexKind parses "auto" (or ""), "flat" or "ivf".
+func ParseIndexKind(s string) (IndexKind, error) { return serve.ParseIndexKind(s) }
+
+// IndexStats is a snapshot of a server's IVF maintenance state (repair
+// queue depth, oldest unrepaired watermark, repairs applied).
+type IndexStats = serve.IndexStats
+
 // ServeMetrics is a snapshot of a server's read-path metrics.
 type ServeMetrics = obs.ServeSnapshot
 
@@ -65,12 +94,24 @@ type ServeOptions struct {
 	// RequestTimeout is the per-request deadline the HTTP handlers attach
 	// to every request (0: none).
 	RequestTimeout time.Duration
+	// Index selects the top-K scan strategy (default IndexFlat). IndexIVF
+	// builds an inverted-file index over the slab at server construction;
+	// queries then scan NProbe partitions instead of every row, with
+	// index staleness bounded by the same consistency levels as reads.
+	Index IndexKind
+	// Centroids is the IVF partition count (default ≈ 4·√rows). Only
+	// valid with Index: IndexIVF.
+	Centroids int
+	// NProbe is the number of partitions an IVF query scans (default 8).
+	// Only valid with Index: IndexIVF.
+	NProbe int
 }
 
 func (o ServeOptions) internal() serve.Options {
 	return serve.Options{
 		Default: o.Level, RejectStale: o.RejectStale, MaxTopK: o.MaxTopK,
 		MaxInflight: o.MaxInflight, AdmitWait: o.AdmitWait, RequestTimeout: o.RequestTimeout,
+		Index: o.Index, Centroids: o.Centroids, NProbe: o.NProbe,
 	}
 }
 
@@ -118,30 +159,61 @@ func (s *Server) Rows() int64 { return s.eng.Rows() }
 // Dim returns the embedding dimension.
 func (s *Server) Dim() int { return s.eng.Dim() }
 
+// Query is the unified entrypoint: one request shape for lookups
+// (Key/Dst) and top-K searches (Vector/K), with per-request consistency
+// level and index selection. Lookups through Query stay allocation-free
+// when Dst is supplied.
+func (s *Server) Query(ctx context.Context, req ServeRequest) (ServeResponse, error) {
+	return s.eng.Query(ctx, req)
+}
+
 // Lookup copies row `key` into dst (len(dst) == Dim()) at the server's
 // default level. Allocation-free.
+//
+// Deprecated: use Query with ServeRequest{Key: key, Dst: dst,
+// UseDefault: true}.
 func (s *Server) Lookup(key uint64, dst []float32) (ServeRowMeta, error) {
-	return s.eng.Lookup(key, dst, s.eng.DefaultLevel())
+	resp, err := s.eng.Query(context.Background(), ServeRequest{Key: key, Dst: dst, UseDefault: true})
+	return resp.Meta, err
 }
 
 // LookupLevel is Lookup at an explicit consistency level.
+//
+// Deprecated: use Query with ServeRequest{Key: key, Dst: dst, Level: lvl}.
 func (s *Server) LookupLevel(key uint64, dst []float32, lvl ServeLevel) (ServeRowMeta, error) {
-	return s.eng.Lookup(key, dst, lvl)
+	resp, err := s.eng.Query(context.Background(), ServeRequest{Key: key, Dst: dst, Level: lvl})
+	return resp.Meta, err
 }
 
 // TopK returns the k rows most similar to query by dot product, best
 // first, at the server's default level.
+//
+// Deprecated: use Query with ServeRequest{Vector: query, K: k,
+// UseDefault: true}.
 func (s *Server) TopK(query []float32, k int) ([]ServeCandidate, error) {
-	return s.eng.TopK(query, k, s.eng.DefaultLevel())
+	resp, err := s.eng.Query(context.Background(), ServeRequest{Vector: query, K: k, UseDefault: true})
+	return resp.Results, err
 }
 
 // TopKLevel is TopK at an explicit consistency level.
+//
+// Deprecated: use Query with ServeRequest{Vector: query, K: k, Level: lvl}.
 func (s *Server) TopKLevel(query []float32, k int, lvl ServeLevel) ([]ServeCandidate, error) {
-	return s.eng.TopK(query, k, lvl)
+	resp, err := s.eng.Query(context.Background(), ServeRequest{Vector: query, K: k, Level: lvl})
+	return resp.Results, err
 }
 
-// Handler returns the server's HTTP API: /lookup, /topk, /healthz and
-// /debug/vars (read-path metrics).
+// Index reports the server's configured top-K scan strategy.
+func (s *Server) Index() IndexKind { return s.eng.Index() }
+
+// IndexStats snapshots the IVF maintenance state (zero value on flat
+// servers).
+func (s *Server) IndexStats() IndexStats { return s.eng.IndexStats() }
+
+// Handler returns the server's HTTP API, versioned under /v1
+// (/v1/lookup, /v1/topk — the unversioned paths remain as aliases) plus
+// /healthz and /debug/vars (read-path metrics). Errors share one JSON
+// envelope {"error","code","retry_after_ms"}.
 func (s *Server) Handler() http.Handler { return s.eng.Handler() }
 
 // HTTPServer is a gracefully-stoppable HTTP front end: it binds its

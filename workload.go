@@ -44,8 +44,9 @@ var ErrNilWorkload = errors.New("frugal: nil workload")
 //		Options: frugal.RECOptions{Steps: 200},
 //	})
 //
-// The legacy NewRecommendation / NewKnowledgeGraph / NewMicrobenchmark /
-// NewGraphLearning / NewReplay constructors are thin wrappers over New.
+// New replaced the per-workload NewRecommendation / NewKnowledgeGraph /
+// NewMicrobenchmark / NewGraphLearning / NewReplay constructors, which
+// have been removed; pass the equivalent workload value instead.
 func New(cfg Config, w Workload) (*TrainingJob, error) {
 	if w == nil {
 		return nil, ErrNilWorkload

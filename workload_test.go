@@ -63,31 +63,32 @@ func TestNewSurfacesWorkloadErrors(t *testing.T) {
 	}
 }
 
-// TestDeprecatedConstructorsDelegate pins the compatibility contract: the
-// legacy New* constructors and frugal.New with the equivalent workload
-// value build jobs that train to identical parameters.
-func TestDeprecatedConstructorsDelegate(t *testing.T) {
+// TestNewIsDeterministic pins the reproducibility contract the removed
+// legacy constructors used to be tested against: two jobs built by New
+// from identical config and workload values train to identical
+// parameters.
+func TestNewIsDeterministic(t *testing.T) {
 	cfg := Config{NumGPUs: 1, CheckConsistency: true, Seed: 11}
 	opt := MicroOptions{KeySpace: 800, Batch: 32, Steps: 15}
-	old, err := NewMicrobenchmark(cfg, opt)
+	a, err := New(cfg, Microbenchmark{Options: opt})
 	if err != nil {
 		t.Fatal(err)
 	}
-	neu, err := New(cfg, Microbenchmark{Options: opt})
+	b, err := New(cfg, Microbenchmark{Options: opt})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := old.Run(); err != nil {
+	if _, err := a.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := neu.Run(); err != nil {
+	if _, err := b.Run(); err != nil {
 		t.Fatal(err)
 	}
 	for k := uint64(0); k < 800; k += 37 {
-		a, b := old.HostRow(k), neu.HostRow(k)
-		for d := range a {
-			if a[d] != b[d] {
-				t.Fatalf("constructor paths diverged at key %d dim %d: %v vs %v", k, d, a[d], b[d])
+		ra, rb := a.HostRow(k), b.HostRow(k)
+		for d := range ra {
+			if ra[d] != rb[d] {
+				t.Fatalf("identical jobs diverged at key %d dim %d: %v vs %v", k, d, ra[d], rb[d])
 			}
 		}
 	}
