@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-core serve-stress serve-demo bench bench-baseline bench-check check
+.PHONY: build vet test race race-core serve-stress serve-demo shard-demo bench bench-baseline bench-check check
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ race:
 # is spelled out so the load generator stays covered even if the packages
 # are ever reorganised.
 race-core:
-	$(GO) test -race ./internal/runtime/... ./internal/p2f/... ./internal/fault/... ./internal/pq/... ./internal/lfht/... ./internal/serve ./internal/serve/loadgen
+	$(GO) test -race ./internal/runtime/... ./internal/p2f/... ./internal/fault/... ./internal/pq/... ./internal/lfht/... ./internal/serve ./internal/serve/loadgen ./internal/store ./internal/shard
 
 # The overload-control suite under the race detector: open-loop shedding,
 # the hot-key refresh storm, admission semantics, and the server
@@ -33,6 +33,21 @@ serve-stress:
 serve-demo: build
 	$(GO) run ./cmd/frugal-train -micro -gpus 2 -steps 300 -keys 20000 -checkpoint-out /tmp/frugal-demo.ckpt
 	$(GO) run ./cmd/frugal-serve -checkpoint /tmp/frugal-demo.ckpt -loadgen 5s -level 'bounded(2)'
+
+# Spin a 3-shard loopback cluster, drive 150 training steps through the
+# sharded store from a frugal-shard driver, then serve the cluster and
+# hammer it with the load generator for 5s. The trap tears the nodes
+# down however the demo exits.
+shard-demo:
+	@set -e; \
+	$(GO) build -o /tmp/frugal-shard-demo ./cmd/frugal-shard; \
+	/tmp/frugal-shard-demo -addr 127.0.0.1:7101 -rows 20000 -dim 32 -shard 0 -of 3 & P0=$$!; \
+	/tmp/frugal-shard-demo -addr 127.0.0.1:7102 -rows 20000 -dim 32 -shard 1 -of 3 & P1=$$!; \
+	/tmp/frugal-shard-demo -addr 127.0.0.1:7103 -rows 20000 -dim 32 -shard 2 -of 3 & P2=$$!; \
+	trap 'kill $$P0 $$P1 $$P2 2>/dev/null; wait $$P0 $$P1 $$P2 2>/dev/null' EXIT; \
+	sleep 1; \
+	/tmp/frugal-shard-demo -connect 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 -steps 150; \
+	$(GO) run ./cmd/frugal-serve -shards 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 -loadgen 5s -level 'bounded(4)'
 
 # One pass over every benchmark (sanity, not measurement).
 bench:

@@ -10,6 +10,13 @@
 //	curl 'localhost:8080/v1/lookup?key=42&level=bounded(2)'
 //	curl 'localhost:8080/v1/topk?q=0.1,0.2,0.3&k=5'
 //
+// With -shards the server fronts a partitioned table instead of a local
+// checkpoint: it dials the listed frugal-shard nodes (in -shard index
+// order), fans each top-K out per shard, and composes bounded-staleness
+// reads over the cross-shard minimum watermark:
+//
+//	frugal-serve -shards 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103
+//
 // With -index=ivf the server builds an inverted-file index at startup
 // and answers top-K queries by scanning only the -nprobe nearest of
 // -centroids partitions — sublinear in the row count; per-query
@@ -43,6 +50,7 @@ func run() int {
 	var (
 		addr        = flag.String("addr", ":8080", "HTTP listen address")
 		checkpoint  = flag.String("checkpoint", "", "checkpoint to serve (from frugal-train -checkpoint-out)")
+		shards      = flag.String("shards", "", "comma-separated frugal-shard addresses to serve from, in -shard index order (instead of -checkpoint)")
 		level       = flag.String("level", "stale", "default consistency level: stale, bounded(k), fresh")
 		rejectStale = flag.Bool("reject-stale", false, "refuse bounded lookups over the bound instead of force-flushing")
 		maxTopK     = flag.Int("max-topk", 128, "largest accepted top-K query size")
@@ -64,7 +72,7 @@ func run() int {
 	flag.Parse()
 
 	lvl, kind, err := validate(options{
-		Addr: *addr, Checkpoint: *checkpoint, Level: *level, MaxTopK: *maxTopK,
+		Addr: *addr, Checkpoint: *checkpoint, Shards: *shards, Level: *level, MaxTopK: *maxTopK,
 		MaxInflight: *maxInflight, RequestTimeout: *reqTimeout, Drain: *drain,
 		LoadGen: *loadGen, Rate: *rate, Workers: *workers, Zipf: *zipf, TopKFrac: *topkFrac, K: *k,
 		Index: *index, Centroids: *centroids, NProbe: *nprobe,
@@ -75,20 +83,31 @@ func run() int {
 		return 2
 	}
 
-	f, err := os.Open(*checkpoint)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
-	}
-	srv, err := frugal.NewServerFromCheckpoint(f, frugal.ServeOptions{
+	opt := frugal.ServeOptions{
 		Level: lvl, RejectStale: *rejectStale, MaxTopK: *maxTopK,
 		MaxInflight: *maxInflight, RequestTimeout: *reqTimeout,
 		Index: kind, Centroids: *centroids, NProbe: *nprobe,
-	})
-	f.Close()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
+	}
+	var srv *frugal.Server
+	if *shards != "" {
+		srv, err = frugal.NewServerFromShards(splitAddrs(*shards), opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer srv.Close()
+	} else {
+		f, err := os.Open(*checkpoint)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		srv, err = frugal.NewServerFromCheckpoint(f, opt)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 	}
 
 	if *loadGen > 0 {

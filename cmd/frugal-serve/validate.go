@@ -3,15 +3,29 @@ package main
 import (
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"frugal"
 )
 
+// splitAddrs parses the -shards comma list, dropping blanks.
+func splitAddrs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // options are the flag values vetted before any serving work starts.
 type options struct {
 	Addr           string
 	Checkpoint     string
+	Shards         string
 	Level          string
 	MaxTopK        int
 	MaxInflight    int
@@ -55,18 +69,31 @@ func validate(o options) (frugal.ServeLevel, frugal.IndexKind, error) {
 	if kind != frugal.IndexIVF && (o.Centroids > 0 || o.NProbe > 0) {
 		return fail(fmt.Errorf("-centroids/-nprobe need -index=ivf (got -index=%s)", kind))
 	}
-	if o.Checkpoint == "" {
-		return fail(fmt.Errorf("-checkpoint is required (train one with frugal-train -checkpoint-out)"))
+	if o.Checkpoint == "" && o.Shards == "" {
+		return fail(fmt.Errorf("-checkpoint or -shards is required (train a checkpoint with frugal-train -checkpoint-out, or start frugal-shard nodes)"))
 	}
-	stat := o.statFile
-	if stat == nil {
-		stat = func(path string) error {
-			_, err := os.Stat(path)
-			return err
+	if o.Checkpoint != "" && o.Shards != "" {
+		return fail(fmt.Errorf("-checkpoint and -shards are mutually exclusive (one slab per server)"))
+	}
+	if o.Shards != "" {
+		if len(splitAddrs(o.Shards)) == 0 {
+			return fail(fmt.Errorf("-shards lists no addresses (got %q)", o.Shards))
+		}
+		if kind == frugal.IndexIVF {
+			return fail(fmt.Errorf("-index=ivf needs an in-process slab (-checkpoint); sharded servers scan per shard"))
 		}
 	}
-	if err := stat(o.Checkpoint); err != nil {
-		return fail(fmt.Errorf("-checkpoint: %w", err))
+	if o.Checkpoint != "" {
+		stat := o.statFile
+		if stat == nil {
+			stat = func(path string) error {
+				_, err := os.Stat(path)
+				return err
+			}
+		}
+		if err := stat(o.Checkpoint); err != nil {
+			return fail(fmt.Errorf("-checkpoint: %w", err))
+		}
 	}
 	if o.MaxTopK < 1 {
 		return fail(fmt.Errorf("-max-topk must be at least 1 (got %d)", o.MaxTopK))

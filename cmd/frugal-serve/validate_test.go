@@ -32,6 +32,8 @@ func TestValidateAccepts(t *testing.T) {
 		func(o *options) { o.Index = "ivf" },
 		func(o *options) { o.Index = "ivf"; o.Centroids = 512; o.NProbe = 8 },
 		func(o *options) { o.Index = "flat" },
+		func(o *options) { o.Checkpoint = ""; o.Shards = "127.0.0.1:7101,127.0.0.1:7102" },
+		func(o *options) { o.Checkpoint = ""; o.Shards = "h:1"; o.LoadGen = time.Second },
 	}
 	for i, mod := range cases {
 		o := good()
@@ -52,6 +54,9 @@ func TestValidateRejects(t *testing.T) {
 		{"negative bound", func(o *options) { o.Level = "bounded(-1)" }, "-level"},
 		{"garbage bound", func(o *options) { o.Level = "bounded(x)" }, "-level"},
 		{"no checkpoint", func(o *options) { o.Checkpoint = "" }, "-checkpoint"},
+		{"checkpoint and shards", func(o *options) { o.Shards = "h:1" }, "mutually exclusive"},
+		{"blank shards list", func(o *options) { o.Checkpoint = ""; o.Shards = " , " }, "-shards"},
+		{"ivf over shards", func(o *options) { o.Checkpoint = ""; o.Shards = "h:1"; o.Index = "ivf" }, "-index=ivf"},
 		{"stat failure", func(o *options) { o.statFile = func(string) error { return os.ErrNotExist } }, "-checkpoint"},
 		{"bad max-topk", func(o *options) { o.MaxTopK = 0 }, "-max-topk"},
 		{"negative loadgen", func(o *options) { o.LoadGen = -time.Second }, "-loadgen"},

@@ -118,6 +118,13 @@ type Config struct {
 	// blocked by it). Use it for progress bars, loss curves, or feeding
 	// an external metrics pipeline.
 	OnStep func(StepStats)
+	// Slab overrides the job's parameter slab with an external row store —
+	// typically DialShardSlab over uncoordinated frugal-shard nodes, which
+	// places the embedding table on the store tier instead of in-process
+	// host memory. The workload's Rows/Dim must match the slab's shape;
+	// the slab owns initialisation (Seed does not re-init it), and
+	// OptimizerAdagrad is rejected (the accumulator is host-memory state).
+	Slab RowStore
 	// Observability enables the runtime metrics registry and step-event
 	// tracer (see TrainingJob.Snapshot and TrainingJob.WriteTrace). The
 	// zero value keeps every instrumentation point a no-op.
@@ -210,6 +217,11 @@ type Recovery = p2f.Recovery
 // RecoveryStats is the fault/recovery accounting in Result.Recovery.
 type RecoveryStats = runtime.RecoveryStats
 
+// RowStore is the parameter-slab surface a training job reads and writes
+// (Config.Slab). The default is the job's own in-process host slab;
+// DialShardSlab builds one over remote frugal-shard nodes.
+type RowStore = runtime.RowStore
+
 // Optimizer selects the embedding optimizer.
 type Optimizer = runtime.Optimizer
 
@@ -238,6 +250,7 @@ func (c Config) runtimeConfig() runtime.Config {
 		Seed:             c.Seed,
 		OnStep:           c.OnStep,
 		Recovery:         c.Recovery,
+		Slab:             c.Slab,
 	}
 	if !c.FaultPlan.Empty() {
 		// Each build gets a fresh injector: the injector is stateful (it
@@ -323,18 +336,34 @@ func (j *TrainingJob) Snapshot() Snapshot { return j.job.Snapshot() }
 func (j *TrainingJob) WriteTrace(w io.Writer) error { return j.job.WriteTrace(w) }
 
 // HostRow returns a copy of one embedding row from host memory (for
-// inspection after training).
-func (j *TrainingJob) HostRow(key uint64) []float32 { return j.job.Host().Snapshot(key) }
+// inspection after training). It is nil under a Config.Slab override —
+// read the external store instead.
+func (j *TrainingJob) HostRow(key uint64) []float32 {
+	if j.job.Host() == nil {
+		return nil
+	}
+	return j.job.Host().Snapshot(key)
+}
 
 // SaveCheckpoint writes the embedding table (and optimizer state, when
 // Adagrad is in use) to w. Call after Run returns — the P²F epilogue has
 // drained every pending update into host memory by then.
-func (j *TrainingJob) SaveCheckpoint(w io.Writer) error { return j.job.Host().Save(w) }
+func (j *TrainingJob) SaveCheckpoint(w io.Writer) error {
+	if j.job.Host() == nil {
+		return fmt.Errorf("frugal: checkpoints need the job's own host slab (Config.Slab is set)")
+	}
+	return j.job.Host().Save(w)
+}
 
 // RestoreCheckpoint loads an embedding table saved by SaveCheckpoint,
 // warm-starting the job. Call before Run. The checkpoint's shape (rows ×
 // dim) must match the job's.
-func (j *TrainingJob) RestoreCheckpoint(r io.Reader) error { return j.job.Host().Load(r) }
+func (j *TrainingJob) RestoreCheckpoint(r io.Reader) error {
+	if j.job.Host() == nil {
+		return fmt.Errorf("frugal: checkpoints need the job's own host slab (Config.Slab is set)")
+	}
+	return j.job.Host().Load(r)
+}
 
 // RECOptions configures a recommendation (DLRM) job.
 type RECOptions struct {

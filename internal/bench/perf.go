@@ -19,6 +19,8 @@ import (
 	"frugal/internal/runtime"
 	"frugal/internal/serve"
 	"frugal/internal/serve/loadgen"
+	"frugal/internal/shard"
+	"frugal/internal/store"
 	"frugal/internal/tensor"
 )
 
@@ -40,6 +42,12 @@ type PerfBench struct {
 	// exhaustive scan); zero for pure latency rows. Unlike ns/op it is
 	// deterministic — fixed seed, fixed query set — so CI gates on it.
 	Recall float64 `json:"recall,omitempty"`
+	// Speedup is the throughput ratio of scaling rows (multi-shard gather
+	// against single-shard). It is a wall-clock figure, but as a ratio of
+	// two measurements from the same run it cancels machine speed — what
+	// it cannot cancel is core count, so ComparePerf gates on it only on
+	// machines with enough CPUs to express the fan-out parallelism.
+	Speedup float64 `json:"speedup,omitempty"`
 }
 
 // PerfReport is the serialised baseline. GitSHA is supplied by the caller
@@ -80,6 +88,8 @@ func perfSuite() []perfEntry {
 		{"serve/lookup-zipf", "", benchServeLookup},
 		{"serve/topk-16", "", benchServeTopK},
 		{"serve/topk-ivf-16", "", benchServeTopKIVF},
+		{"store/gather-1shard", "", benchShardGather(1)},
+		{"store/gather-3shard", "", benchShardGather(3)},
 		{"steploop/frugal-sgd-g1", stepIters, benchStepLoop(runtime.Config{Engine: runtime.EngineFrugal})},
 		{"steploop/frugal-adagrad-g1", stepIters, benchStepLoop(runtime.Config{Engine: runtime.EngineFrugal, Optimizer: runtime.OptAdagrad})},
 		{"steploop/frugal-sync-g1", stepIters, benchStepLoop(runtime.Config{Engine: runtime.EngineFrugalSync})},
@@ -379,6 +389,89 @@ func ivfRecallRow() PerfBench {
 	}
 }
 
+// The shard gather rows measure one 4096-row batched gather through the
+// full wire stack — sharded-store fan-out, framing, codec, loopback TCP,
+// node-side slab reads — at 1 and 3 shards. The pair quantifies what the
+// sharded deployment costs (protocol overhead vs the in-process slab)
+// and what it buys (per-shard batches decode and read in parallel, so
+// with cores to run them the 3-shard gather approaches a 3× cut in
+// wall-clock per batch). RunPerf derives store/gather-speedup-3shard
+// from the two rows.
+const (
+	shardBenchRows  = 30_000
+	shardBenchDim   = 64
+	shardBenchBatch = 4096
+)
+
+// benchShardGather builds an `of`-shard loopback cluster of
+// uncoordinated nodes and measures one full batched gather per op.
+func benchShardGather(of int) func(b *testing.B) {
+	return func(b *testing.B) {
+		shards := make([]store.Store, of)
+		for i := 0; i < of; i++ {
+			node, err := shard.NewNode(shard.NodeOptions{
+				Rows: shardBenchRows, Dim: shardBenchDim, Shard: i, Of: of,
+				Uncoordinated: true,
+				Init: func(key uint64, row []float32) {
+					for j := range row {
+						row[j] = float32(key) + float32(j)
+					}
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { node.Close() })
+			srv, err := shard.NewServer("127.0.0.1:0", node)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { srv.Close() })
+			rs, err := shard.Dial(srv.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			shards[i] = rs
+		}
+		st, err := store.NewSharded(shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { st.Close() })
+
+		keys := make([]uint64, shardBenchBatch)
+		for i := range keys {
+			keys[i] = uint64(i*7) % shardBenchRows
+		}
+		dst := make([]float32, shardBenchBatch*shardBenchDim)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.Gather(keys, dst, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// shardSpeedupRow derives the 3-shard gather scaling ratio from the two
+// measured rows.
+func shardSpeedupRow(benchmarks []PerfBench) (PerfBench, bool) {
+	var single, multi float64
+	for _, pb := range benchmarks {
+		switch pb.Name {
+		case "store/gather-1shard":
+			single = pb.NsPerOp
+		case "store/gather-3shard":
+			multi = pb.NsPerOp
+		}
+	}
+	if single <= 0 || multi <= 0 {
+		return PerfBench{}, false
+	}
+	return PerfBench{Name: "store/gather-speedup-3shard", Speedup: single / multi}, true
+}
+
 // benchStepLoop measures one global training step of the microbenchmark
 // workload — the same shape as internal/runtime's BenchmarkStepLoop, so
 // `go test -bench StepLoop ./internal/runtime` reproduces these rows.
@@ -448,6 +541,9 @@ func RunPerf(quick bool) PerfReport {
 		})
 	}
 	rep.Benchmarks = append(rep.Benchmarks, ivfRecallRow(), loadgenRow(quick), openLoopRow(quick))
+	if row, ok := shardSpeedupRow(rep.Benchmarks); ok {
+		rep.Benchmarks = append(rep.Benchmarks, row)
+	}
 	return rep
 }
 
@@ -521,6 +617,17 @@ func ReadPerf(r io.Reader) (PerfReport, error) {
 // figure below it fails the comparison, regardless of the baseline.
 const recallFloor = 0.95
 
+// speedupFloor is the multi-shard gather scaling gate: 3 shards must
+// deliver at least this ratio over 1 shard. A parallel fan-out can only
+// beat the single shard when there are cores to run the per-shard work
+// on, so the gate applies from speedupMinCPUs up; below that the ratio
+// is recorded and reported as a note (on a 1-CPU machine the 3-shard
+// path is strictly extra framing with zero parallelism to pay for it).
+const (
+	speedupFloor   = 2.5
+	speedupMinCPUs = 4
+)
+
 // ComparePerf diffs current against a baseline. Allocation regressions
 // and recall rows under recallFloor are hard failures (both are
 // deterministic for this suite); ns/op moves are advisory notes, since
@@ -552,6 +659,19 @@ func ComparePerf(current, baseline PerfReport) (failures, notes []string) {
 			failures = append(failures, fmt.Sprintf(
 				"%s: recall %.4f under the %.2f floor (baseline %.4f)",
 				cur.Name, cur.Recall, recallFloor, b.Recall))
+		}
+		// The scaling gate applies only where the machine can express the
+		// parallelism the ratio measures.
+		if cur.Speedup > 0 || b.Speedup > 0 {
+			if current.NumCPU >= speedupMinCPUs && cur.Speedup < speedupFloor {
+				failures = append(failures, fmt.Sprintf(
+					"%s: speedup %.2fx under the %.1fx floor on %d CPUs (baseline %.2fx)",
+					cur.Name, cur.Speedup, speedupFloor, current.NumCPU, b.Speedup))
+			} else if current.NumCPU < speedupMinCPUs {
+				notes = append(notes, fmt.Sprintf(
+					"%s: %.2fx recorded on %d CPUs — gate needs ≥%d (advisory)",
+					cur.Name, cur.Speedup, current.NumCPU, speedupMinCPUs))
+			}
 		}
 		if b.NsPerOp > 0 {
 			ratio := cur.NsPerOp / b.NsPerOp

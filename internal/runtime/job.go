@@ -93,6 +93,14 @@ type Config struct {
 	// respawn budget/backoff, and the gate watchdog's degrade timeout.
 	// The zero value enables it with defaults. EngineFrugal only.
 	Recovery p2f.Recovery
+	// Slab, when set, overrides the job's parameter slab with an external
+	// row store — e.g. store.TrainSlab over a sharded deployment — and the
+	// step loop reads and writes it instead of allocating host memory.
+	// Rows/Dim must match the store's shape. The store owns initialisation
+	// (Seed-based init is skipped), Host() returns nil (no checkpoints),
+	// and OptAdagrad is rejected (the optimizer accumulator is host-memory
+	// state the RowStore surface does not read back).
+	Slab RowStore
 }
 
 // StepStats is the per-step progress report delivered to Config.OnStep.
@@ -244,8 +252,11 @@ type RecoveryStats struct {
 
 // Job is a configured training run over a generic payload stream.
 type Job struct {
-	cfg     Config
-	host    *Host
+	cfg Config
+	// slab is the parameter store the step loop reads and writes — the
+	// job's own *Host unless Config.Slab overrode it.
+	slab    RowStore
+	host    *Host // job-owned host slab; nil under a Config.Slab override
 	caches  []*cache.Cache
 	ctrl    *p2f.Controller
 	trace   *data.PayloadTrace[stepPayload]
@@ -307,21 +318,39 @@ func newJob(cfg Config, steps int64, samplesPerStep int,
 	if steps <= 0 {
 		return nil, errors.New("runtime: steps must be positive")
 	}
-	host, err := NewHost(cfg.Rows, cfg.Dim)
-	if err != nil {
-		return nil, err
+	var (
+		host *Host
+		slab RowStore
+	)
+	if cfg.Slab != nil {
+		if cfg.Optimizer == OptAdagrad {
+			return nil, errors.New("runtime: OptAdagrad requires the job's own host slab (Config.Slab is set)")
+		}
+		if cfg.Slab.Rows() != cfg.Rows || cfg.Slab.Dim() != cfg.Dim {
+			return nil, fmt.Errorf("runtime: Config.Slab shape %dx%d, want Rows=%d Dim=%d",
+				cfg.Slab.Rows(), cfg.Slab.Dim(), cfg.Rows, cfg.Dim)
+		}
+		slab = cfg.Slab
+	} else {
+		var err error
+		host, err = NewHost(cfg.Rows, cfg.Dim)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		// Embedding rows use the standard 1/√dim uniform init (independent of
+		// table height — Xavier over the row count would vanish for large
+		// tables and stall multiplicative KG scorers).
+		bound := float32(1 / math.Sqrt(float64(cfg.Dim)))
+		host.Init(func(_ uint64, row []float32) {
+			tensor.UniformInit(rng, row, bound)
+		})
+		slab = host
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	// Embedding rows use the standard 1/√dim uniform init (independent of
-	// table height — Xavier over the row count would vanish for large
-	// tables and stall multiplicative KG scorers).
-	bound := float32(1 / math.Sqrt(float64(cfg.Dim)))
-	host.Init(func(_ uint64, row []float32) {
-		tensor.UniformInit(rng, row, bound)
-	})
 
 	j := &Job{
 		cfg:      cfg,
+		slab:     slab,
 		host:     host,
 		rowPool:  newRowPool(cfg.Dim),
 		trace:    data.NewPayloadTrace(gen),
@@ -335,7 +364,7 @@ func newJob(cfg Config, steps int64, samplesPerStep int,
 		tracer:   cfg.Observer.TraceSink(),
 		pending:  make(map[int64]stepAgg),
 	}
-	if cfg.Faults != nil {
+	if cfg.Faults != nil && host != nil {
 		faultObs := j.faultObs
 		host.SetWriteFault(func() bool {
 			if !cfg.Faults.HostWriteFail() {
@@ -371,7 +400,7 @@ func newJob(cfg Config, steps int64, samplesPerStep int,
 			Faults:           cfg.Faults,
 			Recovery:         cfg.Recovery,
 			Sink: p2f.FlushSinkFunc(func(key uint64, updates []pq.Update) {
-				host.ApplyUpdates(key, updates)
+				slab.ApplyUpdates(key, updates)
 				// The gate guarantees no reader still needs these deltas
 				// once they are applied; recycle them for future commits.
 				j.rowPool.PutUpdates(updates)
@@ -386,8 +415,14 @@ func newJob(cfg Config, steps int64, samplesPerStep int,
 	return j, nil
 }
 
-// Host exposes the parameter slab (tests, examples).
+// Host exposes the job-owned parameter slab (tests, examples,
+// checkpoints). It is nil when Config.Slab overrode the slab with an
+// external store — use Slab then.
 func (j *Job) Host() *Host { return j.host }
+
+// Slab exposes the parameter store the step loop trains against: the
+// job's own host slab, or the Config.Slab override.
+func (j *Job) Slab() RowStore { return j.slab }
 
 // Controller exposes the P²F controller, or nil for non-Frugal engines.
 func (j *Job) Controller() *p2f.Controller { return j.ctrl }
@@ -449,7 +484,7 @@ func (j *Job) RunContext(ctx context.Context) (Result, error) {
 		res.Recovery.DegradedStep = rs.DegradedStep
 	}
 	res.Recovery.FaultsInjected = j.cfg.Faults.Stats().Injected
-	res.Recovery.HostWriteRetries = j.host.WriteRetries()
+	res.Recovery.HostWriteRetries = j.slab.WriteRetries()
 	j.mu.Lock()
 	completed := j.completed
 	j.mu.Unlock()

@@ -1,0 +1,40 @@
+package runtime
+
+import "frugal/internal/pq"
+
+// RowStore is the slab surface the training step loop reads and writes.
+// *Host is the canonical implementation (in-process host memory); an
+// external implementation — e.g. an adapter over a sharded remote store —
+// lets the same step loop train against a table that lives elsewhere, via
+// Config.Slab.
+//
+// The contract matches *Host exactly:
+//
+//   - ReadRowDirect is the unlocked fast read, safe only while the gate
+//     (or the step barriers) guarantees no concurrent writer for the key.
+//   - ReadRowLocked takes the row's lock stripe; ReadRow additionally
+//     returns the row's version counter.
+//   - Version is monotone per key and bumps by one per applied update.
+//   - OptState returns the row's optimizer accumulator (0 when the store
+//     keeps none).
+//   - ApplyDelta adds delta (and stateDelta to the accumulator) under the
+//     row lock and bumps the version once; ApplyUpdates applies a batch to
+//     one key under a single lock acquisition, bumping once per update.
+//     Neither may retain the delta slices.
+//   - WriteRetries counts transient host-write failures retried (0 for
+//     stores without fault injection).
+type RowStore interface {
+	Rows() int64
+	Dim() int
+	ReadRow(key uint64, dst []float32) uint64
+	ReadRowDirect(key uint64, dst []float32)
+	ReadRowLocked(key uint64, dst []float32)
+	Version(key uint64) uint64
+	OptState(key uint64) float32
+	ApplyDelta(key uint64, delta []float32, stateDelta float32)
+	ApplyUpdates(key uint64, updates []pq.Update)
+	WriteRetries() int64
+}
+
+// *Host is the canonical RowStore.
+var _ RowStore = (*Host)(nil)

@@ -195,11 +195,11 @@ func (j *Job) gather(ws *workerState, keys []uint64) {
 			continue
 		}
 		if adagrad {
-			s.state = j.host.OptState(k)
+			s.state = j.slab.OptState(k)
 		}
 		switch j.cfg.Engine {
 		case EngineDirect, EngineAsync:
-			j.host.ReadRowLocked(k, ws.scratch[i])
+			j.slab.ReadRowLocked(k, ws.scratch[i])
 			s.row = ws.scratch[i]
 		case EngineFrugalSync:
 			j.gatherCached(ws, s, i, k, true)
@@ -223,30 +223,38 @@ func (j *Job) gather(ws *workerState, keys []uint64) {
 // pinned by this step's earlier keys does the access fall back to the
 // worker's private scratch row.
 func (j *Job) gatherCached(ws *workerState, s *ktSlot, i int, k uint64, locked bool) {
-	read := j.host.ReadRowDirect
-	if locked {
-		read = j.host.ReadRowLocked
-	}
 	if comm.Owner(k, j.cfg.NumGPUs) != ws.id {
-		read(k, ws.scratch[i])
+		j.readRow(k, ws.scratch[i], locked)
 		s.row = ws.scratch[i]
 		return
 	}
 	c := j.caches[ws.id]
-	ver := j.host.Version(k)
+	ver := j.slab.Version(k)
 	s.ver = ver
 	if row, hit := c.Lookup(k, ver); hit {
 		s.row = row
 		return
 	}
 	if dst, _, _ := c.Insert(k, ver); dst != nil {
-		read(k, dst)
+		j.readRow(k, dst, locked)
 		s.row = dst
 		return
 	}
 	// Whole set pinned by this step's gathers: bypass the cache.
-	read(k, ws.scratch[i])
+	j.readRow(k, ws.scratch[i], locked)
 	s.row = ws.scratch[i]
+}
+
+// readRow is the gather read: direct (unlocked, gate-protected) by
+// default, locked for the write-through engine. Explicit branches rather
+// than a method value — bound methods of an interface-typed slab would
+// allocate a closure per call in the 0-alloc step path.
+func (j *Job) readRow(k uint64, dst []float32, locked bool) {
+	if locked {
+		j.slab.ReadRowLocked(k, dst)
+	} else {
+		j.slab.ReadRowDirect(k, dst)
+	}
 }
 
 // commit aggregates the per-occurrence gradients into one per-key
@@ -280,7 +288,7 @@ func (j *Job) commit(ws *workerState, step int64, keys []uint64) {
 	case EngineDirect, EngineAsync:
 		for _, s := range ws.dirty {
 			d, dG := j.optimize(s)
-			j.host.ApplyDelta(s.key, d, dG)
+			j.slab.ApplyDelta(s.key, d, dG)
 			j.rowPool.Put(s.delta)
 			s.delta = nil
 		}
@@ -290,7 +298,7 @@ func (j *Job) commit(ws *workerState, step int64, keys []uint64) {
 		for _, s := range ws.dirty {
 			d, dG := j.optimize(s)
 			j.applyLocal(ws, s.key, d, s.ver)
-			j.host.ApplyDelta(s.key, d, dG)
+			j.slab.ApplyDelta(s.key, d, dG)
 			j.rowPool.Put(s.delta)
 			s.delta = nil
 		}

@@ -182,13 +182,14 @@ func TestEngineShedsUnderHeldCapacity(t *testing.T) {
 	}
 
 	dst := make([]float32, 4)
-	_, err = eng.Lookup(3, dst, Stale())
+	_, err = eng.Query(context.Background(), Request{Key: 3, Dst: dst, Level: Stale()})
 	var shed *ErrShed
 	if !errors.As(err, &shed) {
-		t.Fatalf("Lookup under held capacity = %v, want *ErrShed", err)
+		t.Fatalf("lookup under held capacity = %v, want *ErrShed", err)
 	}
-	if _, err := eng.TopK([]float32{1, 0, 0, 0}, 3, Stale()); !errors.As(err, &shed) {
-		t.Fatalf("TopK under held capacity = %v, want *ErrShed", err)
+	_, err = eng.Query(context.Background(), Request{Vector: []float32{1, 0, 0, 0}, K: 3, Level: Stale()})
+	if !errors.As(err, &shed) {
+		t.Fatalf("topK under held capacity = %v, want *ErrShed", err)
 	}
 
 	srv := httptest.NewServer(eng.Handler())
@@ -210,8 +211,8 @@ func TestEngineShedsUnderHeldCapacity(t *testing.T) {
 
 	// Release the pool: service resumes, nothing was queued behind it.
 	eng.adm.Release(8)
-	if _, err := eng.Lookup(3, dst, Stale()); err != nil {
-		t.Fatalf("Lookup after release: %v", err)
+	if _, err := eng.Query(context.Background(), Request{Key: 3, Dst: dst, Level: Stale()}); err != nil {
+		t.Fatalf("lookup after release: %v", err)
 	}
 	if got := eng.Inflight(); got != 0 {
 		t.Fatalf("Inflight after drain = %d, want 0", got)
@@ -227,11 +228,11 @@ func TestEngineCanceledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	dst := make([]float32, 4)
-	if _, err := eng.LookupCtx(ctx, 3, dst, Stale()); !errors.Is(err, context.Canceled) {
-		t.Fatalf("LookupCtx(canceled) = %v, want context.Canceled", err)
+	if _, err := eng.Query(ctx, Request{Key: 3, Dst: dst, Level: Stale()}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("lookup on canceled ctx = %v, want context.Canceled", err)
 	}
-	if _, err := eng.TopKCtx(ctx, []float32{1, 0, 0, 0}, 3, Stale()); !errors.Is(err, context.Canceled) {
-		t.Fatalf("TopKCtx(canceled) = %v, want context.Canceled", err)
+	if _, err := eng.Query(ctx, Request{Vector: []float32{1, 0, 0, 0}, K: 3, Level: Stale()}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("topK on canceled ctx = %v, want context.Canceled", err)
 	}
 	if m := eng.Metrics(); m.Canceled < 2 {
 		t.Fatalf("canceled counter = %d, want ≥ 2", m.Canceled)
@@ -251,13 +252,14 @@ func TestAdmittedLookupAllocationFree(t *testing.T) {
 		t.Fatal(err)
 	}
 	dst := make([]float32, 16)
+	ctx := context.Background()
 	allocs := testing.AllocsPerRun(200, func() {
-		if _, err := eng.Lookup(42, dst, Stale()); err != nil {
+		if _, err := eng.Query(ctx, Request{Key: 42, Dst: dst, Level: Stale()}); err != nil {
 			t.Fatal(err)
 		}
 	})
 	if allocs != 0 {
-		t.Errorf("admitted Lookup allocates %.1f/op, want 0", allocs)
+		t.Errorf("admitted lookup allocates %.1f/op, want 0", allocs)
 	}
 }
 

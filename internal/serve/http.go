@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"frugal/internal/obs"
+	"frugal/internal/store"
 )
 
 // Handler returns the engine's HTTP mux. The API is versioned under /v1;
@@ -27,24 +30,52 @@ import (
 // envelope {"error","code","retry_after_ms"}, so clients can distinguish
 // machine-actionable rejections by code:
 //
-//	bad_request  (400) malformed parameters — do not retry
-//	shed         (429) admission control refused — back off retry_after_ms
-//	deadline     (503) the request outlived its deadline — retry
-//	too_stale    (503) bounded read refused under RejectStale — retry
-//	             after the flusher pool catches up
+//	bad_request        (400) malformed parameters — do not retry
+//	shed               (429) admission control refused — back off retry_after_ms
+//	deadline           (503) the request outlived its deadline — retry
+//	too_stale          (503) bounded read refused under RejectStale — retry
+//	                   after the flusher pool catches up
+//	shard_unavailable  (503) a shard RPC failed (node down, connection
+//	                   lost) — retry once the shard recovers
 //
 // The 429/503 responses also carry the matching Retry-After header.
+//
+// The unversioned routes are deprecated: they answer with a
+// `Deprecation: true` and `Sunset` header, log one warning on first use,
+// and will be removed after the sunset date. Migrate to /v1/*.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
-	for _, p := range []string{"/v1/lookup", "/lookup"} {
-		mux.HandleFunc(p, e.handleLookup)
-	}
-	for _, p := range []string{"/v1/topk", "/topk"} {
-		mux.HandleFunc(p, e.handleTopK)
-	}
+	mux.HandleFunc("/v1/lookup", e.handleLookup)
+	mux.HandleFunc("/lookup", deprecatedRoute("/lookup", "/v1/lookup", e.handleLookup))
+	mux.HandleFunc("/v1/topk", e.handleTopK)
+	mux.HandleFunc("/topk", deprecatedRoute("/topk", "/v1/topk", e.handleTopK))
 	mux.HandleFunc("/healthz", e.handleHealthz)
 	mux.Handle("/debug/vars", obs.MetricsHandler("frugal_serve", func() any { return e.Metrics() }))
 	return mux
+}
+
+// legacySunset is the advertised removal date of the unversioned routes
+// (RFC 8594 Sunset header, HTTP-date form).
+const legacySunset = "Sun, 01 Nov 2026 00:00:00 GMT"
+
+// legacyRouteWarn collapses the startup warning to one line per route per
+// process, however many engines are handling traffic.
+var legacyRouteWarn sync.Map // route string → *sync.Once
+
+// deprecatedRoute wraps a handler so the legacy unversioned alias keeps
+// working while telling clients — by header on every response, by log
+// once per process — to move to the /v1 route.
+func deprecatedRoute(oldPath, newPath string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Sunset", legacySunset)
+		w.Header().Set("Link", "<"+newPath+">; rel=\"successor-version\"")
+		once, _ := legacyRouteWarn.LoadOrStore(oldPath, &sync.Once{})
+		once.(*sync.Once).Do(func() {
+			log.Printf("serve: deprecated route %s hit — migrate to %s (sunset %s)", oldPath, newPath, legacySunset)
+		})
+		h(w, r)
+	}
 }
 
 type lookupResponse struct {
@@ -81,10 +112,11 @@ type errorResponse struct {
 
 // The machine-readable error codes of the v1 envelope.
 const (
-	codeBadRequest = "bad_request"
-	codeShed       = "shed"
-	codeDeadline   = "deadline"
-	codeTooStale   = "too_stale"
+	codeBadRequest       = "bad_request"
+	codeShed             = "shed"
+	codeDeadline         = "deadline"
+	codeTooStale         = "too_stale"
+	codeShardUnavailable = "shard_unavailable"
 )
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -98,6 +130,7 @@ func writeError(w http.ResponseWriter, err error) {
 	resp := errorResponse{Error: err.Error(), Code: codeBadRequest}
 	var stale *ErrTooStale
 	var shed *ErrShed
+	var shardDown *store.ShardUnavailableError
 	switch {
 	case errors.As(err, &shed):
 		// Overload: the client must back off, not retry immediately.
@@ -111,6 +144,10 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.As(err, &stale):
 		status = http.StatusServiceUnavailable // retryable: the flusher pool will catch up
 		resp.Code = codeTooStale
+		resp.RetryAfterMS = retryAfterMS(time.Second)
+	case errors.As(err, &shardDown):
+		status = http.StatusServiceUnavailable // retryable: the shard may come back
+		resp.Code = codeShardUnavailable
 		resp.RetryAfterMS = retryAfterMS(time.Second)
 	}
 	if resp.RetryAfterMS > 0 {
@@ -248,5 +285,6 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"live":   e.Live(),
 		"level":  e.DefaultLevel().String(),
 		"index":  e.IndexStats(),
+		"shards": e.NumShards(),
 	})
 }

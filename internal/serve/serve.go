@@ -43,6 +43,7 @@ import (
 	"frugal/internal/obs"
 	"frugal/internal/p2f"
 	"frugal/internal/runtime"
+	"frugal/internal/store"
 	"frugal/internal/tensor"
 )
 
@@ -281,16 +282,24 @@ type topkScratch struct {
 	probes []int
 }
 
-// Engine serves reads from one host slab. Safe for concurrent use by any
-// number of goroutines, concurrently with a training job writing the slab.
+// Engine serves reads from one parameter store — the in-process slab of
+// a training job or checkpoint (LocalStore), or a sharded remote table
+// composed behind the same interface. Safe for concurrent use by any
+// number of goroutines, concurrently with trainers writing the store.
 type Engine struct {
-	host   *runtime.Host
-	ctrl   *p2f.Controller // nil: no P²F lag to coordinate with
-	opt    Options
-	static bool // no live writers: top-K may scan the slab unlocked
-	sobs   *obs.ServeObs
-	adm    *admission // nil: admission control disabled
-	idx    *ivfIndex  // nil: flat scans only
+	st store.Store
+	// host is the underlying slab when the store is slab-backed (every
+	// local store), nil for remote/sharded stores. It gates the fast
+	// paths: the allocation-free locked row read, the batched flat top-K
+	// scan, and the IVF index. Remote stores answer top-K through
+	// store.Store.TopK (per-shard scan + merge) instead.
+	host        *runtime.Host
+	coordinated bool // the store has a P²F gate (watermark is meaningful)
+	opt         Options
+	static      bool // no live writers: top-K may scan the slab unlocked
+	sobs        *obs.ServeObs
+	adm         *admission // nil: admission control disabled
+	idx         *ivfIndex  // nil: flat scans only
 
 	scratch sync.Pool // *topkScratch
 }
@@ -300,29 +309,57 @@ type Engine struct {
 // frugal-sync), whose host copy never lags — every level is then trivially
 // fresh.
 func New(host *runtime.Host, ctrl *p2f.Controller, opt Options) (*Engine, error) {
-	return newEngine(host, ctrl, opt, false)
+	if host == nil {
+		return nil, fmt.Errorf("serve: nil host")
+	}
+	st, err := store.NewLocal(host, ctrl)
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(st, opt, false)
 }
 
 // NewStatic builds an engine over a quiescent slab — a loaded checkpoint,
 // or a finished job. Top-K scans then use the unlocked batched kernel.
 func NewStatic(host *runtime.Host, opt Options) (*Engine, error) {
-	return newEngine(host, nil, opt, true)
-}
-
-func newEngine(host *runtime.Host, ctrl *p2f.Controller, opt Options, static bool) (*Engine, error) {
 	if host == nil {
 		return nil, fmt.Errorf("serve: nil host")
 	}
+	st, err := store.NewLocal(host, nil)
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(st, opt, true)
+}
+
+// NewFromStore builds an engine over any parameter store — including a
+// sharded remote table. The store is assumed live (trainers may be
+// writing); remote top-K queries fan out per shard through the store.
+func NewFromStore(st store.Store, opt Options) (*Engine, error) {
+	if st == nil {
+		return nil, fmt.Errorf("serve: nil store")
+	}
+	return newEngine(st, opt, false)
+}
+
+func newEngine(st store.Store, opt Options, static bool) (*Engine, error) {
 	if err := opt.normalize(); err != nil {
 		return nil, err
 	}
-	e := &Engine{host: host, ctrl: ctrl, opt: opt, static: static, sobs: obs.NewServeObs(opt.Shards)}
+	e := &Engine{st: st, coordinated: st.Coordinated(), opt: opt, static: static, sobs: obs.NewServeObs(opt.Shards)}
+	if sb, ok := st.(interface{ Host() *runtime.Host }); ok {
+		e.host = sb.Host()
+	}
 	if opt.MaxInflight > 0 {
 		e.adm = newAdmission(int64(opt.MaxInflight), opt.AdmitWait, opt.MaxWaiters)
 	}
-	dim := host.Dim()
+	dim := st.Dim()
 	centroids := 0
 	if opt.Index == IndexIVF {
+		host := e.host
+		if host == nil {
+			return nil, fmt.Errorf("serve: the IVF index requires a slab-backed (local) store; sharded stores answer top-K per shard")
+		}
 		centroids = opt.Centroids
 		if centroids == 0 {
 			centroids = 4 * int(math.Sqrt(float64(host.Rows())))
@@ -340,9 +377,13 @@ func newEngine(host *runtime.Host, ctrl *p2f.Controller, opt Options, static boo
 		// a flush landing mid-build enqueues a repair, so nothing the
 		// build misses goes unrecorded. The hook pairs the key with the
 		// watermark current at flush time — the bound repair enforces.
-		if ctrl != nil {
-			ctrl.AddFlushHook(func(key uint64) {
-				idx.markDirty(key, ctrl.Watermark())
+		if e.coordinated {
+			fh, ok := st.(store.FlushHooker)
+			if !ok {
+				return nil, fmt.Errorf("serve: coordinated store %T has no flush feed for the IVF index", st)
+			}
+			fh.AddFlushHook(func(key uint64) {
+				idx.markDirty(key, st.Watermark())
 			})
 		}
 		idx.build(host)
@@ -361,10 +402,19 @@ func newEngine(host *runtime.Host, ctrl *p2f.Controller, opt Options, static boo
 }
 
 // Rows returns the number of servable rows.
-func (e *Engine) Rows() int64 { return e.host.Rows() }
+func (e *Engine) Rows() int64 { return e.st.Rows() }
 
 // Dim returns the embedding dimension.
-func (e *Engine) Dim() int { return e.host.Dim() }
+func (e *Engine) Dim() int { return e.st.Dim() }
+
+// NumShards reports the store's shard count: >1 for sharded stores, 1
+// otherwise.
+func (e *Engine) NumShards() int {
+	if sc, ok := e.st.(store.ShardCounter); ok {
+		return sc.NumShards()
+	}
+	return 1
+}
 
 // Live reports whether the slab may have concurrent writers.
 func (e *Engine) Live() bool { return !e.static }
@@ -484,7 +534,7 @@ func (e *Engine) Query(ctx context.Context, req Request) (Response, error) {
 		}
 		dst := req.Dst
 		if dst == nil {
-			dst = make([]float32, e.host.Dim())
+			dst = make([]float32, e.st.Dim())
 		}
 		meta, err := e.lookup(ctx, req.Key, dst, lvl)
 		if err != nil {
@@ -518,31 +568,16 @@ func (e *Engine) Query(ctx context.Context, req Request) (Response, error) {
 	return Response{Results: out, Level: lvl, Index: kind}, nil
 }
 
-// Lookup copies row `key` into dst at the given level.
-//
-// Deprecated: use Query with the lookup shape ({Key, Dst, Level}).
-func (e *Engine) Lookup(key uint64, dst []float32, lvl Level) (RowMeta, error) {
-	return e.LookupCtx(context.Background(), key, dst, lvl)
-}
-
-// LookupCtx copies row `key` into dst with deadline propagation.
-//
-// Deprecated: use Query with the lookup shape ({Key, Dst, Level}).
-func (e *Engine) LookupCtx(ctx context.Context, key uint64, dst []float32, lvl Level) (RowMeta, error) {
-	resp, err := e.Query(ctx, Request{Key: key, Dst: dst, Level: lvl})
-	return resp.Meta, err
-}
-
 // lookup is the point-read path: copy row `key` into dst (len(dst) ==
 // Dim()) at the given consistency level and report the row's consistency
 // metadata. Allocation-free on the admitted path — the serving hot path.
 func (e *Engine) lookup(ctx context.Context, key uint64, dst []float32, lvl Level) (RowMeta, error) {
 	start := time.Now()
-	if key >= uint64(e.host.Rows()) {
-		return RowMeta{}, fmt.Errorf("serve: key %d out of range (rows %d)", key, e.host.Rows())
+	if key >= uint64(e.st.Rows()) {
+		return RowMeta{}, fmt.Errorf("serve: key %d out of range (rows %d)", key, e.st.Rows())
 	}
-	if len(dst) != e.host.Dim() {
-		return RowMeta{}, fmt.Errorf("serve: dst length %d, want dim %d", len(dst), e.host.Dim())
+	if len(dst) != e.st.Dim() {
+		return RowMeta{}, fmt.Errorf("serve: dst length %d, want dim %d", len(dst), e.st.Dim())
 	}
 	if err := lvl.Validate(); err != nil {
 		return RowMeta{}, err
@@ -563,7 +598,18 @@ func (e *Engine) lookup(ctx context.Context, key uint64, dst []float32, lvl Leve
 	}
 	// The version is read with the copy: everything the consistency
 	// decision guaranteed is in dst, because rows only move forward.
-	meta.Version = e.host.ReadRow(key, dst)
+	// Slab-backed stores read through the host directly — the branch keeps
+	// the hot path identical to the pre-Store engine (no error plumbing).
+	if e.host != nil {
+		meta.Version = e.host.ReadRow(key, dst)
+	} else {
+		v, err := e.st.ReadRow(key, dst)
+		if err != nil {
+			e.sobs.Rejected(int(key))
+			return RowMeta{}, err
+		}
+		meta.Version = v
+	}
 	e.sobs.Lookup(int(key), time.Since(start))
 	return meta, nil
 }
@@ -572,17 +618,22 @@ func (e *Engine) lookup(ctx context.Context, key uint64, dst []float32, lvl Leve
 // metadata (Version is filled by the caller's subsequent read). The
 // watermark is always loaded *before* the row's write set is inspected or
 // flushed, so the guarantee it anchors can only be exceeded, never
-// violated, by the time the row is read.
+// violated, by the time the row is read. On sharded stores the watermark
+// is the cross-shard minimum, which bends the same direction: it can only
+// understate what has committed, never overstate it.
 func (e *Engine) resolve(key uint64, lvl Level) (RowMeta, error) {
-	if e.ctrl == nil {
-		// No P²F lag exists: writes reach host memory at commit time.
+	if !e.coordinated {
+		// No P²F lag exists: writes reach the store at commit time.
 		return RowMeta{Watermark: -1}, nil
 	}
 	switch lvl.Kind {
 	case KindStale:
-		return RowMeta{Watermark: e.ctrl.Watermark(), Staleness: e.staleBound()}, nil
+		return RowMeta{Watermark: e.st.Watermark(), Staleness: e.staleBound()}, nil
 	case KindBounded:
-		lag, wm := e.ctrl.RowStaleness(key)
+		lag, wm, err := e.st.RowStaleness(key)
+		if err != nil {
+			return RowMeta{}, err
+		}
 		if lag <= lvl.Bound {
 			return RowMeta{Watermark: wm, Staleness: lag}, nil
 		}
@@ -592,12 +643,17 @@ func (e *Engine) resolve(key uint64, lvl Level) (RowMeta, error) {
 		// Coalesced: N concurrent readers of one hot stale key trigger one
 		// urgent flush, not N storms on the controller mutex the trainers'
 		// gate depends on.
-		e.ctrl.FlushKeyShared(key)
+		if _, err := e.st.FlushKey(key); err != nil {
+			return RowMeta{}, err
+		}
 		e.sobs.Refreshed(int(key))
 		return RowMeta{Watermark: wm, Staleness: 0, Refreshed: true}, nil
 	default: // KindFresh
-		wm := e.ctrl.Watermark()
-		refreshed := e.ctrl.FlushKeyShared(key)
+		wm := e.st.Watermark()
+		refreshed, err := e.st.FlushKey(key)
+		if err != nil {
+			return RowMeta{}, err
+		}
 		if refreshed {
 			e.sobs.Refreshed(int(key))
 		}
@@ -608,26 +664,10 @@ func (e *Engine) resolve(key uint64, lvl Level) (RowMeta, error) {
 // staleBound is the staleness reported for uncoordinated reads: the row
 // may lag by every step committed so far.
 func (e *Engine) staleBound() int64 {
-	if wm := e.ctrl.Watermark(); wm >= 0 {
+	if wm := e.st.Watermark(); wm >= 0 {
 		return wm + 1
 	}
 	return 0
-}
-
-// TopK returns the k rows with the highest dot-product similarity to
-// query, best first, at the given level.
-//
-// Deprecated: use Query with the top-K shape ({Vector, K, Level}).
-func (e *Engine) TopK(query []float32, k int, lvl Level) ([]Candidate, error) {
-	return e.TopKCtx(context.Background(), query, k, lvl)
-}
-
-// TopKCtx is TopK with deadline propagation.
-//
-// Deprecated: use Query with the top-K shape ({Vector, K, Level}).
-func (e *Engine) TopKCtx(ctx context.Context, query []float32, k int, lvl Level) ([]Candidate, error) {
-	resp, err := e.Query(ctx, Request{Vector: query, K: k, Level: lvl})
-	return resp.Results, err
 }
 
 // topK answers a top-K similarity query (len(query) == Dim(), k in
@@ -649,8 +689,8 @@ func (e *Engine) TopKCtx(ctx context.Context, query []float32, k int, lvl Level)
 // lookup units and may fail with *ErrShed.
 func (e *Engine) topK(ctx context.Context, query []float32, k int, lvl Level, kind IndexKind, nprobe int) ([]Candidate, error) {
 	start := time.Now()
-	if len(query) != e.host.Dim() {
-		return nil, fmt.Errorf("serve: query length %d, want dim %d", len(query), e.host.Dim())
+	if len(query) != e.st.Dim() {
+		return nil, fmt.Errorf("serve: query length %d, want dim %d", len(query), e.st.Dim())
 	}
 	if k < 1 || k > e.opt.MaxTopK {
 		return nil, fmt.Errorf("serve: k must be in [1, %d], got %d", e.opt.MaxTopK, k)
@@ -663,14 +703,23 @@ func (e *Engine) topK(ctx context.Context, query []float32, k int, lvl Level, ki
 		return nil, err
 	}
 	defer e.exit(need)
-	rows := e.host.Rows()
+	rows := e.st.Rows()
 	if int64(k) > rows {
 		k = int(rows)
+	}
+	if e.host == nil {
+		out, err := e.topKRemote(ctx, query, k, lvl)
+		if err != nil {
+			e.sobs.Canceled(k)
+			return nil, err
+		}
+		e.sobs.TopK(k, time.Since(start))
+		return out, nil
 	}
 	sc := e.scratch.Get().(*topkScratch)
 	var heap []Candidate
 	if kind == IndexIVF {
-		if e.ctrl != nil {
+		if e.coordinated {
 			e.repairIndex(lvl)
 		}
 		if nprobe == 0 {
@@ -689,19 +738,24 @@ func (e *Engine) topK(ctx context.Context, query []float32, k int, lvl Level, ki
 	out := make([]Candidate, len(heap))
 	copy(out, heap)
 	sc.heap = heap[:0]
-	if e.ctrl != nil && lvl.Kind != KindStale {
+	if e.coordinated && lvl.Kind != KindStale {
 		for i := range out {
 			if err := ctx.Err(); err != nil {
 				// A rescore may force-flush, the expensive tail of the
-				// query — stop as soon as the client has given up.
+				// query — stop as soon as its client gives up.
 				e.scratch.Put(sc)
 				e.sobs.Canceled(k)
 				return nil, err
 			}
-			out[i] = e.rescore(query, out[i], lvl, sc.row)
+			out[i], err = e.rescore(query, out[i], lvl, sc.row)
+			if err != nil {
+				e.scratch.Put(sc)
+				e.sobs.Rejected(k)
+				return nil, err
+			}
 		}
-	} else if e.ctrl != nil {
-		wm, bound := e.ctrl.Watermark(), e.staleBound()
+	} else if e.coordinated {
+		wm, bound := e.st.Watermark(), e.staleBound()
 		for i := range out {
 			if kind == IndexIVF {
 				// Selection came from the packed partition copies; the
@@ -727,8 +781,56 @@ func (e *Engine) topK(ctx context.Context, query []float32, k int, lvl Level, ki
 		}
 	}
 	e.scratch.Put(sc)
-	// Insertion sort: out is k elements (small), and dodging sort.Slice's
-	// reflection keeps ~1.5µs off a hot path measured in tens of µs.
+	sortCandidates(out)
+	e.sobs.TopK(k, time.Since(start))
+	return out, nil
+}
+
+// topKRemote answers a top-K query through the store: each shard scans
+// the rows it owns and the results merge here. Selection freshness is
+// whatever the shard slabs held at scan time; as on the local path, the
+// consistency level is then enforced per candidate — bounded/fresh
+// winners are refreshed and re-read through the store, so the returned
+// scores meet the level even across the wire.
+func (e *Engine) topKRemote(ctx context.Context, query []float32, k int, lvl Level) ([]Candidate, error) {
+	rs, err := e.st.TopK(ctx, query, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Candidate, len(rs))
+	if !e.coordinated {
+		for i, r := range rs {
+			out[i] = Candidate{Key: r.Key, Score: r.Score, Meta: RowMeta{Version: r.Version, Watermark: -1}}
+		}
+		return out, nil
+	}
+	if lvl.Kind == KindStale {
+		wm, bound := e.st.Watermark(), e.staleBound()
+		for i, r := range rs {
+			out[i] = Candidate{Key: r.Key, Score: r.Score, Meta: RowMeta{Version: r.Version, Watermark: wm, Staleness: bound}}
+		}
+		return out, nil
+	}
+	row := make([]float32, e.st.Dim())
+	for i, r := range rs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c, err := e.rescore(query, Candidate{Key: r.Key, Score: r.Score}, lvl, row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	sortCandidates(out) // rescoring can reorder
+	return out, nil
+}
+
+// sortCandidates orders candidates best first (descending score, ties
+// toward the smaller key). Insertion sort: out is k elements (small), and
+// dodging sort.Slice's reflection keeps ~1.5µs off a hot path measured in
+// tens of µs.
+func sortCandidates(out []Candidate) {
 	for i := 1; i < len(out); i++ {
 		c := out[i]
 		j := i - 1
@@ -737,8 +839,6 @@ func (e *Engine) topK(ctx context.Context, query []float32, k int, lvl Level, ki
 		}
 		out[j+1] = c
 	}
-	e.sobs.TopK(k, time.Since(start))
-	return out, nil
 }
 
 // scanFlat is the exhaustive slab scan: every row scored, chunk by
@@ -780,7 +880,7 @@ func (e *Engine) repairIndex(lvl Level) {
 	case KindStale:
 		e.idx.repair(e.host, math.MinInt64, ivfRepairBudget)
 	case KindBounded:
-		e.idx.repair(e.host, e.ctrl.Watermark()-lvl.Bound, ivfRepairBudget)
+		e.idx.repair(e.host, e.st.Watermark()-lvl.Bound, ivfRepairBudget)
 	default: // KindFresh
 		e.idx.repair(e.host, math.MaxInt64, 0)
 	}
@@ -804,29 +904,46 @@ func (e *Engine) IndexStats() IndexStats {
 }
 
 // rescore enforces the consistency level on one top-K candidate: refresh
-// as needed, then re-read and re-score the row under its stripe lock.
-func (e *Engine) rescore(query []float32, c Candidate, lvl Level, row []float32) Candidate {
+// as needed, then re-read and re-score the row (under its stripe lock
+// locally; one RPC per step remotely).
+func (e *Engine) rescore(query []float32, c Candidate, lvl Level, row []float32) (Candidate, error) {
 	switch lvl.Kind {
 	case KindBounded:
-		lag, wm := e.ctrl.RowStaleness(c.Key)
+		lag, wm, err := e.st.RowStaleness(c.Key)
+		if err != nil {
+			return c, err
+		}
 		if lag <= lvl.Bound {
 			c.Meta = RowMeta{Watermark: wm, Staleness: lag}
 		} else {
-			e.ctrl.FlushKeyShared(c.Key)
+			if _, err := e.st.FlushKey(c.Key); err != nil {
+				return c, err
+			}
 			e.sobs.Refreshed(int(c.Key))
 			c.Meta = RowMeta{Watermark: wm, Staleness: 0, Refreshed: true}
 		}
 	default: // KindFresh
-		wm := e.ctrl.Watermark()
-		refreshed := e.ctrl.FlushKeyShared(c.Key)
+		wm := e.st.Watermark()
+		refreshed, err := e.st.FlushKey(c.Key)
+		if err != nil {
+			return c, err
+		}
 		if refreshed {
 			e.sobs.Refreshed(int(c.Key))
 		}
 		c.Meta = RowMeta{Watermark: wm, Staleness: 0, Refreshed: refreshed}
 	}
-	c.Meta.Version = e.host.ReadRow(c.Key, row)
+	if e.host != nil {
+		c.Meta.Version = e.host.ReadRow(c.Key, row)
+	} else {
+		v, err := e.st.ReadRow(c.Key, row)
+		if err != nil {
+			return c, err
+		}
+		c.Meta.Version = v
+	}
 	c.Score = tensor.Dot(query, row)
-	return c
+	return c, nil
 }
 
 // heapPush appends c and sifts it up (min-heap by score, ties by key so

@@ -2,6 +2,7 @@ package serve_test
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 
@@ -9,6 +10,19 @@ import (
 	"frugal/internal/runtime"
 	"frugal/internal/serve"
 )
+
+// lookupMeta and topK drive the unified Query entrypoint with the old
+// helper signatures the tests were written against (the deprecated
+// Lookup/TopK wrappers are gone from the engine).
+func lookupMeta(e *serve.Engine, key uint64, dst []float32, lvl serve.Level) (serve.RowMeta, error) {
+	resp, err := e.Query(context.Background(), serve.Request{Key: key, Dst: dst, Level: lvl})
+	return resp.Meta, err
+}
+
+func topK(e *serve.Engine, query []float32, k int, lvl serve.Level) ([]serve.Candidate, error) {
+	resp, err := e.Query(context.Background(), serve.Request{Vector: query, K: k, Level: lvl})
+	return resp.Results, err
+}
 
 func TestParseLevel(t *testing.T) {
 	good := map[string]serve.Level{
@@ -65,7 +79,7 @@ func TestStaticLookup(t *testing.T) {
 		t.Fatal(err)
 	}
 	dst := make([]float32, 8)
-	meta, err := eng.Lookup(7, dst, serve.Fresh())
+	meta, err := lookupMeta(eng, 7, dst, serve.Fresh())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,13 +89,13 @@ func TestStaticLookup(t *testing.T) {
 	if meta.Watermark != -1 || meta.Staleness != 0 || meta.Refreshed {
 		t.Fatalf("static meta = %+v", meta)
 	}
-	if _, err := eng.Lookup(64, dst, serve.Stale()); err == nil {
+	if _, err := lookupMeta(eng, 64, dst, serve.Stale()); err == nil {
 		t.Fatal("out-of-range key accepted")
 	}
-	if _, err := eng.Lookup(0, dst[:3], serve.Stale()); err == nil {
+	if _, err := lookupMeta(eng, 0, dst[:3], serve.Stale()); err == nil {
 		t.Fatal("short dst accepted")
 	}
-	if _, err := eng.Lookup(0, dst, serve.Level{Kind: serve.Kind(9)}); err == nil {
+	if _, err := lookupMeta(eng, 0, dst, serve.Level{Kind: serve.Kind(9)}); err == nil {
 		t.Fatal("bad level accepted")
 	}
 	if m := eng.Metrics(); m.Lookups != 1 {
@@ -98,7 +112,7 @@ func TestStaticTopK(t *testing.T) {
 	}
 	query := make([]float32, dim)
 	query[0] = 1 // score(key) = key: the top-K are the largest keys
-	res, err := eng.TopK(query, 5, serve.Stale())
+	res, err := topK(eng, query, 5, serve.Stale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +125,7 @@ func TestStaticTopK(t *testing.T) {
 		}
 	}
 	// Ties rank by ascending key: a zero query scores every row 0.
-	res, err = eng.TopK(make([]float32, dim), 3, serve.Stale())
+	res, err = topK(eng, make([]float32, dim), 3, serve.Stale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,13 +134,13 @@ func TestStaticTopK(t *testing.T) {
 			t.Fatalf("tie order: result %d = key %d, want %d", i, res[i].Key, want)
 		}
 	}
-	if _, err := eng.TopK(query, 17, serve.Stale()); err == nil {
+	if _, err := topK(eng, query, 17, serve.Stale()); err == nil {
 		t.Fatal("k over MaxTopK accepted")
 	}
-	if _, err := eng.TopK(query, 0, serve.Stale()); err == nil {
+	if _, err := topK(eng, query, 0, serve.Stale()); err == nil {
 		t.Fatal("k=0 accepted")
 	}
-	if _, err := eng.TopK(query[:2], 3, serve.Stale()); err == nil {
+	if _, err := topK(eng, query[:2], 3, serve.Stale()); err == nil {
 		t.Fatal("short query accepted")
 	}
 	// k larger than the table: clamped, not an error.
@@ -135,7 +149,7 @@ func TestStaticTopK(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err = se.TopK(query, 10, serve.Fresh())
+	res, err = topK(se, query, 10, serve.Fresh())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +167,7 @@ func TestLookupAllocationFree(t *testing.T) {
 	dst := make([]float32, 16)
 	for _, lvl := range []serve.Level{serve.Stale(), serve.Bounded(0), serve.Fresh()} {
 		allocs := testing.AllocsPerRun(200, func() {
-			if _, err := eng.Lookup(42, dst, lvl); err != nil {
+			if _, err := lookupMeta(eng, 42, dst, lvl); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -249,7 +263,7 @@ func serveWhileTrain(t *testing.T, engine runtime.Engine) {
 				default:
 				}
 				lvl := levels[(r+i)%len(levels)]
-				meta, err := eng.Lookup(hot, dst, lvl)
+				meta, err := lookupMeta(eng, hot, dst, lvl)
 				if err != nil {
 					t.Errorf("reader %d: lookup: %v", r, err)
 					return
@@ -269,7 +283,7 @@ func serveWhileTrain(t *testing.T, engine runtime.Engine) {
 				}
 				lastVersion = meta.Version
 				if i%16 == 0 {
-					if _, err := eng.TopK(query, 8, lvl); err != nil {
+					if _, err := topK(eng, query, 8, lvl); err != nil {
 						t.Errorf("reader %d: topk: %v", r, err)
 						return
 					}
@@ -287,7 +301,7 @@ func serveWhileTrain(t *testing.T, engine runtime.Engine) {
 	// After the run the epilogue has drained every update: a fresh read
 	// must see all steps·gpus of them.
 	dst := make([]float32, cfg.Dim)
-	meta, err := eng.Lookup(hot, dst, serve.Fresh())
+	meta, err := lookupMeta(eng, hot, dst, serve.Fresh())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +352,7 @@ func TestRejectStale(t *testing.T) {
 				return
 			default:
 			}
-			meta, err := eng.Lookup(4, dst, serve.Bounded(0))
+			meta, err := lookupMeta(eng, 4, dst, serve.Bounded(0))
 			if err != nil {
 				stale, ok := err.(*serve.ErrTooStale)
 				if !ok {
@@ -363,7 +377,7 @@ func TestRejectStale(t *testing.T) {
 	close(done)
 	wg.Wait()
 	dst := make([]float32, cfg.Dim)
-	if _, err := eng.Lookup(4, dst, serve.Bounded(0)); err != nil {
+	if _, err := lookupMeta(eng, 4, dst, serve.Bounded(0)); err != nil {
 		t.Fatalf("post-run bounded(0) rejected: %v", err)
 	}
 }
@@ -385,7 +399,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	dst := make([]float32, 4)
-	if _, err := eng.Lookup(9, dst, serve.Stale()); err != nil {
+	if _, err := lookupMeta(eng, 9, dst, serve.Stale()); err != nil {
 		t.Fatal(err)
 	}
 	if dst[0] != 9 || dst[1] != 1 {

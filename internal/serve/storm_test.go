@@ -93,7 +93,7 @@ func TestRefreshStormCoalesces(t *testing.T) {
 					return
 				default:
 				}
-				meta, err := eng.Lookup(hot, dst, lvl)
+				meta, err := lookupMeta(eng, hot, dst, lvl)
 				if err != nil {
 					t.Errorf("reader %d: %v", r, err)
 					return
@@ -148,7 +148,7 @@ func TestRefreshStormCoalesces(t *testing.T) {
 	}
 	// Post-drain, the hot row carries every committed update.
 	dst := make([]float32, 4)
-	meta, err := eng.Lookup(hot, dst, serve.Fresh())
+	meta, err := lookupMeta(eng, hot, dst, serve.Fresh())
 	if err != nil {
 		t.Fatal(err)
 	}

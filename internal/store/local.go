@@ -1,0 +1,279 @@
+package store
+
+import (
+	"context"
+	"fmt"
+
+	"frugal/internal/p2f"
+	"frugal/internal/runtime"
+	"frugal/internal/tensor"
+)
+
+// LocalStore is the in-process Store: a host-memory slab, optionally
+// coordinated by a live P²F controller. Every method is a thin wrapper
+// over the Host/Controller primitives the serving layer used to call
+// directly — the single-machine fast path costs one interface dispatch
+// and nothing else (no allocation, no copy beyond the row itself).
+type LocalStore struct {
+	host *runtime.Host
+	ctrl *p2f.Controller // nil: uncoordinated (write-through or static slab)
+}
+
+// NewLocal wraps a host slab (and its controller, nil for uncoordinated
+// engines and loaded checkpoints) as a Store.
+func NewLocal(host *runtime.Host, ctrl *p2f.Controller) (*LocalStore, error) {
+	if host == nil {
+		return nil, fmt.Errorf("store: nil host")
+	}
+	return &LocalStore{host: host, ctrl: ctrl}, nil
+}
+
+// Host exposes the underlying slab. The serving engine uses it for the
+// bulk-scan fast paths (batched MulVec, IVF build/repair) that only a
+// local contiguous slab supports.
+func (s *LocalStore) Host() *runtime.Host { return s.host }
+
+// Controller exposes the attached P²F controller (nil when
+// uncoordinated).
+func (s *LocalStore) Controller() *p2f.Controller { return s.ctrl }
+
+// Rows returns the table height.
+func (s *LocalStore) Rows() int64 { return s.host.Rows() }
+
+// Dim returns the embedding dimension.
+func (s *LocalStore) Dim() int { return s.host.Dim() }
+
+// Coordinated reports whether a P²F controller is attached.
+func (s *LocalStore) Coordinated() bool { return s.ctrl != nil }
+
+// ReadRow copies row key into dst under its stripe lock.
+func (s *LocalStore) ReadRow(key uint64, dst []float32) (uint64, error) {
+	if key >= uint64(s.host.Rows()) {
+		return 0, keyRangeError(key, s.host.Rows())
+	}
+	return s.host.ReadRow(key, dst), nil
+}
+
+// Gather reads len(keys) rows into dst, each under its stripe lock.
+func (s *LocalStore) Gather(keys []uint64, dst []float32, versions []uint64) error {
+	d := s.host.Dim()
+	if len(dst) != len(keys)*d {
+		return fmt.Errorf("store: gather dst %d floats, want %d", len(dst), len(keys)*d)
+	}
+	if versions != nil && len(versions) != len(keys) {
+		return fmt.Errorf("store: gather versions %d, want %d", len(versions), len(keys))
+	}
+	for i, k := range keys {
+		if k >= uint64(s.host.Rows()) {
+			return keyRangeError(k, s.host.Rows())
+		}
+		v := s.host.ReadRow(k, dst[i*d:(i+1)*d])
+		if versions != nil {
+			versions[i] = v
+		}
+	}
+	return nil
+}
+
+// Scatter commits one step's updates: through the controller's P²F
+// commit path when coordinated (the write sets drain asynchronously and
+// the watermark advances), straight onto the slab otherwise.
+func (s *LocalStore) Scatter(step int64, updates []KeyDelta) error {
+	for _, u := range updates {
+		if u.Key >= uint64(s.host.Rows()) {
+			return keyRangeError(u.Key, s.host.Rows())
+		}
+	}
+	if s.ctrl == nil {
+		for _, u := range updates {
+			s.host.ApplyDelta(u.Key, u.Delta, u.StateDelta)
+		}
+		return nil
+	}
+	kd := make([]p2f.KeyDelta, len(updates))
+	for i, u := range updates {
+		kd[i] = p2f.KeyDelta{Key: u.Key, Delta: u.Delta, StateDelta: u.StateDelta}
+	}
+	s.ctrl.CommitStep(step, kd)
+	return nil
+}
+
+// Version returns the row's update counter.
+func (s *LocalStore) Version(key uint64) (uint64, error) {
+	if key >= uint64(s.host.Rows()) {
+		return 0, keyRangeError(key, s.host.Rows())
+	}
+	return s.host.Version(key), nil
+}
+
+// Watermark returns the controller's committed-step watermark (-1 when
+// uncoordinated).
+func (s *LocalStore) Watermark() int64 {
+	if s.ctrl == nil {
+		return -1
+	}
+	return s.ctrl.Watermark()
+}
+
+// RowStaleness reports the key's flush lag against the watermark.
+func (s *LocalStore) RowStaleness(key uint64) (lag, watermark int64, err error) {
+	if key >= uint64(s.host.Rows()) {
+		return 0, 0, keyRangeError(key, s.host.Rows())
+	}
+	if s.ctrl == nil {
+		return 0, -1, nil
+	}
+	lag, watermark = s.ctrl.RowStaleness(key)
+	return lag, watermark, nil
+}
+
+// FlushKey drains the key's pending write set (singleflight-coalesced).
+func (s *LocalStore) FlushKey(key uint64) (bool, error) {
+	if key >= uint64(s.host.Rows()) {
+		return false, keyRangeError(key, s.host.Rows())
+	}
+	if s.ctrl == nil {
+		return false, nil
+	}
+	return s.ctrl.FlushKeyShared(key), nil
+}
+
+// AddFlushHook registers an index-maintenance hook on the controller.
+// No-op when uncoordinated (nothing ever flushes).
+func (s *LocalStore) AddFlushHook(fn func(key uint64)) {
+	if s.ctrl != nil {
+		s.ctrl.AddFlushHook(fn)
+	}
+}
+
+// localTopKChunk strides the scan so no stripe lock is held across more
+// than one row (mirrors the serving engine's chunk size).
+const localTopKChunk = 256
+
+// TopK scans every row under its stripe lock and returns the k best by
+// dot product (ties broken toward the smaller key), each winner re-read
+// for an exact (version, score) pair.
+func (s *LocalStore) TopK(ctx context.Context, query []float32, k int) ([]ScoredRow, error) {
+	return SlabTopK(ctx, s.host, query, k, nil)
+}
+
+// SlabTopK is the shared slab-scan selection used by LocalStore and the
+// shard node: score every row chunk by chunk under its stripe lock, keep
+// the k best in a min-heap, then re-read each winner under its lock for
+// an honest version+score pair. keyOf maps slab indices to global keys
+// (nil = identity, for unsharded slabs).
+func SlabTopK(ctx context.Context, host *runtime.Host, query []float32, k int,
+	keyOf func(local int64) uint64) ([]ScoredRow, error) {
+
+	if keyOf == nil {
+		keyOf = func(i int64) uint64 { return uint64(i) }
+	}
+	if len(query) != host.Dim() {
+		return nil, fmt.Errorf("store: query length %d, want dim %d", len(query), host.Dim())
+	}
+	rows := host.Rows()
+	if k < 1 {
+		return nil, fmt.Errorf("store: k must be ≥ 1, got %d", k)
+	}
+	if int64(k) > rows {
+		k = int(rows)
+	}
+	scores := make([]float32, localTopKChunk)
+	heap := make([]scoredHeapEntry, 0, k)
+	for from := int64(0); from < rows; from += localTopKChunk {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		n := rows - from
+		if n > localTopKChunk {
+			n = localTopKChunk
+		}
+		sc := scores[:n]
+		host.ScoreRowsLocked(query, from, sc)
+		for i, v := range sc {
+			e := scoredHeapEntry{local: from + int64(i), key: keyOf(from + int64(i)), score: v}
+			if len(heap) < k {
+				heap = heapPushScored(heap, e)
+			} else if scoredLess(heap[0], e) {
+				heap[0] = e
+				heapFixScored(heap)
+			}
+		}
+	}
+	// Winners: re-read under the row lock so score and version agree.
+	row := make([]float32, host.Dim())
+	out := make([]ScoredRow, len(heap))
+	for i, e := range heap {
+		v := host.ReadRow(uint64(e.local), row)
+		out[i] = ScoredRow{Key: e.key, Score: tensor.Dot(query, row), Version: v}
+	}
+	sortScored(out)
+	return out, nil
+}
+
+// scoredHeapEntry is one candidate during the scan: the local slab index
+// (for the re-read) and the global key it maps to.
+type scoredHeapEntry struct {
+	local int64
+	key   uint64
+	score float32
+}
+
+// scoredLess orders the min-heap: smaller score first, ties by larger
+// key so the final result is deterministic.
+func scoredLess(a, b scoredHeapEntry) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.key > b.key
+}
+
+func heapPushScored(h []scoredHeapEntry, e scoredHeapEntry) []scoredHeapEntry {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !scoredLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+func heapFixScored(h []scoredHeapEntry) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && scoredLess(h[l], h[m]) {
+			m = l
+		}
+		if r < len(h) && scoredLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// sortScored orders candidates best first (descending score, ties toward
+// the smaller key). Insertion sort: k is small.
+func sortScored(out []ScoredRow) {
+	for i := 1; i < len(out); i++ {
+		c := out[i]
+		j := i - 1
+		for ; j >= 0 && (out[j].Score < c.Score || (out[j].Score == c.Score && out[j].Key > c.Key)); j-- {
+			out[j+1] = out[j]
+		}
+		out[j+1] = c
+	}
+}
+
+// Close is a no-op: the slab belongs to the training job or checkpoint
+// loader that created it.
+func (s *LocalStore) Close() error { return nil }

@@ -1,0 +1,305 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"frugal/internal/comm"
+)
+
+// ShardedStore composes N stores behind the single Store interface. Rows
+// are routed by comm.Owner consistent hashing over the global key; batch
+// operations bucket their keys per shard and fan out one request per
+// shard concurrently. The per-shard P²F watermarks compose into a global
+// gate as the minimum over shards — the one-sided-safe direction: the
+// composed watermark never claims a step committed that some shard has
+// not committed, so a bounded(k) read can only be fresher than the
+// (lag, watermark) pair implies, never staler.
+type ShardedStore struct {
+	shards      []Store
+	rows        int64
+	dim         int
+	coordinated bool
+
+	// Watermark cache: querying N shards per read is too expensive on the
+	// lookup hot path, so the composed minimum is cached for wmCacheTTL.
+	// Serving an older (smaller) watermark is safe for the same one-sided
+	// reason as the min composition itself.
+	wmMu sync.Mutex
+	wmAt time.Time
+	wm   int64
+
+	// gatherPool recycles the per-shard working buffers of Gather — a
+	// trainer gathering every step would otherwise allocate (and the
+	// runtime zero) shard-sized float batches on each call.
+	gatherPool sync.Pool // *gatherScratch
+}
+
+// gatherScratch is one pooled per-shard gather working set.
+type gatherScratch struct {
+	buf  []float32
+	vers []uint64
+}
+
+// wmCacheTTL bounds how stale the cached composed watermark may be.
+const wmCacheTTL = 2 * time.Millisecond
+
+// NewSharded composes the given stores. Every shard must report the same
+// global Rows/Dim (each shard is addressed by global key and knows the
+// full key space) and agree on coordination.
+func NewSharded(shards []Store) (*ShardedStore, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("store: sharded store needs at least one shard")
+	}
+	rows, dim, coord := shards[0].Rows(), shards[0].Dim(), shards[0].Coordinated()
+	for i, sh := range shards[1:] {
+		if sh.Rows() != rows || sh.Dim() != dim {
+			return nil, fmt.Errorf("store: shard %d reports %d×%d, shard 0 reports %d×%d",
+				i+1, sh.Rows(), sh.Dim(), rows, dim)
+		}
+		if sh.Coordinated() != coord {
+			return nil, fmt.Errorf("store: shard %d coordination disagrees with shard 0", i+1)
+		}
+	}
+	return &ShardedStore{shards: shards, rows: rows, dim: dim, coordinated: coord, wm: -1}, nil
+}
+
+// NumShards returns the shard count.
+func (s *ShardedStore) NumShards() int { return len(s.shards) }
+
+// owner routes a global key to its shard.
+func (s *ShardedStore) owner(key uint64) Store {
+	return s.shards[comm.Owner(key, len(s.shards))]
+}
+
+// Rows returns the global table height.
+func (s *ShardedStore) Rows() int64 { return s.rows }
+
+// Dim returns the embedding dimension.
+func (s *ShardedStore) Dim() int { return s.dim }
+
+// Coordinated reports whether the shards run P²F gates.
+func (s *ShardedStore) Coordinated() bool { return s.coordinated }
+
+// ReadRow routes the read to the owning shard.
+func (s *ShardedStore) ReadRow(key uint64, dst []float32) (uint64, error) {
+	if key >= uint64(s.rows) {
+		return 0, keyRangeError(key, s.rows)
+	}
+	return s.owner(key).ReadRow(key, dst)
+}
+
+// Gather buckets keys by owner and fans out one batched Gather per shard.
+// Each shard goroutine gathers into a private contiguous buffer, then
+// scatter-copies rows back to their original positions in dst — the
+// positions are disjoint across shards, so the copies race with nothing.
+func (s *ShardedStore) Gather(keys []uint64, dst []float32, versions []uint64) error {
+	if len(dst) != len(keys)*s.dim {
+		return fmt.Errorf("store: gather dst %d floats, want %d", len(dst), len(keys)*s.dim)
+	}
+	if versions != nil && len(versions) != len(keys) {
+		return fmt.Errorf("store: gather versions %d, want %d", len(versions), len(keys))
+	}
+	for _, k := range keys {
+		if k >= uint64(s.rows) {
+			return keyRangeError(k, s.rows)
+		}
+	}
+	n := len(s.shards)
+	shardKeys := make([][]uint64, n)
+	shardPos := make([][]int, n)
+	for i, k := range keys {
+		o := comm.Owner(k, n)
+		shardKeys[o] = append(shardKeys[o], k)
+		shardPos[o] = append(shardPos[o], i)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for sh := 0; sh < n; sh++ {
+		if len(shardKeys[sh]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			ks, pos := shardKeys[sh], shardPos[sh]
+			sc, _ := s.gatherPool.Get().(*gatherScratch)
+			if sc == nil {
+				sc = &gatherScratch{}
+			}
+			if cap(sc.buf) < len(ks)*s.dim {
+				sc.buf = make([]float32, len(ks)*s.dim)
+			}
+			buf := sc.buf[:len(ks)*s.dim]
+			var vers []uint64
+			if versions != nil {
+				if cap(sc.vers) < len(ks) {
+					sc.vers = make([]uint64, len(ks))
+				}
+				vers = sc.vers[:len(ks)]
+			}
+			if err := s.shards[sh].Gather(ks, buf, vers); err != nil {
+				errs[sh] = err
+				s.gatherPool.Put(sc)
+				return
+			}
+			for j, p := range pos {
+				copy(dst[p*s.dim:(p+1)*s.dim], buf[j*s.dim:(j+1)*s.dim])
+				if versions != nil {
+					versions[p] = vers[j]
+				}
+			}
+			s.gatherPool.Put(sc)
+		}(sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scatter buckets the step's updates by owner and sends one batch per
+// shard — including an empty batch to shards that own none of the
+// touched keys, because a coordinated shard's watermark only advances
+// when every configured trainer commits the step. The empty Scatter is
+// that pure commit signal; without it the composed min-watermark would
+// stall on whichever shard the batch happened to miss.
+func (s *ShardedStore) Scatter(step int64, updates []KeyDelta) error {
+	for _, u := range updates {
+		if u.Key >= uint64(s.rows) {
+			return keyRangeError(u.Key, s.rows)
+		}
+	}
+	n := len(s.shards)
+	buckets := make([][]KeyDelta, n)
+	for _, u := range updates {
+		o := comm.Owner(u.Key, n)
+		buckets[o] = append(buckets[o], u)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for sh := 0; sh < n; sh++ {
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			errs[sh] = s.shards[sh].Scatter(step, buckets[sh])
+		}(sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Version routes to the owning shard.
+func (s *ShardedStore) Version(key uint64) (uint64, error) {
+	if key >= uint64(s.rows) {
+		return 0, keyRangeError(key, s.rows)
+	}
+	return s.owner(key).Version(key)
+}
+
+// Watermark returns the composed global watermark: the minimum over all
+// shard watermarks, cached for wmCacheTTL. The cached value is kept
+// monotone — per-shard watermarks never regress, so neither does the
+// minimum, and refusing to regress keeps a slow shard response from
+// un-committing steps the caller already observed.
+func (s *ShardedStore) Watermark() int64 {
+	s.wmMu.Lock()
+	defer s.wmMu.Unlock()
+	now := time.Now()
+	if now.Sub(s.wmAt) < wmCacheTTL {
+		return s.wm
+	}
+	m := s.shards[0].Watermark()
+	for _, sh := range s.shards[1:] {
+		if w := sh.Watermark(); w < m {
+			m = w
+		}
+	}
+	if m > s.wm {
+		s.wm = m
+	}
+	s.wmAt = now
+	return s.wm
+}
+
+// RowStaleness returns the owning shard's flush lag against the composed
+// global watermark. Substituting the global minimum wm_g for the owner's
+// wm_o (wm_g ≤ wm_o) is one-sided safe: the stored row misses at most
+// `lag` of the steps committed at wm_o, so it misses at most `lag` of
+// the steps committed at the smaller wm_g too.
+func (s *ShardedStore) RowStaleness(key uint64) (lag, watermark int64, err error) {
+	if key >= uint64(s.rows) {
+		return 0, 0, keyRangeError(key, s.rows)
+	}
+	lag, _, err = s.owner(key).RowStaleness(key)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lag, s.Watermark(), nil
+}
+
+// FlushKey routes the urgent flush to the owning shard.
+func (s *ShardedStore) FlushKey(key uint64) (bool, error) {
+	if key >= uint64(s.rows) {
+		return false, keyRangeError(key, s.rows)
+	}
+	return s.owner(key).FlushKey(key)
+}
+
+// TopK fans the query out to every shard (each scans only the rows it
+// owns) and merges the per-shard candidate lists into the global best k.
+func (s *ShardedStore) TopK(ctx context.Context, query []float32, k int) ([]ScoredRow, error) {
+	if len(query) != s.dim {
+		return nil, fmt.Errorf("store: query length %d, want dim %d", len(query), s.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("store: k must be ≥ 1, got %d", k)
+	}
+	n := len(s.shards)
+	results := make([][]ScoredRow, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for sh := 0; sh < n; sh++ {
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			results[sh], errs[sh] = s.shards[sh].TopK(ctx, query, k)
+		}(sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var merged []ScoredRow
+	for _, r := range results {
+		merged = append(merged, r...)
+	}
+	sortScored(merged)
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged, nil
+}
+
+// Close closes every shard and returns the first error.
+func (s *ShardedStore) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,125 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// TrainerConfig drives RunTrainer, the store-level synchronous training
+// loop. It is deliberately tiny: the loop exists to exercise a Store —
+// any Store, local, remote, or sharded — with a realistic
+// gather→compute→scatter cadence, not to replace the full runtime job.
+type TrainerConfig struct {
+	// Steps is the number of training steps to run (required, > 0).
+	Steps int64
+	// BatchSize is the number of keys touched per step. 0 sweeps the full
+	// table every step, which gives every key exactly one update per step
+	// — the G=1 case of the serving version inequality.
+	BatchSize int
+	// LR scales the synthetic gradient (default 0.05).
+	LR float32
+	// Seed makes batch selection and gradients deterministic.
+	Seed uint64
+	// OnStep, when non-nil, observes each completed step (after Scatter
+	// returns) with the step index just committed.
+	OnStep func(step int64)
+}
+
+// RunTrainer drives a synchronous distributed step loop against st:
+// every step selects a key batch, gathers the current rows, computes a
+// deterministic SGD-style delta per key, and scatters the step's updates
+// back (through the P²F commit path on coordinated stores, so the
+// watermark — or the composed cross-shard minimum — advances behind the
+// loop). It returns on completion, context cancellation, or the first
+// store error.
+func RunTrainer(ctx context.Context, st Store, cfg TrainerConfig) error {
+	if cfg.Steps <= 0 {
+		return fmt.Errorf("store: trainer needs Steps > 0, got %d", cfg.Steps)
+	}
+	rows, dim := st.Rows(), st.Dim()
+	if rows == 0 || dim == 0 {
+		return fmt.Errorf("store: trainer needs a non-empty store, got %d×%d", rows, dim)
+	}
+	lr := cfg.LR
+	if lr == 0 {
+		lr = 0.05
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 || int64(batch) > rows {
+		batch = int(rows)
+	}
+
+	keys := make([]uint64, batch)
+	gathered := make([]float32, batch*dim)
+	rng := cfg.Seed | 1
+	for step := int64(0); step < cfg.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if int64(batch) == rows {
+			// Full sweep: every key, exactly once.
+			for i := range keys {
+				keys[i] = uint64(i)
+			}
+		} else {
+			// Deterministic pseudo-random distinct-ish batch: stride
+			// selection keyed on the step so runs replay exactly.
+			rng = rng*6364136223846793005 + 1442695040888963407
+			start := rng % uint64(rows)
+			stride := (rng>>33)%uint64(rows-1) + 1
+			for i := range keys {
+				keys[i] = (start + uint64(i)*stride) % uint64(rows)
+			}
+		}
+		if err := st.Gather(keys, gathered, nil); err != nil {
+			return fmt.Errorf("store: trainer gather at step %d: %w", step, err)
+		}
+		updates := make([]KeyDelta, len(keys))
+		for i, k := range keys {
+			// Pull each row a fixed fraction toward a key-specific target:
+			// delta = lr · (target − row). Fresh buffer per update —
+			// Scatter takes ownership of Delta.
+			target := rowTarget(k, dim)
+			delta := make([]float32, dim)
+			row := gathered[i*dim : (i+1)*dim]
+			for j := 0; j < dim; j++ {
+				delta[j] = lr * (target[j] - row[j])
+			}
+			updates[i] = KeyDelta{Key: k, Delta: delta}
+		}
+		if err := st.Scatter(step, updates); err != nil {
+			return fmt.Errorf("store: trainer scatter at step %d: %w", step, err)
+		}
+		if cfg.OnStep != nil {
+			cfg.OnStep(step)
+		}
+	}
+	return nil
+}
+
+// rowTarget is the deterministic per-key attractor RunTrainer pulls rows
+// toward — a unit-ish vector derived from the key, so converged tables
+// are reproducible across stores and shard topologies.
+func rowTarget(key uint64, dim int) []float32 {
+	t := make([]float32, dim)
+	h := key*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019
+	for j := range t {
+		h ^= h >> 29
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 32
+		// Map to [-1, 1).
+		t[j] = float32(int64(h%2048)-1024) / 1024
+	}
+	norm := float32(0)
+	for _, v := range t {
+		norm += v * v
+	}
+	if norm > 0 {
+		inv := float32(1 / math.Sqrt(float64(norm)))
+		for j := range t {
+			t[j] *= inv
+		}
+	}
+	return t
+}

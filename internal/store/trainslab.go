@@ -1,0 +1,104 @@
+package store
+
+import (
+	"fmt"
+
+	"frugal/internal/pq"
+	"frugal/internal/runtime"
+)
+
+// TrainSlab adapts a Store to runtime.RowStore, so a training job can run
+// its step loop against a parameter table that lives elsewhere — most
+// usefully a ShardedStore over uncoordinated frugal-shard nodes, which
+// makes the store tier the disaggregated host memory of the paper's
+// design. Set it as Config.Slab (or TrainOptions.Slab on the public
+// surface).
+//
+// The store must be uncoordinated: the step loop's write path is
+// write-through (ApplyDelta applies immediately), and routing it through
+// a store-side P²F gate would double-coordinate every commit. Writes map
+// to single-key Scatter calls and reads to single-key ReadRow calls — one
+// round trip each on remote stores, so this path trades throughput for
+// placement; the in-process engines remain the fast path.
+//
+// RowStore's read/write surface carries no errors (host memory cannot
+// fail), so store errors — an unreachable shard mid-step, an unowned
+// key — are surfaced by panicking. A training loop cannot make progress
+// against a broken slab, and the job's panic unwinds the run loudly
+// instead of training on garbage.
+type TrainSlab struct {
+	st Store
+}
+
+var _ runtime.RowStore = (*TrainSlab)(nil)
+
+// NewTrainSlab wraps st. It refuses coordinated stores — the training
+// gate and the store gate would fight over commit semantics.
+func NewTrainSlab(st Store) (*TrainSlab, error) {
+	if st.Coordinated() {
+		return nil, fmt.Errorf("store: TrainSlab requires an uncoordinated store (write-through)")
+	}
+	return &TrainSlab{st: st}, nil
+}
+
+// Store returns the wrapped store.
+func (t *TrainSlab) Store() Store { return t.st }
+
+// Rows returns the global table height.
+func (t *TrainSlab) Rows() int64 { return t.st.Rows() }
+
+// Dim returns the embedding dimension.
+func (t *TrainSlab) Dim() int { return t.st.Dim() }
+
+// ReadRow reads one row and returns its version.
+func (t *TrainSlab) ReadRow(key uint64, dst []float32) uint64 {
+	v, err := t.st.ReadRow(key, dst)
+	if err != nil {
+		panic(fmt.Sprintf("store: slab read of key %d failed: %v", key, err))
+	}
+	return v
+}
+
+// ReadRowDirect reads one row. The underlying store decides its own
+// locking; the gate-protection contract of the host fast path does not
+// apply across a wire.
+func (t *TrainSlab) ReadRowDirect(key uint64, dst []float32) { t.ReadRow(key, dst) }
+
+// ReadRowLocked reads one row (stores serialise their own writes).
+func (t *TrainSlab) ReadRowLocked(key uint64, dst []float32) { t.ReadRow(key, dst) }
+
+// Version returns the row's update counter.
+func (t *TrainSlab) Version(key uint64) uint64 {
+	v, err := t.st.Version(key)
+	if err != nil {
+		panic(fmt.Sprintf("store: slab version of key %d failed: %v", key, err))
+	}
+	return v
+}
+
+// OptState returns 0: the Store surface carries no optimizer accumulator,
+// which is why jobs reject OptAdagrad under a slab override.
+func (t *TrainSlab) OptState(uint64) float32 { return 0 }
+
+// ApplyDelta writes one key's delta through as a single-update scatter.
+func (t *TrainSlab) ApplyDelta(key uint64, delta []float32, stateDelta float32) {
+	err := t.st.Scatter(0, []KeyDelta{{Key: key, Delta: delta, StateDelta: stateDelta}})
+	if err != nil {
+		panic(fmt.Sprintf("store: slab write of key %d failed: %v", key, err))
+	}
+}
+
+// ApplyUpdates writes one key's update batch through as one scatter,
+// bumping the version once per update like the host slab does.
+func (t *TrainSlab) ApplyUpdates(key uint64, updates []pq.Update) {
+	kd := make([]KeyDelta, len(updates))
+	for i, u := range updates {
+		kd[i] = KeyDelta{Key: key, Delta: u.Delta, StateDelta: u.StateDelta}
+	}
+	if err := t.st.Scatter(0, kd); err != nil {
+		panic(fmt.Sprintf("store: slab write of key %d failed: %v", key, err))
+	}
+}
+
+// WriteRetries reports 0: fault injection lives in the host slab.
+func (t *TrainSlab) WriteRetries() int64 { return 0 }

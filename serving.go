@@ -2,6 +2,7 @@ package frugal
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net/http"
 	"time"
@@ -10,6 +11,8 @@ import (
 	"frugal/internal/runtime"
 	"frugal/internal/serve"
 	"frugal/internal/serve/loadgen"
+	"frugal/internal/shard"
+	"frugal/internal/store"
 )
 
 // ServeLevel is a serving consistency level: ServeStale (read host memory
@@ -120,7 +123,8 @@ func (o ServeOptions) internal() serve.Options {
 // number of concurrent callers, concurrently with the training job it is
 // attached to.
 type Server struct {
-	eng *serve.Engine
+	eng   *serve.Engine
+	owned *store.ShardedStore // non-nil when the server dialled its shards
 }
 
 // Serve attaches a query engine to the job's host slab. Call it at any
@@ -130,6 +134,9 @@ type Server struct {
 // is trivially fresh, since their updates reach host memory at commit
 // time.
 func (j *TrainingJob) Serve(opt ServeOptions) (*Server, error) {
+	if j.job.Host() == nil {
+		return nil, fmt.Errorf("frugal: the job trains against an external slab (Config.Slab); serve the store tier directly (NewServerFromShards)")
+	}
 	eng, err := serve.New(j.job.Host(), j.job.Controller(), opt.internal())
 	if err != nil {
 		return nil, err
@@ -153,6 +160,99 @@ func NewServerFromCheckpoint(r io.Reader, opt ServeOptions) (*Server, error) {
 	return &Server{eng: eng}, nil
 }
 
+// NewServerFromShards serves a table partitioned across frugal-shard
+// nodes: it dials every address, composes the shards behind one sharded
+// store (consistent-hash routing, per-shard batched fan-out, global
+// watermark = min over shards), and attaches the query engine to it.
+// Shard order must match the nodes' -shard indices — key routing uses
+// the position in this list. The IVF index is not available on sharded
+// servers (each shard scans its own rows instead); request it and
+// construction fails.
+func NewServerFromShards(addrs []string, opt ServeOptions) (*Server, error) {
+	st, err := dialSharded(addrs)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := serve.NewFromStore(st, opt.internal())
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return &Server{eng: eng, owned: st}, nil
+}
+
+// dialSharded dials every shard address, validates each node's announced
+// topology position against its slot, and composes the sharded store.
+func dialSharded(addrs []string) (*store.ShardedStore, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("frugal: no shard addresses")
+	}
+	shards := make([]store.Store, 0, len(addrs))
+	closeAll := func() {
+		for _, sh := range shards {
+			sh.Close()
+		}
+	}
+	for i, addr := range addrs {
+		rs, err := shard.Dial(addr)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("frugal: shard %d (%s): %w", i, addr, err)
+		}
+		if got, of := rs.Shard(); got != i || of != len(addrs) {
+			closeAll()
+			rs.Close()
+			return nil, fmt.Errorf("frugal: shard at %s reports position %d/%d, want %d/%d — node and server topologies disagree",
+				addr, got, of, i, len(addrs))
+		}
+		shards = append(shards, rs)
+	}
+	st, err := store.NewSharded(shards)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	return st, nil
+}
+
+// ShardSlab is a training slab over remote shard nodes: set it as
+// Config.Slab and the training job's step loop gathers and scatters
+// against the store tier instead of in-process host memory. Close it
+// after the job finishes.
+type ShardSlab struct {
+	*store.TrainSlab
+	owned *store.ShardedStore
+}
+
+// DialShardSlab dials uncoordinated frugal-shard nodes (started with
+// -uncoordinated; the step loop is write-through, so a store-side gate
+// would double-coordinate every commit) and composes them into a
+// Config.Slab. Shard order must match the nodes' -shard indices.
+func DialShardSlab(addrs []string) (*ShardSlab, error) {
+	st, err := dialSharded(addrs)
+	if err != nil {
+		return nil, err
+	}
+	slab, err := store.NewTrainSlab(st)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return &ShardSlab{TrainSlab: slab, owned: st}, nil
+}
+
+// Close releases the shard connections.
+func (s *ShardSlab) Close() error { return s.owned.Close() }
+
+// Close releases resources the server owns (shard connections). Servers
+// over in-process slabs hold nothing and Close is a no-op.
+func (s *Server) Close() error {
+	if s.owned != nil {
+		return s.owned.Close()
+	}
+	return nil
+}
+
 // Rows returns the number of servable embedding rows.
 func (s *Server) Rows() int64 { return s.eng.Rows() }
 
@@ -165,42 +265,6 @@ func (s *Server) Dim() int { return s.eng.Dim() }
 // when Dst is supplied.
 func (s *Server) Query(ctx context.Context, req ServeRequest) (ServeResponse, error) {
 	return s.eng.Query(ctx, req)
-}
-
-// Lookup copies row `key` into dst (len(dst) == Dim()) at the server's
-// default level. Allocation-free.
-//
-// Deprecated: use Query with ServeRequest{Key: key, Dst: dst,
-// UseDefault: true}.
-func (s *Server) Lookup(key uint64, dst []float32) (ServeRowMeta, error) {
-	resp, err := s.eng.Query(context.Background(), ServeRequest{Key: key, Dst: dst, UseDefault: true})
-	return resp.Meta, err
-}
-
-// LookupLevel is Lookup at an explicit consistency level.
-//
-// Deprecated: use Query with ServeRequest{Key: key, Dst: dst, Level: lvl}.
-func (s *Server) LookupLevel(key uint64, dst []float32, lvl ServeLevel) (ServeRowMeta, error) {
-	resp, err := s.eng.Query(context.Background(), ServeRequest{Key: key, Dst: dst, Level: lvl})
-	return resp.Meta, err
-}
-
-// TopK returns the k rows most similar to query by dot product, best
-// first, at the server's default level.
-//
-// Deprecated: use Query with ServeRequest{Vector: query, K: k,
-// UseDefault: true}.
-func (s *Server) TopK(query []float32, k int) ([]ServeCandidate, error) {
-	resp, err := s.eng.Query(context.Background(), ServeRequest{Vector: query, K: k, UseDefault: true})
-	return resp.Results, err
-}
-
-// TopKLevel is TopK at an explicit consistency level.
-//
-// Deprecated: use Query with ServeRequest{Vector: query, K: k, Level: lvl}.
-func (s *Server) TopKLevel(query []float32, k int, lvl ServeLevel) ([]ServeCandidate, error) {
-	resp, err := s.eng.Query(context.Background(), ServeRequest{Vector: query, K: k, Level: lvl})
-	return resp.Results, err
 }
 
 // Index reports the server's configured top-K scan strategy.
