@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-core serve-stress serve-demo shard-demo bench bench-baseline bench-check check
+.PHONY: build vet test race race-core serve-stress prefetch-stress serve-demo shard-demo bench bench-baseline bench-check check
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,16 @@ race:
 # is spelled out so the load generator stays covered even if the packages
 # are ever reorganised.
 race-core:
-	$(GO) test -race ./internal/runtime/... ./internal/p2f/... ./internal/fault/... ./internal/pq/... ./internal/lfht/... ./internal/serve ./internal/serve/loadgen ./internal/store ./internal/shard
+	$(GO) test -race ./internal/runtime/... ./internal/cache ./internal/p2f/... ./internal/fault/... ./internal/pq/... ./internal/lfht/... ./internal/serve ./internal/serve/loadgen ./internal/store ./internal/shard
+
+# The lookahead-prefetch suite under the race detector: window-pin
+# blockades with 4 trainers, 4 prefetchers and the flusher pool running
+# concurrently, prefetch on/off determinism, and the pin bookkeeping in
+# the cache package.
+prefetch-stress:
+	$(GO) test -race -count=1 -v \
+		-run 'TestPrefetch|TestWindowPin|TestEpochAndWindowPins' \
+		./internal/runtime ./internal/cache
 
 # The overload-control suite under the race detector: open-loop shedding,
 # the hot-key refresh storm, admission semantics, and the server

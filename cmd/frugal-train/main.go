@@ -34,6 +34,10 @@ func run() int {
 		cache     = flag.Float64("cache", 0.05, "per-GPU cache ratio")
 		lr        = flag.Float64("lr", 0.05, "embedding learning rate")
 		threads   = flag.Int("flush-threads", 8, "P2F flushing threads")
+		prefetch  = flag.Bool("prefetch", false,
+			"overlap cache fills with compute: prefetch upcoming batches' rows and window-pin them (cached engines only)")
+		prefetchDepth = flag.Int("prefetch-depth", 0,
+			"max future batches prefetched but not yet trained (0 = lookahead depth; requires -prefetch)")
 		kgModel   = flag.String("model", "TransE", "KG scoring model (KG datasets only)")
 		micro     = flag.Bool("micro", false, "run the embedding-only microbenchmark instead of a dataset")
 		replay    = flag.String("replay", "", "replay a recorded key trace file (see frugal-datagen -trace)")
@@ -60,7 +64,7 @@ func run() int {
 	plan, err := validate(options{
 		Engine: *engine, GPUs: *gpus, Steps: *steps, Micro: *micro,
 		Replay: *replay, FaultPlan: *faultPlan, GateTimeout: *gateTimeout,
-		MaxRespawns: *maxRespawns,
+		MaxRespawns: *maxRespawns, Prefetch: *prefetch, PrefetchDepth: *prefetchDepth,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "frugal-train:", err)
@@ -93,6 +97,8 @@ func run() int {
 		LR:               float32(*lr),
 		FlushThreads:     *threads,
 		CheckConsistency: *check,
+		Prefetch:         *prefetch,
+		PrefetchDepth:    *prefetchDepth,
 		Seed:             *seed,
 		Observability:    frugal.ObsOptions{Enabled: *obsOn},
 		FaultPlan:        plan,
@@ -202,6 +208,16 @@ func reportJSON(name, engine string, res frugal.Result, job *frugal.TrainingJob,
 		"cacheHitRatio":   res.CacheStats.HitRatio(),
 		"trainAUC":        res.TrainAUC,
 	}
+	if cs := res.CacheStats; cs.PrefetchFills > 0 {
+		out["prefetch"] = map[string]any{
+			"fills":            cs.PrefetchFills,
+			"hitRate":          cs.PrefetchHitRate(),
+			"accuracy":         cs.PrefetchAccuracy(),
+			"late":             cs.PrefetchLate,
+			"wasted":           cs.PrefetchWasted,
+			"windowPinRejects": cs.WindowPinRejects,
+		}
+	}
 	if rs := res.Recovery; rs.FaultsInjected > 0 || rs.Degraded {
 		out["recovery"] = rs
 	}
@@ -264,6 +280,10 @@ func report(res frugal.Result) {
 	cs := res.CacheStats
 	fmt.Printf("cache:            %.1f%% hit (%d hits, %d misses, %d stale, %d evictions)\n",
 		100*cs.HitRatio(), cs.Hits, cs.Misses, cs.StaleHits, cs.Evicted)
+	if cs.PrefetchFills > 0 {
+		fmt.Printf("prefetch:         %d fills, %.1f%% of lookups served prefetched (%d late, %d wasted, %d window-pin rejects)\n",
+			cs.PrefetchFills, 100*cs.PrefetchHitRate(), cs.PrefetchLate, cs.PrefetchWasted, cs.WindowPinRejects)
+	}
 	if rs := res.Recovery; rs.FaultsInjected > 0 || rs.Degraded {
 		fmt.Printf("faults:           %d injected (%d crashes, %d stalls detected, %d host-write retries)\n",
 			rs.FaultsInjected, rs.FlusherCrashes, rs.StallsDetected, rs.HostWriteRetries)

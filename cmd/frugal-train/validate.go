@@ -9,14 +9,16 @@ import (
 
 // options are the flag values vetted before any training work starts.
 type options struct {
-	Engine      string
-	GPUs        int
-	Steps       int64
-	Micro       bool
-	Replay      string
-	FaultPlan   string
-	GateTimeout time.Duration
-	MaxRespawns int
+	Engine        string
+	GPUs          int
+	Steps         int64
+	Micro         bool
+	Replay        string
+	FaultPlan     string
+	GateTimeout   time.Duration
+	MaxRespawns   int
+	Prefetch      bool
+	PrefetchDepth int
 }
 
 // validate rejects invalid flag combinations up front with a usage error —
@@ -38,6 +40,15 @@ func validate(o options) (frugal.FaultPlan, error) {
 	}
 	if o.Micro && o.Replay != "" {
 		return frugal.FaultPlan{}, fmt.Errorf("-micro and -replay are mutually exclusive")
+	}
+	if o.Prefetch && engine == frugal.EngineDirect {
+		return frugal.FaultPlan{}, fmt.Errorf("-prefetch requires a cached engine (direct has no cache to fill)")
+	}
+	if o.PrefetchDepth < 0 {
+		return frugal.FaultPlan{}, fmt.Errorf("-prefetch-depth must be positive (got %d)", o.PrefetchDepth)
+	}
+	if o.PrefetchDepth > 0 && !o.Prefetch {
+		return frugal.FaultPlan{}, fmt.Errorf("-prefetch-depth requires -prefetch")
 	}
 	plan, err := frugal.ParseFaultPlan(o.FaultPlan)
 	if err != nil {

@@ -79,6 +79,17 @@ type Config struct {
 	LR float32
 	// Lookahead is the sample-queue depth L (default 10).
 	Lookahead int
+	// Prefetch enables the lookahead prefetcher: while a step computes, a
+	// background fill stage walks the upcoming batches' key sets, fills
+	// predicted cache misses from host memory and window-pins the rows so
+	// eviction cannot victimize anything the window will re-touch. Cached
+	// engines only (EngineFrugal, EngineFrugalSync).
+	Prefetch bool
+	// PrefetchDepth bounds how many future batches may be prefetched but
+	// not yet trained (default: Lookahead). Requires Prefetch; for
+	// EngineFrugal it must not exceed Lookahead (the sample queue is the
+	// only source of future key sets).
+	PrefetchDepth int
 	// FlushThreads is the background flusher count (default 8).
 	FlushThreads int
 	// DequeueBatch bounds each flushing thread's batched dequeue — the
@@ -243,6 +254,8 @@ func (c Config) runtimeConfig() runtime.Config {
 		CacheRatio:       c.CacheRatio,
 		LR:               c.LR,
 		Lookahead:        c.Lookahead,
+		Prefetch:         c.Prefetch,
+		PrefetchDepth:    c.PrefetchDepth,
 		FlushThreads:     c.FlushThreads,
 		DequeueBatch:     c.DequeueBatch,
 		Queue:            c.Queue,

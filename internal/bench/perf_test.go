@@ -65,10 +65,25 @@ func TestRunPerfQuick(t *testing.T) {
 		t.Skip("perf suite in -short mode")
 	}
 	rep := RunPerf(true)
-	// The suite rows plus the appended recall, loadgen latency, open-loop
-	// and shard-speedup rows.
-	if len(rep.Benchmarks) != len(perfSuite())+4 {
-		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(perfSuite())+4)
+	// The suite rows plus the appended recall, loadgen latency, open-loop,
+	// shard-speedup and prefetch-speedup rows.
+	if len(rep.Benchmarks) != len(perfSuite())+5 {
+		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(perfSuite())+5)
+	}
+	var missOff, missOn float64
+	for _, pb := range rep.Benchmarks {
+		switch pb.Name {
+		case "train/miss-rate-zipf":
+			missOff = pb.MissRate
+		case "train/step-prefetch":
+			missOn = pb.MissRate
+		}
+	}
+	if missOff <= 0 {
+		t.Fatal("train/miss-rate-zipf reported no demand miss rate")
+	}
+	if missOn > missOff/2 {
+		t.Fatalf("prefetch miss rate %.4f not under half the demand rate %.4f", missOn, missOff)
 	}
 	for _, pb := range rep.Benchmarks {
 		if pb.Recall > 0 {

@@ -27,12 +27,24 @@ type slot struct {
 	key     uint64
 	version uint64
 	freq    uint32
+	// win is the window-pin refcount: how many batches inside the lookahead
+	// window still need this slot (BagPipe's oracle-cache invariant). While
+	// win > 0 the slot is exempt from eviction, exactly like an epoch pin.
+	// The count is slot-scoped, not key-scoped: it survives invalidation, and
+	// the prefetcher unpins by slot index, so a stale-invalidated slot cannot
+	// leak its reservation.
+	win uint32
 	// epoch is the Meta epoch in which this slot was last touched (hit,
 	// filled, or bumped). While it equals the current epoch the slot is
 	// *pinned*: fill will not reuse its storage, so rows handed out during
 	// the epoch stay valid. Slots keep their epoch even when invalidated —
 	// the row storage may still be aliased by an earlier gather this step.
 	epoch uint64
+	// pf marks a row whose bytes were filled by the lookahead prefetcher;
+	// pfUsed marks that at least one demand lookup has been served from it.
+	// Together they classify every prefetch fill as hit (used), late (went
+	// stale before use) or wasted (evicted before use).
+	pf, pfUsed bool
 }
 
 // Cache is one GPU's embedding cache: a Meta directory plus row storage
@@ -102,16 +114,46 @@ func (c *Cache) Lookup(key uint64, wantVersion uint64) ([]float32, bool) {
 // by the current epoch rejects the insert with dst == nil; the caller must
 // fall back to private storage for this access.
 func (c *Cache) Insert(key uint64, version uint64) (dst []float32, evicted uint64, wasEviction bool) {
-	i, ev, was := c.fill(key, version)
+	i, ev, was := c.fill(key, version, false)
 	if i < 0 {
 		return nil, 0, false
 	}
 	return c.row(i), ev, was
 }
 
+// InsertPrefetch claims a slot for key on behalf of the lookahead
+// prefetcher and returns the slot index plus the destination row, or
+// (-1, nil) when every eligible slot of the set is blocked (epoch- or
+// window-pinned) — the reject is counted and the prefetcher simply skips
+// the key, leaving it to demand fill. Unlike Insert, the claimed slot is
+// not epoch-pinned: the prefetcher hands out no aliases, and the window
+// pin the caller takes afterwards is what protects the row. The caller
+// must copy the row bytes into dst and then call MarkPrefetched with the
+// version actually read.
+func (c *Cache) InsertPrefetch(key uint64) (slotIdx int, dst []float32) {
+	i, _, _ := c.fill(key, 0, true)
+	if i < 0 {
+		return -1, nil
+	}
+	return i, c.row(i)
+}
+
+// SlotRow returns the storage of a slot located by PeekSlot. The
+// prefetcher uses it to refill a stale resident row in place (only when
+// the slot is not epoch-pinned, so no live gather aliases the bytes).
+func (c *Cache) SlotRow(slotIdx int) []float32 { return c.row(slotIdx) }
+
 // Stats reports cache effectiveness counters.
 type Stats struct {
 	Hits, Misses, StaleHits, Inserted, Evicted int64
+	// Lookahead-prefetch counters. PrefetchFills is rows filled by the
+	// prefetcher; PrefetchHits is demand lookups served from a prefetched
+	// row; PrefetchLate is prefetched rows invalidated or refilled before
+	// any use; PrefetchWasted is prefetched rows evicted before any use.
+	PrefetchFills, PrefetchHits, PrefetchLate, PrefetchWasted int64
+	// PinRejects / WindowPinRejects split fill rejections by blocker kind:
+	// the current epoch's own pins vs. lookahead-window reservations.
+	PinRejects, WindowPinRejects int64
 }
 
 // HitRatio returns hits/(hits+misses), or 0 before any access.
@@ -121,4 +163,38 @@ func (s Stats) HitRatio() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(total)
+}
+
+// MissRate returns misses/(hits+misses), or 0 before any access — the
+// guard keeps /debug/vars from emitting NaN before the first step.
+func (s Stats) MissRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+// PrefetchHitRate returns the share of demand lookups served from
+// prefetched rows, hits_prefetched/(hits+misses); 0 before any access.
+func (s Stats) PrefetchHitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PrefetchHits) / float64(total)
+}
+
+// PrefetchAccuracy returns the share of prefetch fills that served at
+// least one demand lookup before going stale or being evicted; 0 before
+// any fill.
+func (s Stats) PrefetchAccuracy() float64 {
+	if s.PrefetchFills == 0 {
+		return 0
+	}
+	used := s.PrefetchFills - s.PrefetchLate - s.PrefetchWasted
+	if used < 0 {
+		used = 0
+	}
+	return float64(used) / float64(s.PrefetchFills)
 }

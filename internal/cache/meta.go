@@ -23,8 +23,17 @@ type Meta struct {
 	// disabled — the simulator's Meta-only users never call BeginEpoch and
 	// keep the historical always-evictable behaviour.
 	epoch uint64
-	// pinRejects counts fill calls that found every slot of the set pinned.
-	pinRejects int64
+	// pinRejects counts fill calls rejected because every unblocked slot of
+	// the set was pinned by the current epoch; winPinRejects counts fills
+	// where at least one slot was blocked purely by a window pin (the
+	// lookahead prefetcher's reservation). The split tells capacity pressure
+	// from this step's gathers apart from pressure from future batches.
+	pinRejects    int64
+	winPinRejects int64
+	// Prefetch accounting: fills issued by the lookahead prefetcher, and
+	// their fate — hit (served at least one demand lookup), late (went stale
+	// before any use), wasted (evicted before any use).
+	prefFills, prefHits, prefLate, prefWasted int64
 
 	// obs mirrors the counters into the job's observability layer so a
 	// live Snapshot can read them race-free while the owning trainer runs
@@ -96,6 +105,13 @@ func (m *Meta) pinned(s *slot) bool {
 	return m.epoch != 0 && s.epoch == m.epoch
 }
 
+// blocked reports whether a slot is exempt from eviction: pinned by the
+// current epoch (its storage may be aliased by this step's gathers) or
+// window-pinned (a batch inside the lookahead window still needs it).
+func (m *Meta) blocked(s *slot) bool {
+	return s.win > 0 || m.pinned(s)
+}
+
 // probe returns the slot index of a live, fresh entry for key, or -1.
 // Present-but-stale entries are invalidated and counted; their slot keeps
 // its pin (the storage may still be aliased by this epoch's earlier hits).
@@ -108,6 +124,13 @@ func (m *Meta) probe(key uint64, wantVersion uint64) int {
 		}
 		if s.version < wantVersion {
 			s.key = emptyKey
+			if s.pf && !s.pfUsed {
+				// A prefetched row invalidated before any demand use: the
+				// fill lost the race with a flush — late, not wasted.
+				m.prefLate++
+				m.obs.PrefetchLate(m.gpu)
+			}
+			s.pf = false
 			m.stale++
 			m.misses++
 			m.obs.Miss(m.gpu, key, true)
@@ -115,6 +138,11 @@ func (m *Meta) probe(key uint64, wantVersion uint64) int {
 		}
 		s.freq++
 		s.epoch = m.epoch
+		if s.pf {
+			s.pfUsed = true
+			m.prefHits++
+			m.obs.PrefetchHit(m.gpu)
+		}
 		m.hits++
 		m.obs.Hit(m.gpu, key)
 		return i
@@ -144,23 +172,33 @@ func (m *Meta) Contains(key uint64) bool {
 // fill claims a slot for key at version, evicting the least-frequently
 // used entry of the set when necessary, and returns the slot index plus
 // eviction info. Slots pinned by the current epoch — including
-// invalidated-but-pinned ones, whose storage may still be aliased — are
-// never chosen; when the whole set is pinned, fill returns slotIdx -1 and
-// the caller must fall back to private scratch storage.
-func (m *Meta) fill(key uint64, version uint64) (slotIdx int, evicted uint64, wasEviction bool) {
+// invalidated-but-pinned ones, whose storage may still be aliased — and
+// window-pinned slots (needed by a batch inside the lookahead window) are
+// never chosen; when the whole set is blocked, fill returns slotIdx -1 and
+// the caller must fall back to private scratch storage. prefetch marks a
+// fill issued by the lookahead prefetcher: the claimed slot is tagged pf
+// and NOT epoch-pinned (the prefetcher hands out no aliases; window pins
+// are its protection).
+func (m *Meta) fill(key uint64, version uint64, prefetch bool) (slotIdx int, evicted uint64, wasEviction bool) {
 	base := m.set(key) * Ways
 	victim := -1
 	var victimFreq uint32 = ^uint32(0)
+	winBlocked := false
 	for i := base; i < base+Ways; i++ {
 		s := &m.slots[i]
 		if s.key == key {
 			s.version = version
 			s.freq++
-			s.epoch = m.epoch
+			if !prefetch {
+				s.epoch = m.epoch
+			}
 			return i, 0, false
 		}
-		if m.pinned(s) {
-			continue // storage aliased by this epoch's gathers
+		if m.blocked(s) {
+			if s.win > 0 && !m.pinned(s) {
+				winBlocked = true
+			}
+			continue // storage aliased by this epoch's gathers, or reserved by the window
 		}
 		if s.key == emptyKey {
 			if victim == -1 || m.slots[victim].key != emptyKey {
@@ -178,16 +216,33 @@ func (m *Meta) fill(key uint64, version uint64) (slotIdx int, evicted uint64, wa
 		}
 	}
 	if victim == -1 {
-		m.pinRejects++
+		if winBlocked {
+			m.winPinRejects++
+		} else {
+			m.pinRejects++
+		}
 		return -1, 0, false
 	}
 	s := &m.slots[victim]
 	wasEviction = s.key != emptyKey
 	evicted = s.key
+	if wasEviction && s.pf && !s.pfUsed {
+		// A prefetched row evicted before any demand use: a wasted fill.
+		m.prefWasted++
+		m.obs.PrefetchWasted(m.gpu)
+	}
 	s.key = key
 	s.version = version
 	s.freq = 1
-	s.epoch = m.epoch
+	if prefetch {
+		s.epoch = 0
+	} else {
+		s.epoch = m.epoch
+	}
+	// A freshly claimed slot is not (yet) a prefetched row: the prefetch
+	// path sets pf via MarkPrefetched once the bytes have been copied.
+	s.pf = false
+	s.pfUsed = false
 	m.inserted++
 	if wasEviction {
 		m.evicted++
@@ -200,13 +255,80 @@ func (m *Meta) fill(key uint64, version uint64) (slotIdx int, evicted uint64, wa
 // simulator). It returns the evicted key, if any. With every slot of the
 // set pinned (possible only after BeginEpoch) the fill is dropped.
 func (m *Meta) Fill(key uint64, version uint64) (evicted uint64, wasEviction bool) {
-	_, ev, was := m.fill(key, version)
+	_, ev, was := m.fill(key, version, false)
 	return ev, was
 }
 
-// PinRejects reports how many fills were dropped because the whole set was
-// pinned by the current epoch (cache-bypass events; tests and diagnostics).
+// PinRejects reports how many fills were dropped because every eligible
+// slot of the set was pinned by the current epoch (cache-bypass events;
+// tests and diagnostics). Fills blocked by window pins are counted
+// separately — see WindowPinRejects.
 func (m *Meta) PinRejects() int64 { return m.pinRejects }
+
+// WindowPinRejects reports how many fills were dropped with at least one
+// slot of the set blocked purely by a window pin (a lookahead-window
+// reservation rather than this step's own gathers).
+func (m *Meta) WindowPinRejects() int64 { return m.winPinRejects }
+
+// ----------------------------------------------------------------------
+// Lookahead-prefetch surface (window pinning). All methods are
+// single-threaded like the rest of Meta; the runtime serialises the
+// prefetch stage against the gather/apply phases with its own lock.
+
+// PeekSlot locates key's slot without touching the hit/miss statistics —
+// the prefetcher's probe, which must not pollute demand-miss accounting.
+// Returns the slot index, or -1 when the key is not resident (any version).
+func (m *Meta) PeekSlot(key uint64) int {
+	base := m.set(key) * Ways
+	for i := base; i < base+Ways; i++ {
+		if m.slots[i].key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// SlotVersion returns the version tag of a slot located by PeekSlot.
+func (m *Meta) SlotVersion(i int) uint64 { return m.slots[i].version }
+
+// SlotEpochPinned reports whether the slot's storage may be aliased by the
+// current epoch's gathers — if so, the prefetcher must not rewrite its
+// bytes in place.
+func (m *Meta) SlotEpochPinned(i int) bool { return m.pinned(&m.slots[i]) }
+
+// WindowPin increments the slot's window refcount: one more batch inside
+// the lookahead window needs it. While the count is nonzero the slot is
+// exempt from eviction.
+func (m *Meta) WindowPin(i int) { m.slots[i].win++ }
+
+// WindowUnpin decrements the slot's window refcount (a batch that needed
+// the slot has retired). Pin/unpin calls are balanced by the prefetcher's
+// per-batch pin ring, so the count cannot underflow; the guard keeps a
+// bookkeeping bug from turning into a permanently pinned set.
+func (m *Meta) WindowUnpin(i int) {
+	if s := &m.slots[i]; s.win > 0 {
+		s.win--
+	}
+}
+
+// MarkPrefetched records a completed prefetch fill (or in-place refill) of
+// slot i at the given version: the row bytes were just copied from the
+// host slab under its row lock, so version is exact — never ahead of the
+// content. A previous unused prefetch fill of the same slot counts as late
+// (its bytes were refreshed before any use, so the earlier read bought
+// nothing).
+func (m *Meta) MarkPrefetched(i int, version uint64) {
+	s := &m.slots[i]
+	if s.pf && !s.pfUsed {
+		m.prefLate++
+		m.obs.PrefetchLate(m.gpu)
+	}
+	s.version = version
+	s.pf = true
+	s.pfUsed = false
+	m.prefFills++
+	m.obs.PrefetchFill(m.gpu)
+}
 
 // Bump updates the stored version of a cached key; reports presence.
 func (m *Meta) Bump(key uint64, version uint64) bool {
@@ -235,10 +357,15 @@ func (m *Meta) Invalidate(key uint64) bool {
 // Stats returns a snapshot of the counters.
 func (m *Meta) Stats() Stats {
 	return Stats{Hits: m.hits, Misses: m.misses, StaleHits: m.stale,
-		Inserted: m.inserted, Evicted: m.evicted}
+		Inserted: m.inserted, Evicted: m.evicted,
+		PrefetchFills: m.prefFills, PrefetchHits: m.prefHits,
+		PrefetchLate: m.prefLate, PrefetchWasted: m.prefWasted,
+		PinRejects: m.pinRejects, WindowPinRejects: m.winPinRejects}
 }
 
 // ResetStats clears the counters.
 func (m *Meta) ResetStats() {
 	m.hits, m.misses, m.stale, m.inserted, m.evicted = 0, 0, 0, 0, 0
+	m.prefFills, m.prefHits, m.prefLate, m.prefWasted = 0, 0, 0, 0
+	m.pinRejects, m.winPinRejects = 0, 0
 }

@@ -12,7 +12,9 @@
 // linked list with logical deletion. Capacity is dynamic because the lists
 // grow and shrink with the population; the directory spreads contention so
 // that concurrent operations on different keys rarely touch the same cache
-// line.
+// line. Nodes are claimed from a chunked append-only arena (one heap
+// allocation per chunkNodes inserts) and never recycled; see chunk for why
+// reuse is off the table.
 package lfht
 
 import (
@@ -36,6 +38,42 @@ func (n *node[V]) live() bool { return n.state.Load() == 0 }
 // kill logically deletes the node; reports whether this caller won the race.
 func (n *node[V]) kill() bool { return n.state.CompareAndSwap(0, 1) }
 
+// chunkNodes is the arena granularity: one heap allocation per chunkNodes
+// node claims instead of one per insert.
+const chunkNodes = 256
+
+// chunk is an append-only node arena block. Claiming is a single atomic
+// increment; nodes are NEVER recycled — a logically deleted node may still
+// be traversed by a concurrent reader, so returning it to a free list would
+// reintroduce the ABA/lost-entry hazards that safe memory reclamation
+// exists to solve (out of scope per DESIGN.md §5d). The chunk stays
+// reachable (and thus alive) while any of its nodes is linked in a segment;
+// dead prefixes are unlinked opportunistically, after which the GC collects
+// whole chunks.
+type chunk[V any] struct {
+	next  atomic.Uint32
+	nodes [chunkNodes]node[V]
+}
+
+// newNode claims a zeroed node from the current arena chunk, publishing a
+// fresh chunk when the current one is exhausted. Lock-free: a claim is one
+// fetch-add; losing the publish CAS still yields a valid node (slot 0 of
+// the loser's private chunk — slightly wasteful, never wrong).
+func (m *Map[V]) newNode() *node[V] {
+	for {
+		c := m.arena.Load()
+		if c != nil {
+			if i := c.next.Add(1); i <= chunkNodes {
+				return &c.nodes[i-1]
+			}
+		}
+		fresh := &chunk[V]{}
+		fresh.next.Store(1)
+		m.arena.CompareAndSwap(c, fresh)
+		return &fresh.nodes[0]
+	}
+}
+
 // Map is a concurrent hash map from uint64 keys to values of type V.
 // The zero value is not usable; construct with New or NewWithHint.
 type Map[V any] struct {
@@ -43,6 +81,7 @@ type Map[V any] struct {
 	mask     uint64
 	count    atomic.Int64
 	cursor   atomic.Uint64 // rotating start segment for PopAny fairness
+	arena    atomic.Pointer[chunk[V]]
 }
 
 // DefaultSegments is the directory size used by New.
@@ -87,7 +126,8 @@ func (m *Map[V]) segment(key uint64) *atomic.Pointer[node[V]] {
 // guarantees one live mapping per key per table. Lock-free: a single CAS
 // at the segment head.
 func (m *Map[V]) Insert(key uint64, val V) {
-	n := &node[V]{key: key, val: val}
+	n := m.newNode()
+	n.key, n.val = key, val
 	head := m.segment(key)
 	for {
 		old := head.Load()
@@ -106,14 +146,19 @@ func (m *Map[V]) Insert(key uint64, val V) {
 // mk may be called and its result discarded when the CAS loop retries.
 func (m *Map[V]) GetOrInsert(key uint64, mk func() V) (V, bool) {
 	head := m.segment(key)
+	var n *node[V] // claimed lazily, reused across CAS retries (unpublished)
 	for {
 		top := head.Load()
-		for n := top; n != nil; n = n.next.Load() {
-			if n.key == key && n.live() {
-				return n.val, true
+		for c := top; c != nil; c = c.next.Load() {
+			if c.key == key && c.live() {
+				return c.val, true
 			}
 		}
-		n := &node[V]{key: key, val: mk()}
+		if n == nil {
+			n = m.newNode()
+			n.key = key
+		}
+		n.val = mk()
 		n.next.Store(top)
 		if head.CompareAndSwap(top, n) {
 			m.count.Add(1)

@@ -201,7 +201,9 @@ func (h *Histogram) snapshot() HistSnapshot {
 // called on the cache probe path, so they must stay branch-cheap.
 type CacheObs struct {
 	lookups, hits, misses, stale, inserts, evictions Counter
-	tr                                               *Tracer
+	// Lookahead-prefetch fate counters (see cache.Stats for semantics).
+	prefFills, prefHits, prefLate, prefWasted Counter
+	tr                                        *Tracer
 }
 
 // Hit records a fresh cache hit.
@@ -238,6 +240,40 @@ func (c *CacheObs) Insert(gpu int, key, evicted uint64, wasEviction bool) {
 		c.evictions.Add(gpu, 1)
 		c.tr.Emit(EvCacheEvict, gpu, -1, evicted, 0)
 	}
+}
+
+// PrefetchFill records one row filled (or refilled) by the lookahead
+// prefetcher.
+func (c *CacheObs) PrefetchFill(gpu int) {
+	if c == nil {
+		return
+	}
+	c.prefFills.Add(gpu, 1)
+}
+
+// PrefetchHit records a demand lookup served from a prefetched row.
+func (c *CacheObs) PrefetchHit(gpu int) {
+	if c == nil {
+		return
+	}
+	c.prefHits.Add(gpu, 1)
+}
+
+// PrefetchLate records a prefetched row invalidated or refilled before any
+// demand use (the fill lost a race with a flush).
+func (c *CacheObs) PrefetchLate(gpu int) {
+	if c == nil {
+		return
+	}
+	c.prefLate.Add(gpu, 1)
+}
+
+// PrefetchWasted records a prefetched row evicted before any demand use.
+func (c *CacheObs) PrefetchWasted(gpu int) {
+	if c == nil {
+		return
+	}
+	c.prefWasted.Add(gpu, 1)
 }
 
 // GateObs observes the synchronous-consistency gate from the trainer side.
@@ -483,6 +519,8 @@ func New(opt Options) *Observer {
 	o.cache = CacheObs{
 		lookups: newCounter(n), hits: newCounter(n), misses: newCounter(n),
 		stale: newCounter(n), inserts: newCounter(n), evictions: newCounter(n),
+		prefFills: newCounter(n), prefHits: newCounter(n),
+		prefLate: newCounter(n), prefWasted: newCounter(n),
 		tr: o.tracer,
 	}
 	o.gate = GateObs{
@@ -581,6 +619,15 @@ type Snapshot struct {
 	CacheInserts   int64 `json:"cacheInserts"`
 	CacheEvictions int64 `json:"cacheEvictions"`
 
+	// Lookahead prefetch: fills issued by the prefetcher and their fate.
+	// CachePrefetchHits counts demand lookups served from prefetched rows
+	// (a subset of CacheHits); Late went stale before use, Wasted were
+	// evicted before use.
+	CachePrefetchFills  int64 `json:"cachePrefetchFills"`
+	CachePrefetchHits   int64 `json:"cachePrefetchHits"`
+	CachePrefetchLate   int64 `json:"cachePrefetchLate"`
+	CachePrefetchWasted int64 `json:"cachePrefetchWasted"`
+
 	// Consistency gate: every gate wait is a pass; blocks are the waits
 	// that actually stalled, accumulating GateStallTime.
 	GatePasses    int64         `json:"gatePasses"`
@@ -638,6 +685,11 @@ func (o *Observer) Snapshot() Snapshot {
 		CacheStaleHits: o.cache.stale.Total(),
 		CacheInserts:   o.cache.inserts.Total(),
 		CacheEvictions: o.cache.evictions.Total(),
+
+		CachePrefetchFills:  o.cache.prefFills.Total(),
+		CachePrefetchHits:   o.cache.prefHits.Total(),
+		CachePrefetchLate:   o.cache.prefLate.Total(),
+		CachePrefetchWasted: o.cache.prefWasted.Total(),
 
 		GatePasses:    o.gate.passes.Total(),
 		GateBlocks:    o.gate.blocks.Total(),

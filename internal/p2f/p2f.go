@@ -82,6 +82,15 @@ type Options struct {
 	Sink FlushSink
 	// Source supplies the batch trace. Required.
 	Source TraceSource
+	// OnPrefetch, when non-nil, is invoked by the prefetch goroutine for
+	// every batch it pulls from the trace, after the batch's future reads
+	// are registered in the g-entry directory and before the batch is
+	// published on the sample queue. The runtime's lookahead prefetcher
+	// rides this hook to learn which keys batches S+1..S+L will touch.
+	// The callback must not retain keys past its return (the slice is the
+	// trace's) and must be fast — it runs on the prefetch goroutine and
+	// backpressures the lookahead window.
+	OnPrefetch func(step int64, keys []uint64)
 	// Queue overrides the priority queue implementation (default: a
 	// TwoLevelPQ sized for MaxStep). Exp #4 passes a TreeHeap here.
 	Queue pq.Queue
@@ -323,6 +332,11 @@ func (c *Controller) prefetchLoop() {
 			return
 		}
 		c.registerReads(step, keys)
+		if c.opt.OnPrefetch != nil {
+			// After registerReads: by the time the runtime's prefetcher sees
+			// the keys, their future reads are already visible to the gate.
+			c.opt.OnPrefetch(step, keys)
+		}
 		c.prefetchedSteps.Add(1)
 		select {
 		case c.sample <- Batch{Step: step, Keys: keys}:

@@ -73,43 +73,111 @@ func TestStepPathZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestStepPathZeroAllocPrefetch extends the zero-alloc invariant to the
+// lookahead prefetcher: with prefetch on, the step path AND the concurrent
+// fill stage together still perform zero steady-state heap allocations
+// (AllocsPerRun counts global mallocs, so the prefetch goroutine's work is
+// inside the measurement). The harness plays dispatch's role: it feeds
+// each future batch's keys to the prefetcher before stepping, exactly one
+// feed per steady-state step.
+func TestStepPathZeroAllocPrefetch(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"frugal-sync-sgd-prefetch":     {Engine: EngineFrugalSync, Prefetch: true},
+		"frugal-sync-adagrad-prefetch": {Engine: EngineFrugalSync, Optimizer: OptAdagrad, Prefetch: true},
+	} {
+		t.Run(name, func(t *testing.T) {
+			// Warm-up must cycle through every ring slot once so the per-slot
+			// keys/pinned slices reach steady-state capacity before measuring.
+			const ringWarm, runs = 28, 20
+			steps := int64(ringWarm + 1 + runs)
+			j := newDrivenJob(t, cfg, steps, false)
+			if rs := len(j.prefetchers[0].ring); ringWarm < rs+2 {
+				t.Fatalf("warmup %d too short for ring size %d", ringWarm, rs)
+			}
+			keys := make([][]uint64, 0, steps)
+			for i := int64(0); i < steps; i++ {
+				ks, ok := j.trace.Next()
+				if !ok {
+					t.Fatal("trace exhausted during pre-pump")
+				}
+				keys = append(keys, ks)
+			}
+			j.startPrefetchers()
+			defer j.stopPrefetchers()
+			ws := j.newWorkerState(0)
+			depth := int64(j.cfg.PrefetchDepth)
+			var step, fed int64
+			one := func() {
+				for fed <= step+depth && fed < steps {
+					j.feedPrefetch(fed, keys[fed])
+					fed++
+				}
+				j.step(ws, stepMsg{step: step, payload: j.trace.Take(step)})
+				step++
+			}
+			for i := 0; i < ringWarm; i++ {
+				one()
+			}
+			if got := testing.AllocsPerRun(runs, one); got != 0 {
+				t.Fatalf("steady-state prefetched step allocates %v times, want 0", got)
+			}
+		})
+	}
+}
+
 // TestStepPathBoundedAllocFrugal bounds the asynchronous engine's residual.
-// EngineFrugal cannot be strictly zero-alloc per step: every CommitStep
-// enqueues g-entries into the lock-free queue index, which allocates one
-// immutable node per enqueue (safe memory reclamation for lock-free lists
-// is deliberately out of scope — see DESIGN.md §5d), and this harness also
-// generates the sample stream live (the prefetcher owns the trace, so it
-// cannot be pre-pumped). The bound asserts the residual stays O(distinct
-// keys), nowhere near the old per-key-buffer churn.
+// EngineFrugal cannot be strictly zero-alloc per step: the lock-free queue
+// index claims immutable nodes from a chunked arena (amortized one chunk
+// allocation per chunkNodes enqueues — nodes are never recycled, see
+// DESIGN.md §5d), and this harness also generates the sample stream live
+// (the P²F lookahead loop owns the trace, so it cannot be pre-pumped). The
+// bound asserts the residual stays well below one allocation per batch key,
+// nowhere near the old per-key-buffer churn.
 func TestStepPathBoundedAllocFrugal(t *testing.T) {
-	const warmup, runs = 8, 20
-	steps := int64(warmup + 1 + runs)
-	cfg := Config{Engine: EngineFrugal, Lookahead: int(steps) + 1}
-	j := newDrivenJob(t, cfg, steps, false)
-	ws := j.newWorkerState(0)
-	j.ctrl.Start()
-	defer j.ctrl.Stop()
-	one := func() {
-		b, ok := j.ctrl.NextBatchCtx(context.Background())
-		if !ok {
-			t.Fatal("controller stopped early")
+	for _, prefetch := range []bool{false, true} {
+		name := "demand"
+		if prefetch {
+			name = "prefetch"
 		}
-		j.step(ws, stepMsg{step: b.Step, payload: j.trace.Take(b.Step)})
-		// Let the flushers drain so pooled delta buffers return before the
-		// next step draws from the pool.
-		for j.ctrl.Queue().Len() > 0 {
-			goruntime.Gosched()
-		}
-	}
-	for i := 0; i < warmup; i++ {
-		one()
-	}
-	got := testing.AllocsPerRun(runs, one)
-	// ~1 queue node per distinct key (≤ batch) plus sample generation and
-	// cold-tail g-entry creation; 3×batch is far above steady state and far
-	// below the old regime (≈5×batch at this shape).
-	if limit := float64(3 * allocTestBatch); got > limit {
-		t.Fatalf("frugal step allocates %v times, want ≤ %v", got, limit)
+		t.Run(name, func(t *testing.T) {
+			const warmup, runs = 40, 20
+			steps := int64(warmup + 1 + runs)
+			cfg := Config{Engine: EngineFrugal, Lookahead: int(steps) + 1,
+				Prefetch: prefetch}
+			j := newDrivenJob(t, cfg, steps, false)
+			ws := j.newWorkerState(0)
+			j.ctrl.Start()
+			defer j.ctrl.Stop()
+			if prefetch {
+				// The P²F lookahead loop feeds the prefetcher via OnPrefetch;
+				// only the fill stage needs starting (RunContext normally
+				// does both).
+				j.startPrefetchers()
+				defer j.stopPrefetchers()
+			}
+			one := func() {
+				b, ok := j.ctrl.NextBatchCtx(context.Background())
+				if !ok {
+					t.Fatal("controller stopped early")
+				}
+				j.step(ws, stepMsg{step: b.Step, payload: j.trace.Take(b.Step)})
+				// Let the flushers drain so pooled delta buffers return before
+				// the next step draws from the pool.
+				for j.ctrl.Queue().Len() > 0 {
+					goruntime.Gosched()
+				}
+			}
+			for i := 0; i < warmup; i++ {
+				one()
+			}
+			got := testing.AllocsPerRun(runs, one)
+			// The flush-queue index claims nodes from a chunked arena, so the
+			// residual is sample generation, cold-tail g-entry creation and
+			// amortized arena chunks — well under one alloc per batch key.
+			if limit := float64(allocTestBatch); got > limit {
+				t.Fatalf("frugal step allocates %v times, want ≤ %v", got, limit)
+			}
+		})
 	}
 }
 

@@ -62,6 +62,18 @@ type Config struct {
 	DequeueBatch int
 	// Queue overrides the controller's priority queue (Exp #4).
 	Queue pq.Queue
+	// Prefetch enables the lookahead prefetcher: while step S computes, a
+	// per-worker fill stage walks the key sets of batches S+1..S+depth,
+	// fills predicted cache misses from host memory, and window-pins every
+	// slot those batches will touch so eviction never victimizes a row the
+	// window will re-request. Requires a cached engine (EngineFrugal or
+	// EngineFrugalSync).
+	Prefetch bool
+	// PrefetchDepth is how many future batches the prefetcher keeps filled
+	// and pinned ahead of training (default: Lookahead). Requires
+	// Prefetch; for EngineFrugal it cannot exceed Lookahead — the
+	// controller's sample queue only ever runs L batches ahead.
+	PrefetchDepth int
 	// Optimizer selects the embedding optimizer: OptSGD (default) or
 	// OptAdagrad (row-wise Adagrad; the flushing threads apply the
 	// accumulator on host memory alongside the row delta).
@@ -168,6 +180,25 @@ func (c *Config) normalize() error {
 	if c.DequeueBatch <= 0 {
 		c.DequeueBatch = 64
 	}
+	if c.PrefetchDepth < 0 {
+		return fmt.Errorf("runtime: PrefetchDepth must be positive, got %d", c.PrefetchDepth)
+	}
+	if c.PrefetchDepth > 0 && !c.Prefetch {
+		return errors.New("runtime: PrefetchDepth requires Prefetch")
+	}
+	if c.Prefetch {
+		switch c.Engine {
+		case EngineDirect, EngineAsync:
+			return fmt.Errorf("runtime: Prefetch requires a cached engine, not %q", c.Engine)
+		}
+		if c.PrefetchDepth == 0 {
+			c.PrefetchDepth = c.Lookahead
+		}
+		if c.Engine == EngineFrugal && c.PrefetchDepth > c.Lookahead {
+			return fmt.Errorf("runtime: PrefetchDepth %d exceeds Lookahead %d (the sample queue never runs further ahead)",
+				c.PrefetchDepth, c.Lookahead)
+		}
+	}
 	switch c.Optimizer {
 	case "":
 		c.Optimizer = OptSGD
@@ -258,7 +289,10 @@ type Job struct {
 	slab    RowStore
 	host    *Host // job-owned host slab; nil under a Config.Slab override
 	caches  []*cache.Cache
-	ctrl    *p2f.Controller
+	// prefetchers is the per-worker lookahead fill stage (prefetch.go);
+	// nil unless Config.Prefetch.
+	prefetchers []*prefetcher
+	ctrl        *p2f.Controller
 	trace   *data.PayloadTrace[stepPayload]
 	barrier *Barrier
 	steps   int64
@@ -387,8 +421,18 @@ func newJob(cfg Config, steps int64, samplesPerStep int,
 			c.SetObserver(cfg.Observer.CacheSink(), g)
 			j.caches = append(j.caches, c)
 		}
+		if cfg.Prefetch {
+			for g := 0; g < cfg.NumGPUs; g++ {
+				j.prefetchers = append(j.prefetchers,
+					newPrefetcher(g, cfg.NumGPUs, j.caches[g], slab, cfg.PrefetchDepth, cfg.Lookahead))
+			}
+		}
 	}
 	if cfg.Engine == EngineFrugal {
+		var onPrefetch func(int64, []uint64)
+		if j.prefetchers != nil {
+			onPrefetch = j.feedPrefetch
+		}
 		ctrl, err := p2f.NewController(p2f.Options{
 			MaxStep:          steps,
 			Lookahead:        cfg.Lookahead,
@@ -399,6 +443,7 @@ func newJob(cfg Config, steps int64, samplesPerStep int,
 			Obs:              cfg.Observer,
 			Faults:           cfg.Faults,
 			Recovery:         cfg.Recovery,
+			OnPrefetch:       onPrefetch,
 			Sink: p2f.FlushSinkFunc(func(key uint64, updates []pq.Update) {
 				slab.ApplyUpdates(key, updates)
 				// The gate guarantees no reader still needs these deltas
@@ -449,6 +494,13 @@ func (j *Job) RunContext(ctx context.Context) (Result, error) {
 		j.ctrl.Start()
 		defer j.ctrl.Stop()
 	}
+	if j.prefetchers != nil {
+		j.startPrefetchers()
+		// Deferred after ctrl.Stop, so it runs first (LIFO): a stopping
+		// prefetcher unblocks any feed the controller's prefetch goroutine
+		// is parked in, letting ctrl.Stop join it.
+		defer j.stopPrefetchers()
+	}
 	j.losses = make([]float32, j.steps)
 
 	chans := make([]chan stepMsg, j.cfg.NumGPUs)
@@ -466,6 +518,9 @@ func (j *Job) RunContext(ctx context.Context) (Result, error) {
 		}(w)
 	}
 	wg.Wait()
+	// Stop the prefetchers before reading cache stats below — their fill
+	// goroutines would otherwise still be mutating the directories.
+	j.stopPrefetchers()
 
 	var res Result
 	res.Recovery.DegradedStep = -1
@@ -498,6 +553,12 @@ func (j *Job) RunContext(ctx context.Context) (Result, error) {
 		res.CacheStats.StaleHits += s.StaleHits
 		res.CacheStats.Inserted += s.Inserted
 		res.CacheStats.Evicted += s.Evicted
+		res.CacheStats.PrefetchFills += s.PrefetchFills
+		res.CacheStats.PrefetchHits += s.PrefetchHits
+		res.CacheStats.PrefetchLate += s.PrefetchLate
+		res.CacheStats.PrefetchWasted += s.PrefetchWasted
+		res.CacheStats.PinRejects += s.PinRejects
+		res.CacheStats.WindowPinRejects += s.WindowPinRejects
 	}
 	res.SamplesPerSec = float64(j.samples) * float64(completed) / res.WallTime.Seconds()
 	if len(j.preds) > 0 {

@@ -30,6 +30,16 @@ func (j *Job) dispatch(ctx context.Context, chans []chan stepMsg) {
 			close(ch)
 		}
 	}()
+	// Controller-less engines with prefetch on (EngineFrugalSync) have no
+	// P²F prefetch goroutine to feed the lookahead stage, so dispatch reads
+	// the trace ahead itself: before handing out step i it has pulled steps
+	// through i+depth, feeding each key set to the prefetchers. PayloadTrace
+	// retains payloads until Take, so the read-ahead is free.
+	readAhead := int64(0)
+	if j.ctrl == nil && j.prefetchers != nil {
+		readAhead = int64(j.cfg.PrefetchDepth)
+	}
+	primed := int64(0) // steps pulled from the trace so far
 	for i := int64(0); i < j.steps; i++ {
 		if ctx.Err() != nil {
 			return
@@ -42,8 +52,22 @@ func (j *Job) dispatch(ctx context.Context, chans []chan stepMsg) {
 			}
 			step = b.Step
 		} else {
-			if _, ok := j.trace.Next(); !ok {
-				return
+			target := i + 1 + readAhead
+			if target > j.steps {
+				target = j.steps
+			}
+			for primed < target {
+				keys, ok := j.trace.Next()
+				if !ok {
+					break
+				}
+				if readAhead > 0 {
+					j.feedPrefetch(primed, keys)
+				}
+				primed++
+			}
+			if i >= primed {
+				return // trace exhausted before this step
 			}
 			step = i
 		}
@@ -140,8 +164,21 @@ func (j *Job) step(ws *workerState, msg stepMsg) {
 		}
 	}
 
-	// 2. Gather embedding rows.
+	// 2. Gather embedding rows. With prefetch on, first wait for the fill
+	// pass covering this batch (it overlapped with the previous step's
+	// compute, so this wait is normally already satisfied), then take the
+	// cache guard: the prefetcher's fill stage and the gather phase share
+	// the single-threaded cache directory.
+	var pf *prefetcher
+	if j.prefetchers != nil {
+		pf = j.prefetchers[ws.id]
+		pf.waitFor(msg.step)
+		pf.mu.Lock()
+	}
 	j.gather(ws, shard.keys)
+	if pf != nil {
+		pf.mu.Unlock()
+	}
 
 	// 3. Read barrier: nobody commits step s until everyone has read it
 	// (the synchronous-training contract CommitStep documents). The async
@@ -159,8 +196,13 @@ func (j *Job) step(ws *workerState, msg stepMsg) {
 	j.addLoss(msg.step, loss)
 
 	// 5. Commit: aggregate per-key deltas and push them down the
-	// engine-specific write path.
+	// engine-specific write path. Afterwards the batch retires from the
+	// lookahead window: its window pins are released and the prefetcher may
+	// advance one more batch.
 	j.commit(ws, msg.step, shard.keys)
+	if pf != nil {
+		pf.retire(msg.step)
+	}
 
 	// 6. Step barrier for the synchronous engines (the Frugal gate already
 	// serialises steps through the committed-step watermark).
@@ -292,17 +334,30 @@ func (j *Job) commit(ws *workerState, step int64, keys []uint64) {
 			j.rowPool.Put(s.delta)
 			s.delta = nil
 		}
-	case EngineFrugalSync:
-		// Write-through (Frugal-Sync of §4.1): apply synchronously to
-		// host; the owner's cached copy absorbs the delta in place.
-		for _, s := range ws.dirty {
-			d, dG := j.optimize(s)
-			j.applyLocal(ws, s.key, d, s.ver)
-			j.slab.ApplyDelta(s.key, d, dG)
-			j.rowPool.Put(s.delta)
-			s.delta = nil
+	case EngineFrugalSync, EngineFrugal:
+		// applyLocal walks the cache directory, so with prefetch on the
+		// whole write-back loop runs under the worker's cache guard (the
+		// fill stage holds the same lock; see prefetch.go).
+		var pf *prefetcher
+		if j.prefetchers != nil {
+			pf = j.prefetchers[ws.id]
+			pf.mu.Lock()
 		}
-	case EngineFrugal:
+		if j.cfg.Engine == EngineFrugalSync {
+			// Write-through (Frugal-Sync of §4.1): apply synchronously to
+			// host; the owner's cached copy absorbs the delta in place.
+			for _, s := range ws.dirty {
+				d, dG := j.optimize(s)
+				j.applyLocal(ws, s.key, d, s.ver)
+				j.slab.ApplyDelta(s.key, d, dG)
+				j.rowPool.Put(s.delta)
+				s.delta = nil
+			}
+			if pf != nil {
+				pf.mu.Unlock()
+			}
+			return
+		}
 		ws.upd = ws.upd[:0]
 		for _, s := range ws.dirty {
 			d, dG := j.optimize(s)
@@ -311,6 +366,11 @@ func (j *Job) commit(ws *workerState, step int64, keys []uint64) {
 			// Ownership of the delta buffer moves to the P²F write set;
 			// the flush sink pools it back after the host apply.
 			s.delta = nil
+		}
+		if pf != nil {
+			// CommitStep can block on queue work; release the cache guard
+			// first so the fill stage keeps overlapping.
+			pf.mu.Unlock()
 		}
 		j.flObs.Enqueued(ws.id, step, len(ws.upd))
 		j.ctrl.CommitStep(step, ws.upd)
