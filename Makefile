@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-core serve-stress prefetch-stress serve-demo shard-demo bench bench-baseline bench-check check
+.PHONY: build vet test race race-core serve-stress prefetch-stress serve-demo shard-demo stream-demo bench bench-baseline bench-check check
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ race:
 # is spelled out so the load generator stays covered even if the packages
 # are ever reorganised.
 race-core:
-	$(GO) test -race ./internal/runtime/... ./internal/cache ./internal/p2f/... ./internal/fault/... ./internal/pq/... ./internal/lfht/... ./internal/serve ./internal/serve/loadgen ./internal/store ./internal/shard
+	$(GO) test -race ./internal/runtime/... ./internal/cache ./internal/p2f/... ./internal/fault/... ./internal/pq/... ./internal/lfht/... ./internal/serve ./internal/serve/loadgen ./internal/store ./internal/shard ./internal/stream ./internal/ckpt
 
 # The lookahead-prefetch suite under the race detector: window-pin
 # blockades with 4 trainers, 4 prefetchers and the flusher pool running
@@ -57,6 +57,24 @@ shard-demo:
 	sleep 1; \
 	/tmp/frugal-shard-demo -connect 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 -steps 150; \
 	$(GO) run ./cmd/frugal-serve -shards 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 -loadgen 5s -level 'bounded(4)'
+
+# Continuous training with HA serving: a streaming primary cuts the
+# delta-checkpoint log while a fault plan kills a flusher mid-run; a
+# follower tails the log and is hammered by the serving load generator;
+# after the primary exits, the follower self-promotes on log idleness and
+# answers a fresh read as the new authority.
+stream-demo:
+	@set -e; \
+	rm -rf /tmp/frugal-stream-log; \
+	$(GO) build -o /tmp/frugal-train-demo ./cmd/frugal-train; \
+	$(GO) build -o /tmp/frugal-serve-demo ./cmd/frugal-serve; \
+	/tmp/frugal-train-demo -stream -stream-rate 20000 -stream-log /tmp/frugal-stream-log \
+		-gpus 2 -keys 20000 -batch 64 -duration 8s -fault-plan 'crash:flusher=0@batch=50' & TP=$$!; \
+	trap 'kill $$TP 2>/dev/null || true; wait $$TP 2>/dev/null || true' EXIT; \
+	/tmp/frugal-serve-demo -follow /tmp/frugal-stream-log -wait-for-log 10s \
+		-loadgen 6s -level 'bounded(8)'; \
+	wait $$TP; \
+	/tmp/frugal-serve-demo -follow /tmp/frugal-stream-log -promote-after 200ms -loadgen 2s -level 'bounded(8)'
 
 # One pass over every benchmark (sanity, not measurement).
 bench:

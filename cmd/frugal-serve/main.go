@@ -51,6 +51,10 @@ func run() int {
 		addr        = flag.String("addr", ":8080", "HTTP listen address")
 		checkpoint  = flag.String("checkpoint", "", "checkpoint to serve (from frugal-train -checkpoint-out)")
 		shards      = flag.String("shards", "", "comma-separated frugal-shard addresses to serve from, in -shard index order (instead of -checkpoint)")
+		follow      = flag.String("follow", "", "delta-checkpoint log directory to tail as a serve replica (from frugal-train -stream-log; instead of -checkpoint)")
+		poll        = flag.Duration("poll", 0, "follower log-tail interval (0 = 50ms default; requires -follow)")
+		promote     = flag.Duration("promote-after", 0, "self-promote once the log stops growing for this long (0 = never; requires -follow)")
+		waitForLog  = flag.Duration("wait-for-log", 0, "keep retrying this long when the log directory has no base yet (requires -follow)")
 		level       = flag.String("level", "stale", "default consistency level: stale, bounded(k), fresh")
 		rejectStale = flag.Bool("reject-stale", false, "refuse bounded lookups over the bound instead of force-flushing")
 		maxTopK     = flag.Int("max-topk", 128, "largest accepted top-K query size")
@@ -72,7 +76,9 @@ func run() int {
 	flag.Parse()
 
 	lvl, kind, err := validate(options{
-		Addr: *addr, Checkpoint: *checkpoint, Shards: *shards, Level: *level, MaxTopK: *maxTopK,
+		Addr: *addr, Checkpoint: *checkpoint, Shards: *shards,
+		Follow: *follow, Poll: *poll, PromoteAfter: *promote, WaitForLog: *waitForLog,
+		Level: *level, MaxTopK: *maxTopK,
 		MaxInflight: *maxInflight, RequestTimeout: *reqTimeout, Drain: *drain,
 		LoadGen: *loadGen, Rate: *rate, Workers: *workers, Zipf: *zipf, TopKFrac: *topkFrac, K: *k,
 		Index: *index, Centroids: *centroids, NProbe: *nprobe,
@@ -89,14 +95,36 @@ func run() int {
 		Index: kind, Centroids: *centroids, NProbe: *nprobe,
 	}
 	var srv *frugal.Server
-	if *shards != "" {
+	var fsrv *frugal.FollowerServer
+	role := "static"
+	switch {
+	case *shards != "":
+		role = "sharded"
 		srv, err = frugal.NewServerFromShards(splitAddrs(*shards), opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 		defer srv.Close()
-	} else {
+	case *follow != "":
+		fsrv, err = frugal.NewServerFromLog(*follow, opt, frugal.FollowOptions{
+			Poll: *poll, WaitForLog: *waitForLog, PromoteAfter: *promote,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		srv = fsrv.Server
+		role = fsrv.Role()
+		// Tail the log for the whole process lifetime, whichever mode runs.
+		tailCtx, stopTail := context.WithCancel(context.Background())
+		defer stopTail()
+		go func() {
+			if err := fsrv.Run(tailCtx); err != nil && tailCtx.Err() == nil {
+				fmt.Fprintln(os.Stderr, "frugal-serve: log tail:", err)
+			}
+		}()
+	default:
 		f, err := os.Open(*checkpoint)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -109,6 +137,9 @@ func run() int {
 			return 1
 		}
 	}
+	// The resolved level and role are load-bearing operational facts —
+	// log them up front in every mode.
+	fmt.Printf("frugal-serve: level=%s role=%s rows=%d dim=%d\n", lvl, role, srv.Rows(), srv.Dim())
 
 	if *loadGen > 0 {
 		rep, err := srv.RunLoadGen(frugal.LoadGenOptions{

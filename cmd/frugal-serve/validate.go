@@ -26,6 +26,10 @@ type options struct {
 	Addr           string
 	Checkpoint     string
 	Shards         string
+	Follow         string
+	Poll           time.Duration
+	PromoteAfter   time.Duration
+	WaitForLog     time.Duration
 	Level          string
 	MaxTopK        int
 	MaxInflight    int
@@ -69,11 +73,41 @@ func validate(o options) (frugal.ServeLevel, frugal.IndexKind, error) {
 	if kind != frugal.IndexIVF && (o.Centroids > 0 || o.NProbe > 0) {
 		return fail(fmt.Errorf("-centroids/-nprobe need -index=ivf (got -index=%s)", kind))
 	}
-	if o.Checkpoint == "" && o.Shards == "" {
-		return fail(fmt.Errorf("-checkpoint or -shards is required (train a checkpoint with frugal-train -checkpoint-out, or start frugal-shard nodes)"))
+	sources := 0
+	for _, set := range []bool{o.Checkpoint != "", o.Shards != "", o.Follow != ""} {
+		if set {
+			sources++
+		}
 	}
-	if o.Checkpoint != "" && o.Shards != "" {
-		return fail(fmt.Errorf("-checkpoint and -shards are mutually exclusive (one slab per server)"))
+	if sources == 0 {
+		return fail(fmt.Errorf("-checkpoint, -shards or -follow is required (train a checkpoint with frugal-train -checkpoint-out, start frugal-shard nodes, or tail a -stream-log directory)"))
+	}
+	if sources > 1 {
+		return fail(fmt.Errorf("-checkpoint, -shards and -follow are mutually exclusive (one slab per server)"))
+	}
+	if o.Follow == "" {
+		if o.Poll != 0 {
+			return fail(fmt.Errorf("-poll requires -follow"))
+		}
+		if o.PromoteAfter != 0 {
+			return fail(fmt.Errorf("-promote-after requires -follow"))
+		}
+		if o.WaitForLog != 0 {
+			return fail(fmt.Errorf("-wait-for-log requires -follow"))
+		}
+	} else {
+		if o.Poll < 0 {
+			return fail(fmt.Errorf("-poll must not be negative (got %v)", o.Poll))
+		}
+		if o.PromoteAfter < 0 {
+			return fail(fmt.Errorf("-promote-after must not be negative (got %v; 0 never auto-promotes)", o.PromoteAfter))
+		}
+		if o.WaitForLog < 0 {
+			return fail(fmt.Errorf("-wait-for-log must not be negative (got %v)", o.WaitForLog))
+		}
+		if kind == frugal.IndexIVF {
+			return fail(fmt.Errorf("-index=ivf is not available on followers (the IVF repair feed is the primary's flush stream)"))
+		}
 	}
 	if o.Shards != "" {
 		if len(splitAddrs(o.Shards)) == 0 {

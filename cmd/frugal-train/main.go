@@ -10,12 +10,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"frugal"
 	"frugal/internal/obs"
@@ -41,6 +44,13 @@ func run() int {
 		kgModel   = flag.String("model", "TransE", "KG scoring model (KG datasets only)")
 		micro     = flag.Bool("micro", false, "run the embedding-only microbenchmark instead of a dataset")
 		replay    = flag.String("replay", "", "replay a recorded key trace file (see frugal-datagen -trace)")
+		streaming = flag.Bool("stream", false,
+			"continuous online training from a rate-paced event stream (uses -dist/-keys/-batch; -steps caps the horizon)")
+		streamRate = flag.Float64("stream-rate", 0, "stream event arrivals per second (0 = unpaced; requires -stream)")
+		streamLog  = flag.String("stream-log", "",
+			"cut a delta-checkpoint log into this empty directory while training (requires -stream; serve it with frugal-serve -follow)")
+		duration = flag.Duration("duration", 0,
+			"stop the stream gracefully after this long (0 = run to the horizon; requires -stream)")
 		dist      = flag.String("dist", "zipf-0.9", "microbenchmark key distribution")
 		keySpace  = flag.Uint64("keys", 100_000, "microbenchmark key-space size")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -63,7 +73,9 @@ func run() int {
 
 	plan, err := validate(options{
 		Engine: *engine, GPUs: *gpus, Steps: *steps, Micro: *micro,
-		Replay: *replay, FaultPlan: *faultPlan, GateTimeout: *gateTimeout,
+		Replay: *replay, Stream: *streaming, StreamRate: *streamRate,
+		StreamLog: *streamLog, Duration: *duration,
+		FaultPlan: *faultPlan, GateTimeout: *gateTimeout,
 		MaxRespawns: *maxRespawns, Prefetch: *prefetch, PrefetchDepth: *prefetchDepth,
 	})
 	if err != nil {
@@ -103,6 +115,25 @@ func run() int {
 		Observability:    frugal.ObsOptions{Enabled: *obsOn},
 		FaultPlan:        plan,
 		Recovery:         frugal.Recovery{MaxRespawns: *maxRespawns, GateTimeout: *gateTimeout},
+	}
+
+	if *streaming {
+		// -steps caps the stream horizon only when given explicitly; the
+		// default streaming horizon is the P²F queue's sizing bound.
+		horizon := int64(0)
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "steps" {
+				horizon = *steps
+			}
+		})
+		return runStream(cfg, frugal.StreamOptions{
+			Rate:         *streamRate,
+			Batch:        *batch,
+			KeySpace:     *keySpace,
+			Distribution: *dist,
+			Horizon:      horizon,
+			LogDir:       *streamLog,
+		}, *duration, *metrics, *jsonOut, *obsOn)
 	}
 
 	job, name, err := buildJob(cfg, *micro, *replay, *dataset, *kgModel, *dist, *keySpace, *batch, *scale, *steps)
@@ -145,6 +176,74 @@ func run() int {
 	report(res)
 	if *obsOn {
 		reportObs(job.Snapshot())
+	}
+	return 0
+}
+
+// runStream is the -stream mode: continuous online training until
+// -duration elapses, the horizon runs out, or the process is
+// interrupted — all three end the stream gracefully (the epilogue
+// drains, the delta log seals its final segment).
+func runStream(cfg frugal.Config, opt frugal.StreamOptions, dur time.Duration,
+	metricsAddr string, jsonOut, obsOn bool) int {
+
+	sj, err := frugal.NewStreamJob(cfg, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if metricsAddr != "" {
+		obs.ServeMetrics(metricsAddr, "frugal", func() any { return sj.Snapshot() })
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	if dur > 0 {
+		ctx, cancel = context.WithTimeout(ctx, dur)
+		defer cancel()
+	}
+	if !jsonOut {
+		w := frugal.Streaming{Options: opt}
+		fmt.Printf("streaming %s with engine=frugal gpus=%d", w.Name(), cfg.NumGPUs)
+		if opt.LogDir != "" {
+			fmt.Printf(" log=%s", opt.LogDir)
+		}
+		fmt.Println()
+	}
+	res, err := sj.Run(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if jsonOut {
+		out := map[string]any{
+			"workload":      "streaming",
+			"steps":         res.Steps,
+			"events":        sj.Emitted(),
+			"backlog":       sj.Backlog(),
+			"wallSeconds":   res.WallTime.Seconds(),
+			"samplesPerSec": res.SamplesPerSec,
+			"stallSeconds":  res.StallTime.Seconds(),
+		}
+		if opt.LogDir != "" {
+			out["deltaLog"] = sj.LogStats()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+	report(res)
+	fmt.Printf("stream:           %d events consumed, backlog %d\n", sj.Emitted(), sj.Backlog())
+	if opt.LogDir != "" {
+		ls := sj.LogStats()
+		fmt.Printf("delta log:        %d segments (%d records), %d compactions, base seq %d\n",
+			ls.Segments, ls.Records, ls.Compactions, ls.BaseSeq)
+	}
+	if obsOn {
+		reportObs(sj.Snapshot())
 	}
 	return 0
 }

@@ -14,6 +14,10 @@ type options struct {
 	Steps         int64
 	Micro         bool
 	Replay        string
+	Stream        bool
+	StreamRate    float64
+	StreamLog     string
+	Duration      time.Duration
 	FaultPlan     string
 	GateTimeout   time.Duration
 	MaxRespawns   int
@@ -40,6 +44,29 @@ func validate(o options) (frugal.FaultPlan, error) {
 	}
 	if o.Micro && o.Replay != "" {
 		return frugal.FaultPlan{}, fmt.Errorf("-micro and -replay are mutually exclusive")
+	}
+	if o.Stream && (o.Micro || o.Replay != "") {
+		return frugal.FaultPlan{}, fmt.Errorf("-stream is mutually exclusive with -micro and -replay")
+	}
+	if o.Stream && engine != frugal.EngineFrugal {
+		return frugal.FaultPlan{}, fmt.Errorf("-stream requires -engine frugal (the delta log rides the P²F flush stream)")
+	}
+	if !o.Stream {
+		if o.StreamRate != 0 {
+			return frugal.FaultPlan{}, fmt.Errorf("-stream-rate requires -stream")
+		}
+		if o.StreamLog != "" {
+			return frugal.FaultPlan{}, fmt.Errorf("-stream-log requires -stream")
+		}
+		if o.Duration != 0 {
+			return frugal.FaultPlan{}, fmt.Errorf("-duration requires -stream (bounded runs use -steps)")
+		}
+	}
+	if o.StreamRate < 0 {
+		return frugal.FaultPlan{}, fmt.Errorf("-stream-rate must be ≥ 0 (got %g)", o.StreamRate)
+	}
+	if o.Duration < 0 {
+		return frugal.FaultPlan{}, fmt.Errorf("-duration must be ≥ 0 (got %v)", o.Duration)
 	}
 	if o.Prefetch && engine == frugal.EngineDirect {
 		return frugal.FaultPlan{}, fmt.Errorf("-prefetch requires a cached engine (direct has no cache to fill)")

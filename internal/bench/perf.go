@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	goruntime "runtime"
 	"sort"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"frugal/internal/ckpt"
 	"frugal/internal/data"
 	"frugal/internal/pq"
 	"frugal/internal/runtime"
@@ -109,6 +111,12 @@ func perfSuite() []perfEntry {
 		// gather's critical path onto the overlap stage).
 		{"train/miss-rate-zipf", stepIters, benchStepLoop(runtime.Config{Engine: runtime.EngineFrugal}, &missRateSink.off), &missRateSink.off},
 		{"train/step-prefetch", stepIters, benchStepLoop(runtime.Config{Engine: runtime.EngineFrugal, Prefetch: true}, &missRateSink.on), &missRateSink.on},
+		// The continuous-training pair: what the delta-checkpoint log costs
+		// the step loop at steady state (read against steploop/frugal-sgd-g1,
+		// the identical workload without the log), and how fast a serve
+		// follower replays that log into its own slab.
+		{"train/step-delta-log", stepIters, benchStepLoopDeltaLog, nil},
+		{"ckpt/follower-apply-16k", "20x", benchFollowerApply, nil},
 	}
 }
 
@@ -549,6 +557,139 @@ func benchStepLoop(cfg runtime.Config, miss *float64) func(b *testing.B) {
 		}
 		if miss != nil {
 			*miss = res.CacheStats.MissRate()
+		}
+	}
+}
+
+// benchStepLoopDeltaLog measures the frugal step loop with the
+// delta-checkpoint log attached — the steady-state cost of continuous
+// incremental checkpointing, read against steploop/frugal-sgd-g1 (the
+// identical workload without the log). Sweeps are record-triggered, not
+// timer-triggered, so the per-op work is workload-determined rather than
+// wall-clock-determined and the allocs/op gate stays meaningful.
+func benchStepLoopDeltaLog(b *testing.B) {
+	cfg := runtime.Config{Engine: runtime.EngineFrugal}
+	cfg.NumGPUs = 1
+	cfg.Rows = 50_000
+	cfg.Dim = 64
+	cfg.CacheRatio = 0.1
+	cfg.Seed = 7
+	trace := data.NewSyntheticTrace(
+		data.NewScrambledZipf(7, uint64(cfg.Rows), 0.9), 512, int64(b.N))
+	job, err := runtime.NewMicro(cfg, trace, int64(b.N))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := ckpt.NewWriter(job.Host(), job.Controller(), ckpt.Options{
+		Dir:           b.TempDir() + "/log",
+		SweepInterval: time.Hour,
+		SweepRecords:  4096,
+		CompactEvery:  16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	job.Controller().AddFlushHook(w.OnFlush)
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := job.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	// Shutdown (the final sweep) is outside the measurement: the row is
+	// steady-state overhead, not wind-down cost.
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if res.Steps != int64(b.N) {
+		b.Fatalf("ran %d steps, want %d", res.Steps, b.N)
+	}
+}
+
+// benchProber stands in for the P²F controller when a benchmark drives
+// the delta-log writer directly: a fixed watermark, no residual lag.
+type benchProber struct{ wm int64 }
+
+func (p *benchProber) Watermark() int64                   { return p.wm }
+func (p *benchProber) RowStaleness(uint64) (int64, int64) { return 0, p.wm }
+
+// The follower-apply fixture: a delta log of 64 sealed segments × 256
+// row images over an 8192×64 table, built once and replayed per op.
+const (
+	followerBenchRows   = 8192
+	followerBenchDim    = 64
+	followerBenchSegs   = 64
+	followerBenchPerSeg = 256
+)
+
+var followerBenchState struct {
+	once sync.Once
+	dir  string
+	err  error
+}
+
+func followerBenchLog() (string, error) {
+	s := &followerBenchState
+	s.once.Do(func() {
+		s.dir, s.err = os.MkdirTemp("", "frugal-follower-bench-")
+		if s.err != nil {
+			return
+		}
+		h, err := runtime.NewHost(followerBenchRows, followerBenchDim)
+		if err != nil {
+			s.err = err
+			return
+		}
+		pr := &benchProber{}
+		w, err := ckpt.NewWriter(h, pr, ckpt.Options{
+			Dir: s.dir + "/log", SweepInterval: time.Hour,
+		})
+		if err != nil {
+			s.err = err
+			return
+		}
+		row := make([]float32, followerBenchDim)
+		for seg := 0; seg < followerBenchSegs; seg++ {
+			pr.wm = int64(seg + 1)
+			for i := 0; i < followerBenchPerSeg; i++ {
+				key := uint64((seg*followerBenchPerSeg + i*37) % followerBenchRows)
+				for d := range row {
+					row[d] = float32(key) + float32(seg)*0.01
+				}
+				h.SetRow(key, row, uint64(seg+1), 0)
+				w.OnFlush(key)
+			}
+			if err := w.Sync(); err != nil {
+				s.err = err
+				return
+			}
+		}
+		s.err = w.Close()
+	})
+	return s.dir + "/log", s.err
+}
+
+// benchFollowerApply measures one full follower bootstrap — base load
+// plus replay of all 64 segments (16k row images) into a fresh slab —
+// the recovery-side throughput of the delta log.
+func benchFollowerApply(b *testing.B) {
+	dir, err := followerBenchLog()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl, err := serve.NewFollower(dir, serve.FollowerOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := fl.Stats(); st.AppliedSeq != followerBenchSegs ||
+			st.Replication.RecordsApplied != followerBenchSegs*followerBenchPerSeg {
+			b.Fatalf("follower applied seq %d (%d records), want %d (%d)",
+				st.AppliedSeq, st.Replication.RecordsApplied,
+				followerBenchSegs, followerBenchSegs*followerBenchPerSeg)
 		}
 	}
 }

@@ -1,0 +1,395 @@
+// Package ckpt is Frugal's incremental (delta) checkpoint layer: a
+// continuously written log of row images cut off the P²F flush stream,
+// periodically compacted into the ordinary runtime checkpoint format.
+// It removes the stop-the-world checkpoint: the step loop never pauses,
+// because the log rides the flush hook (a cheap dirty-set insert) and a
+// background sweeper does all the IO.
+//
+// # Log layout
+//
+// A log directory holds full checkpoints ("bases") and delta segments:
+//
+//	base-0000000000.ckpt    the initial slab (runtime checkpoint codec)
+//	base-0000000000.meta    sidecar: per-row safe-step + version vectors
+//	seg-0000000001.dlog     delta segment 1 (sealed)
+//	seg-0000000002.dlog     delta segment 2 (sealed)
+//	...
+//	base-0000000016.ckpt    a compaction: bases 0..0 + segments 1..16 folded
+//
+// A reader reconstructs the slab by loading the highest-numbered base
+// and replaying every higher-numbered segment in order. Segments are
+// written to a .open temp name and renamed at seal, so a visible .dlog
+// is always complete; a crash can leave at most one .open file, whose
+// complete record prefix Salvage recovers (follower promotion).
+//
+// # Segments
+//
+// One segment is one sweep of the dirty set: every key flushed to host
+// memory since the previous sweep, recorded as a full row image (key,
+// version, safe step, optimizer state, row). Full images — not deltas —
+// make replay idempotent and last-writer-wins, which is what lets
+// compaction and tail-salvage be simple.
+//
+// Each record's safe step is the one-sided staleness guarantee
+// transported from the primary: the image contains every update of that
+// key committed at gate step ≤ SafeStep (p2f.Controller.RowStaleness
+// semantics, probed in the same sweep that copies the row). Each
+// segment's header carries the primary's committed-step watermark at
+// sweep time; a follower that has applied through segment n reports that
+// watermark, and per-key staleness = watermark − SafeStep.
+package ckpt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"frugal/internal/runtime"
+)
+
+// Segment and sidecar magics. The base slab itself reuses the runtime
+// checkpoint codec (and its own magic) unchanged.
+const (
+	segMagic  = uint32(0xD17A5E60)
+	metaMagic = uint32(0xD17A5E61)
+	fmtVer    = uint32(1)
+)
+
+// segHeader opens every delta segment. Records — the count is fixed at
+// sweep time — follow immediately; there is no trailer, so a complete
+// prefix of a crashed write is still parseable.
+type segHeader struct {
+	Magic     uint32
+	Version   uint32
+	Dim       int32
+	HasState  int32
+	Records   int64
+	Watermark int64 // primary committed-step watermark at sweep time
+}
+
+// Record is one logged row image.
+type Record struct {
+	Key      uint64
+	Version  uint64
+	SafeStep int64 // image contains every update committed at step ≤ SafeStep
+	State    float32
+	Row      []float32
+}
+
+// recordSize is the on-disk size of one record for dimension dim.
+func recordSize(dim int, hasState bool) int {
+	n := 8 + 8 + 8 + 4*dim
+	if hasState {
+		n += 4
+	}
+	return n
+}
+
+// SegmentInfo describes one sealed segment found in a log directory.
+type SegmentInfo struct {
+	Seq  int64
+	Path string
+}
+
+// DirState is what ListDir finds: the highest base and every sealed
+// segment numbered above it, in replay order.
+type DirState struct {
+	BaseSeq  int64
+	BasePath string
+	MetaPath string // "" when the base has no sidecar
+	Segments []SegmentInfo
+	// OpenPath is the crashed sweep's temp file, if one exists ("" —
+	// the common case — otherwise). Only Salvage reads it.
+	OpenPath string
+}
+
+// ListDir scans a log directory: the highest-numbered base plus every
+// sealed segment above it, sorted for replay.
+func ListDir(dir string) (DirState, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return DirState{}, fmt.Errorf("ckpt: %w", err)
+	}
+	st := DirState{BaseSeq: -1}
+	var segs []SegmentInfo
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "base-") && strings.HasSuffix(name, ".ckpt"):
+			seq, err := parseSeq(name, "base-", ".ckpt")
+			if err != nil {
+				return DirState{}, err
+			}
+			if seq > st.BaseSeq {
+				st.BaseSeq = seq
+				st.BasePath = filepath.Join(dir, name)
+			}
+		case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".dlog"):
+			seq, err := parseSeq(name, "seg-", ".dlog")
+			if err != nil {
+				return DirState{}, err
+			}
+			segs = append(segs, SegmentInfo{Seq: seq, Path: filepath.Join(dir, name)})
+		case strings.HasSuffix(name, ".open"):
+			st.OpenPath = filepath.Join(dir, name)
+		}
+	}
+	if st.BaseSeq < 0 {
+		return DirState{}, fmt.Errorf("ckpt: no base checkpoint in %s", dir)
+	}
+	if meta := strings.TrimSuffix(st.BasePath, ".ckpt") + ".meta"; fileExists(meta) {
+		st.MetaPath = meta
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Seq < segs[j].Seq })
+	for _, s := range segs {
+		if s.Seq > st.BaseSeq {
+			st.Segments = append(st.Segments, s)
+		}
+	}
+	// Replay needs a gapless run: a missing segment (compacted away under
+	// a slow reader) means the reader must restart from the newer base.
+	want := st.BaseSeq + 1
+	for _, s := range st.Segments {
+		if s.Seq != want {
+			return DirState{}, fmt.Errorf("ckpt: segment gap in %s: have base %d, next segment %d (want %d)",
+				dir, st.BaseSeq, s.Seq, want)
+		}
+		want++
+	}
+	return st, nil
+}
+
+func parseSeq(name, prefix, suffix string) (int64, error) {
+	num := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	seq, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || seq < 0 {
+		return 0, fmt.Errorf("ckpt: bad log file name %q", name)
+	}
+	return seq, nil
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// ReadSegment streams a sealed segment's records through fn (the Record
+// and its Row buffer are reused between calls — copy what you keep) and
+// returns the segment's watermark tag.
+func ReadSegment(path string, dim int, fn func(*Record) error) (watermark int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("ckpt: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	hdr, err := readSegHeader(br, dim)
+	if err != nil {
+		return 0, fmt.Errorf("ckpt: segment %s: %w", filepath.Base(path), err)
+	}
+	rec := Record{Row: make([]float32, dim)}
+	buf := make([]byte, recordSize(dim, hdr.HasState == 1))
+	for i := int64(0); i < hdr.Records; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return 0, fmt.Errorf("ckpt: segment %s: record %d/%d: %w",
+				filepath.Base(path), i, hdr.Records, err)
+		}
+		decodeRecord(buf, hdr.HasState == 1, &rec)
+		if err := fn(&rec); err != nil {
+			return 0, err
+		}
+	}
+	return hdr.Watermark, nil
+}
+
+// Salvage reads the complete record prefix of an unsealed (.open)
+// segment — the one file a crashed sweep can leave behind — through fn.
+// Truncated trailing bytes are discarded; the count of complete records
+// applied is returned. The segment's header watermark is NOT trusted
+// (the sweep did not finish), so no watermark is returned.
+func Salvage(path string, dim int, fn func(*Record) error) (records int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("ckpt: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	hdr, err := readSegHeader(br, dim)
+	if err != nil {
+		return 0, nil // not even a complete header: nothing to salvage
+	}
+	rec := Record{Row: make([]float32, dim)}
+	buf := make([]byte, recordSize(dim, hdr.HasState == 1))
+	for i := int64(0); i < hdr.Records; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return records, nil // torn tail: keep the complete prefix
+		}
+		decodeRecord(buf, hdr.HasState == 1, &rec)
+		if err := fn(&rec); err != nil {
+			return records, err
+		}
+		records++
+	}
+	return records, nil
+}
+
+func readSegHeader(r io.Reader, dim int) (segHeader, error) {
+	var hdr segHeader
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return hdr, fmt.Errorf("header: %w", err)
+	}
+	if hdr.Magic != segMagic {
+		return hdr, fmt.Errorf("not a delta segment (magic %#x)", hdr.Magic)
+	}
+	if hdr.Version != fmtVer {
+		return hdr, fmt.Errorf("unsupported segment version %d", hdr.Version)
+	}
+	if int(hdr.Dim) != dim {
+		return hdr, fmt.Errorf("segment dim %d, want %d", hdr.Dim, dim)
+	}
+	if hdr.Records < 0 {
+		return hdr, fmt.Errorf("negative record count %d", hdr.Records)
+	}
+	return hdr, nil
+}
+
+func encodeRecord(buf []byte, hasState bool, rec *Record) {
+	binary.LittleEndian.PutUint64(buf[0:], rec.Key)
+	binary.LittleEndian.PutUint64(buf[8:], rec.Version)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(rec.SafeStep))
+	off := 24
+	if hasState {
+		binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(rec.State))
+		off += 4
+	}
+	for i, v := range rec.Row {
+		binary.LittleEndian.PutUint32(buf[off+4*i:], math.Float32bits(v))
+	}
+}
+
+func decodeRecord(buf []byte, hasState bool, rec *Record) {
+	rec.Key = binary.LittleEndian.Uint64(buf[0:])
+	rec.Version = binary.LittleEndian.Uint64(buf[8:])
+	rec.SafeStep = int64(binary.LittleEndian.Uint64(buf[16:]))
+	off := 24
+	if hasState {
+		rec.State = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	} else {
+		rec.State = 0
+	}
+	for i := range rec.Row {
+		rec.Row[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off+4*i:]))
+	}
+}
+
+// Meta is a base checkpoint's sidecar: the per-row replication vectors a
+// follower needs that the slab codec does not carry — each row's safe
+// step and version, plus the watermark the base is complete through.
+type Meta struct {
+	Watermark int64
+	SafeStep  []int64
+	Versions  []uint64
+}
+
+// WriteMeta writes a sidecar for `rows` rows.
+func WriteMeta(path string, m Meta) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	hdr := struct {
+		Magic, Version uint32
+		Rows           int64
+		Watermark      int64
+	}{metaMagic, fmtVer, int64(len(m.SafeStep)), m.Watermark}
+	err = binary.Write(bw, binary.LittleEndian, hdr)
+	if err == nil {
+		err = binary.Write(bw, binary.LittleEndian, m.SafeStep)
+	}
+	if err == nil {
+		err = binary.Write(bw, binary.LittleEndian, m.Versions)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: meta %s: %w", filepath.Base(path), err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadMeta loads a sidecar written by WriteMeta.
+func ReadMeta(path string, rows int64) (Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Meta{}, fmt.Errorf("ckpt: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var hdr struct {
+		Magic, Version uint32
+		Rows           int64
+		Watermark      int64
+	}
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return Meta{}, fmt.Errorf("ckpt: meta header: %w", err)
+	}
+	if hdr.Magic != metaMagic || hdr.Version != fmtVer {
+		return Meta{}, fmt.Errorf("ckpt: %s is not a ckpt sidecar", filepath.Base(path))
+	}
+	if hdr.Rows != rows {
+		return Meta{}, fmt.Errorf("ckpt: sidecar covers %d rows, want %d", hdr.Rows, rows)
+	}
+	m := Meta{Watermark: hdr.Watermark, SafeStep: make([]int64, rows), Versions: make([]uint64, rows)}
+	if err := binary.Read(br, binary.LittleEndian, m.SafeStep); err != nil {
+		return Meta{}, fmt.Errorf("ckpt: meta body: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, m.Versions); err != nil {
+		return Meta{}, fmt.Errorf("ckpt: meta body: %w", err)
+	}
+	return m, nil
+}
+
+// Reconstruct rebuilds the slab a log directory describes: the highest
+// base, with every later sealed segment replayed over it in order. The
+// result is bit-identical to Host.Save of the primary at the time of the
+// last sweep (after a graceful shutdown: the final state).
+func Reconstruct(dir string) (*runtime.Host, error) {
+	st, err := ListDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(st.BasePath)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	host, err := runtime.LoadHost(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	for _, seg := range st.Segments {
+		_, err := ReadSegment(seg.Path, host.Dim(), func(rec *Record) error {
+			host.SetRow(rec.Key, rec.Row, rec.Version, rec.State)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return host, nil
+}

@@ -1,0 +1,335 @@
+package ckpt_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"frugal/internal/ckpt"
+	"frugal/internal/runtime"
+)
+
+// fakeProber stands in for the P²F controller: a settable watermark and
+// per-key staleness, with the controller's (lag, watermark) contract.
+type fakeProber struct {
+	mu  sync.Mutex
+	wm  int64
+	lag map[uint64]int64
+}
+
+func (p *fakeProber) Watermark() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.wm
+}
+
+func (p *fakeProber) RowStaleness(key uint64) (int64, int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lag[key], p.wm
+}
+
+func (p *fakeProber) set(wm int64, lag map[uint64]int64) {
+	p.mu.Lock()
+	p.wm = wm
+	p.lag = lag
+	p.mu.Unlock()
+}
+
+func newHost(t *testing.T, rows int64, dim int) *runtime.Host {
+	t.Helper()
+	h, err := runtime.NewHost(rows, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// touch writes a distinguishable row image at the given version and
+// marks it dirty in the log.
+func touch(h *runtime.Host, w *ckpt.Writer, key, ver uint64) {
+	row := make([]float32, h.Dim())
+	for i := range row {
+		row[i] = float32(key)*100 + float32(ver) + float32(i)
+	}
+	h.SetRow(key, row, ver, 0)
+	w.OnFlush(key)
+}
+
+// newTestWriter opens a log with a sweep interval long enough that only
+// explicit Sync calls cut segments.
+func newTestWriter(t *testing.T, h *runtime.Host, pr ckpt.Prober, dir string, compactEvery int) *ckpt.Writer {
+	t.Helper()
+	w, err := ckpt.NewWriter(h, pr, ckpt.Options{
+		Dir: dir, SweepInterval: time.Hour, CompactEvery: compactEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func reconstructEqual(t *testing.T, dir string, h *runtime.Host) {
+	t.Helper()
+	rec, err := ckpt.Reconstruct(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got bytes.Buffer
+	if err := h.Save(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Save(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("reconstructed slab differs from the live host")
+	}
+}
+
+func TestWriterLogRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	h := newHost(t, 16, 4)
+	pr := &fakeProber{}
+	w := newTestWriter(t, h, pr, dir, 0)
+	defer w.Close()
+
+	st, err := ckpt.ListDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BaseSeq != 0 || len(st.Segments) != 0 || st.MetaPath != "" {
+		t.Fatalf("fresh log: %+v", st)
+	}
+
+	for k := uint64(1); k <= 5; k++ {
+		touch(h, w, k, k+1)
+	}
+	pr.set(7, map[uint64]int64{3: 2})
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err = ckpt.ListDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Segments) != 1 || st.Segments[0].Seq != 1 {
+		t.Fatalf("after one sweep: %+v", st)
+	}
+	seen := map[uint64]ckpt.Record{}
+	wm, err := ckpt.ReadSegment(st.Segments[0].Path, h.Dim(), func(rec *ckpt.Record) error {
+		c := *rec
+		c.Row = append([]float32(nil), rec.Row...)
+		seen[rec.Key] = c
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm != 7 {
+		t.Fatalf("segment watermark %d, want 7", wm)
+	}
+	if len(seen) != 5 {
+		t.Fatalf("segment holds %d records, want 5", len(seen))
+	}
+	for k := uint64(1); k <= 5; k++ {
+		rec, ok := seen[k]
+		if !ok {
+			t.Fatalf("key %d missing from segment", k)
+		}
+		if rec.Version != k+1 {
+			t.Fatalf("key %d version %d, want %d", k, rec.Version, k+1)
+		}
+		wantSafe := int64(7)
+		if k == 3 {
+			wantSafe = 5 // wm 7 − lag 2
+		}
+		if rec.SafeStep != wantSafe {
+			t.Fatalf("key %d safe step %d, want %d", k, rec.SafeStep, wantSafe)
+		}
+	}
+
+	// A second sweep only carries what changed since the first.
+	touch(h, w, 2, 10)
+	pr.set(9, nil)
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	reconstructEqual(t, dir, h)
+
+	ws := w.Stats()
+	if ws.Segments != 2 || ws.Records != 6 || ws.Compactions != 0 || ws.BaseSeq != 0 {
+		t.Fatalf("stats %+v", ws)
+	}
+}
+
+func TestWriterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	h := newHost(t, 8, 4)
+	pr := &fakeProber{}
+	w := newTestWriter(t, h, pr, dir, 2)
+	defer w.Close()
+
+	touch(h, w, 1, 4)
+	pr.set(3, map[uint64]int64{1: 1})
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	touch(h, w, 2, 6)
+	pr.set(5, nil)
+	if err := w.Sync(); err != nil { // second segment triggers the fold
+		t.Fatal(err)
+	}
+
+	st, err := ckpt.ListDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BaseSeq != 2 || len(st.Segments) != 0 {
+		t.Fatalf("after compaction: %+v", st)
+	}
+	if st.MetaPath == "" {
+		t.Fatal("compacted base has no sidecar")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "base-0000000000.ckpt")); !os.IsNotExist(err) {
+		t.Fatalf("superseded base survives: %v", err)
+	}
+	m, err := ckpt.ReadMeta(st.MetaPath, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Watermark != 5 {
+		t.Fatalf("sidecar watermark %d, want 5", m.Watermark)
+	}
+	if m.SafeStep[1] != 2 || m.SafeStep[2] != 5 {
+		t.Fatalf("sidecar safe steps %v", m.SafeStep)
+	}
+	if m.Versions[1] != 4 || m.Versions[2] != 6 {
+		t.Fatalf("sidecar versions %v", m.Versions)
+	}
+	reconstructEqual(t, dir, h)
+
+	// The log keeps rolling on top of the new base.
+	touch(h, w, 3, 2)
+	pr.set(6, nil)
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st, err = ckpt.ListDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BaseSeq != 2 || len(st.Segments) != 1 || st.Segments[0].Seq != 3 {
+		t.Fatalf("post-compaction tail: %+v", st)
+	}
+	reconstructEqual(t, dir, h)
+	if ws := w.Stats(); ws.Compactions != 1 || ws.BaseSeq != 2 {
+		t.Fatalf("stats %+v", ws)
+	}
+}
+
+func TestSalvageTornTail(t *testing.T) {
+	dir := t.TempDir()
+	h := newHost(t, 8, 4)
+	pr := &fakeProber{}
+	w := newTestWriter(t, h, pr, dir, 0)
+	for k := uint64(0); k < 5; k++ {
+		touch(h, w, k, 3)
+	}
+	pr.set(2, nil)
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay a crashed sweep: the sealed segment's bytes, torn
+	// mid-record, under the .open temp name.
+	sealed, err := os.ReadFile(filepath.Join(dir, "seg-0000000001.dlog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := filepath.Join(dir, "seg-0000000002.open")
+	if err := os.WriteFile(open, sealed[:len(sealed)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ckpt.ListDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OpenPath != open {
+		t.Fatalf("ListDir open path %q, want %q", st.OpenPath, open)
+	}
+	var got int64
+	n, err := ckpt.Salvage(open, h.Dim(), func(*ckpt.Record) error { got++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || got != 4 {
+		t.Fatalf("salvaged %d records (callback saw %d), want the 4-record complete prefix", n, got)
+	}
+
+	// Not even a full header: nothing to salvage, and no error — the
+	// crash simply lost that sweep.
+	if err := os.WriteFile(open, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ckpt.Salvage(open, h.Dim(), func(*ckpt.Record) error { return nil }); err != nil || n != 0 {
+		t.Fatalf("header-less salvage: %d records, err %v", n, err)
+	}
+}
+
+func TestListDirRejectsSegmentGap(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"base-0000000000.ckpt", "seg-0000000002.dlog"} {
+		if err := os.WriteFile(filepath.Join(dir, name), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ckpt.ListDir(dir); err == nil {
+		t.Fatal("segment gap (base 0, first segment 2) accepted")
+	}
+}
+
+func TestNewWriterRefusesExistingLog(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "leftover"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h := newHost(t, 4, 2)
+	if _, err := ckpt.NewWriter(h, &fakeProber{}, ckpt.Options{Dir: dir}); err == nil {
+		t.Fatal("writer opened over a non-empty directory")
+	}
+}
+
+func TestMetaRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base-0000000004.meta")
+	in := ckpt.Meta{
+		Watermark: 42,
+		SafeStep:  []int64{-1, 3, 42},
+		Versions:  []uint64{0, 7, 99},
+	}
+	if err := ckpt.WriteMeta(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ckpt.ReadMeta(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Watermark != in.Watermark {
+		t.Fatalf("watermark %d, want %d", out.Watermark, in.Watermark)
+	}
+	for i := range in.SafeStep {
+		if out.SafeStep[i] != in.SafeStep[i] || out.Versions[i] != in.Versions[i] {
+			t.Fatalf("row %d roundtrip: %+v", i, out)
+		}
+	}
+	if _, err := ckpt.ReadMeta(path, 5); err == nil {
+		t.Fatal("sidecar row-count mismatch accepted")
+	}
+}

@@ -1,0 +1,424 @@
+package ckpt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"frugal/internal/runtime"
+)
+
+// Prober is the slice of the P²F controller the writer needs: the
+// committed-step watermark and the per-key one-sided staleness probe.
+// *p2f.Controller implements it.
+type Prober interface {
+	Watermark() int64
+	RowStaleness(key uint64) (lag, watermark int64)
+}
+
+// Options shapes a Writer.
+type Options struct {
+	// Dir is the log directory. It is created if missing and must not
+	// already hold a log (resume is a reader-side operation: reconstruct,
+	// then start a fresh log).
+	Dir string
+	// SweepInterval is the sweep cadence — how often dirty keys are
+	// drained into a sealed segment (default 50ms). This, times the
+	// primary's step rate, is the follower's steady-state staleness.
+	SweepInterval time.Duration
+	// SweepRecords triggers an early sweep when this many keys are dirty
+	// (default 8192), bounding segment size under write bursts.
+	SweepRecords int
+	// CompactEvery folds the log into a fresh base after this many sealed
+	// segments (default 16). 0 disables compaction (tests); folded
+	// segments and superseded bases are deleted.
+	CompactEvery int
+}
+
+func (o *Options) normalize() error {
+	if o.Dir == "" {
+		return fmt.Errorf("ckpt: Options.Dir is required")
+	}
+	if o.SweepInterval <= 0 {
+		o.SweepInterval = 50 * time.Millisecond
+	}
+	if o.SweepRecords <= 0 {
+		o.SweepRecords = 8192
+	}
+	if o.CompactEvery < 0 {
+		return fmt.Errorf("ckpt: CompactEvery must be ≥ 0, got %d", o.CompactEvery)
+	}
+	return nil
+}
+
+// WriterStats is a point-in-time snapshot of the log's accounting.
+type WriterStats struct {
+	Segments    int64 `json:"segments"`    // sealed segments written
+	Records     int64 `json:"records"`     // row images logged
+	Compactions int64 `json:"compactions"` // bases folded
+	BaseSeq     int64 `json:"baseSeq"`     // highest base's segment seq
+	DirtyDepth  int64 `json:"dirtyDepth"`  // keys awaiting the next sweep
+}
+
+// Writer cuts the delta-checkpoint log off a live training job: OnFlush
+// (registered as a p2f flush hook) marks keys dirty, and a background
+// sweeper drains the dirty set into watermark-tagged segments, compacting
+// periodically. The step loop never blocks on the log — the hook is one
+// mutex-guarded map insert, and all IO happens on the sweeper goroutine.
+type Writer struct {
+	host *runtime.Host
+	pr   Prober
+	opt  Options
+
+	mu    sync.Mutex
+	dirty map[uint64]struct{}
+	spare map[uint64]struct{} // swap target, so sweeps never block the hook for long
+
+	kick chan struct{} // size-triggered early sweep
+
+	seq         int64 // last sealed segment seq (sweeper goroutine only)
+	baseSeq     int64
+	lastWM      int64 // watermark of the last sealed segment
+	sinceFold   int   // sealed segments since the last compaction
+	segments    atomic.Int64
+	records     atomic.Int64
+	compactions atomic.Int64
+
+	// Compaction state, built lazily at the first fold: a shadow replica
+	// of the reconstructed slab plus its meta vectors.
+	shadow *runtime.Host
+	meta   Meta
+
+	// Reusable sweep buffers: steady-state sweeps allocate only the
+	// segment file machinery.
+	keys   []uint64
+	rowBuf []float32
+	recBuf []byte
+
+	stop     chan struct{}
+	done     chan struct{}
+	syncOnce sync.Once
+	syncC    chan chan struct{}
+
+	errMu sync.Mutex
+	err   error // first background IO error, surfaced by Close
+}
+
+// NewWriter starts a delta-checkpoint log for host: writes the initial
+// base (base-0000000000) and launches the sweeper. Register OnFlush with
+// the job's controller (p2f.Controller.AddFlushHook) before training
+// starts, and Close the writer after the run's epilogue has drained —
+// the final sweep then captures the exact final state.
+func NewWriter(host *runtime.Host, pr Prober, opt Options) (*Writer, error) {
+	if host == nil {
+		return nil, fmt.Errorf("ckpt: nil host")
+	}
+	if pr == nil {
+		return nil, fmt.Errorf("ckpt: nil prober (the log needs the P²F watermark surface)")
+	}
+	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	ents, err := os.ReadDir(opt.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	if len(ents) != 0 {
+		return nil, fmt.Errorf("ckpt: %s is not empty — a log already lives there", opt.Dir)
+	}
+	w := &Writer{
+		host:   host,
+		pr:     pr,
+		opt:    opt,
+		dirty:  make(map[uint64]struct{}, opt.SweepRecords),
+		spare:  make(map[uint64]struct{}, opt.SweepRecords),
+		kick:   make(chan struct{}, 1),
+		lastWM: -1,
+		rowBuf: make([]float32, host.Dim()),
+		recBuf: make([]byte, recordSize(host.Dim(), host.HasOptState())),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if err := w.writeBase(0, host, Meta{Watermark: -1}); err != nil {
+		return nil, err
+	}
+	go w.sweeper()
+	return w, nil
+}
+
+// OnFlush marks a key dirty. It is the p2f flush-hook target: called with
+// the g-entry mutex held, so it must stay this cheap (one map insert).
+func (w *Writer) OnFlush(key uint64) {
+	w.mu.Lock()
+	w.dirty[key] = struct{}{}
+	n := len(w.dirty)
+	w.mu.Unlock()
+	if n >= w.opt.SweepRecords {
+		select {
+		case w.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Dir returns the log directory.
+func (w *Writer) Dir() string { return w.opt.Dir }
+
+// Stats snapshots the log accounting.
+func (w *Writer) Stats() WriterStats {
+	w.mu.Lock()
+	depth := int64(len(w.dirty))
+	w.mu.Unlock()
+	return WriterStats{
+		Segments:    w.segments.Load(),
+		Records:     w.records.Load(),
+		Compactions: w.compactions.Load(),
+		BaseSeq:     atomic.LoadInt64(&w.baseSeq),
+		DirtyDepth:  depth,
+	}
+}
+
+// Sync forces one sweep now (tests and demos; normal operation relies on
+// the interval). It blocks until the segment — if any keys were dirty —
+// is sealed.
+func (w *Writer) Sync() error {
+	select {
+	case <-w.done:
+		return w.firstErr()
+	default:
+	}
+	ack := make(chan struct{})
+	select {
+	case w.syncReq() <- ack:
+		<-ack
+	case <-w.done:
+	}
+	return w.firstErr()
+}
+
+func (w *Writer) syncReq() chan chan struct{} {
+	w.syncOnce.Do(func() { w.syncC = make(chan chan struct{}) })
+	return w.syncC
+}
+
+// Close performs the final sweep (call it after training's epilogue has
+// drained every pending update to host memory), seals the last segment,
+// stops the sweeper, and returns the first background IO error, if any.
+func (w *Writer) Close() error {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	<-w.done
+	return w.firstErr()
+}
+
+func (w *Writer) firstErr() error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return w.err
+}
+
+func (w *Writer) setErr(err error) {
+	w.errMu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.errMu.Unlock()
+}
+
+// sweeper is the single background goroutine: interval- and
+// size-triggered sweeps, inline compaction, and the final sweep at stop.
+func (w *Writer) sweeper() {
+	defer close(w.done)
+	t := time.NewTicker(w.opt.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			w.sweep() // final: the epilogue's drain-flushed keys
+			return
+		case <-t.C:
+			w.sweep()
+		case <-w.kick:
+			w.sweep()
+		case ack := <-w.syncReq():
+			w.sweep()
+			close(ack)
+		}
+	}
+}
+
+// sweep drains the dirty set into one sealed segment. The watermark is
+// loaded before any row is probed or copied — one-sided safe: everything
+// the segment claims was flushed by `wm`, and rows read after can only
+// be fresher.
+func (w *Writer) sweep() {
+	wm := w.pr.Watermark()
+	w.mu.Lock()
+	w.dirty, w.spare = w.spare, w.dirty
+	swept := w.spare
+	w.mu.Unlock()
+	if len(swept) == 0 && wm == w.lastWM {
+		return // nothing flushed, nothing committed: no segment
+	}
+	w.keys = w.keys[:0]
+	for k := range swept {
+		w.keys = append(w.keys, k)
+	}
+	clear(swept)
+
+	if err := w.writeSegment(w.seq+1, wm, w.keys); err != nil {
+		w.setErr(err)
+		return
+	}
+	w.seq++
+	w.lastWM = wm
+	w.segments.Add(1)
+	w.records.Add(int64(len(w.keys)))
+	w.sinceFold++
+	if w.opt.CompactEvery > 0 && w.sinceFold >= w.opt.CompactEvery {
+		if err := w.compact(); err != nil {
+			w.setErr(err)
+			return
+		}
+		w.sinceFold = 0
+	}
+}
+
+// writeSegment captures one record per key and seals the segment via
+// rename. Per record: the one-sided staleness probe first, then the
+// locked (row, state, version) snapshot — the copy can only be fresher
+// than the probe promised.
+func (w *Writer) writeSegment(seq, wm int64, keys []uint64) error {
+	open := filepath.Join(w.opt.Dir, fmt.Sprintf("seg-%010d.open", seq))
+	f, err := os.Create(open)
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	hasState := w.host.HasOptState()
+	hdr := segHeader{
+		Magic: segMagic, Version: fmtVer,
+		Dim: int32(w.host.Dim()), Records: int64(len(keys)), Watermark: wm,
+	}
+	if hasState {
+		hdr.HasState = 1
+	}
+	err = binary.Write(bw, binary.LittleEndian, hdr)
+	rec := Record{Row: w.rowBuf}
+	for _, key := range keys {
+		if err != nil {
+			break
+		}
+		lag, kwm := w.pr.RowStaleness(key)
+		rec.Key = key
+		rec.SafeStep = kwm - lag
+		rec.Version, rec.State = w.host.ReadRowState(key, rec.Row)
+		encodeRecord(w.recBuf, hasState, &rec)
+		_, err = bw.Write(w.recBuf)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(open)
+		return fmt.Errorf("ckpt: segment %d: %w", seq, err)
+	}
+	return os.Rename(open, filepath.Join(w.opt.Dir, fmt.Sprintf("seg-%010d.dlog", seq)))
+}
+
+// compact folds every sealed segment since the last base into a fresh
+// base checkpoint, then deletes the folded segments and the superseded
+// base. Runs inline on the sweeper goroutine — off the step loop, which
+// never waits for it.
+func (w *Writer) compact() error {
+	if w.shadow == nil {
+		f, err := os.Open(filepath.Join(w.opt.Dir, fmt.Sprintf("base-%010d.ckpt", w.baseSeq)))
+		if err != nil {
+			return fmt.Errorf("ckpt: %w", err)
+		}
+		w.shadow, err = runtime.LoadHost(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		rows := w.shadow.Rows()
+		w.meta = Meta{Watermark: -1, SafeStep: make([]int64, rows), Versions: make([]uint64, rows)}
+		for i := range w.meta.SafeStep {
+			w.meta.SafeStep[i] = -1
+		}
+	}
+	from, to := w.baseSeq+1, w.seq
+	for seq := from; seq <= to; seq++ {
+		path := filepath.Join(w.opt.Dir, fmt.Sprintf("seg-%010d.dlog", seq))
+		segWM, err := ReadSegment(path, w.shadow.Dim(), func(rec *Record) error {
+			w.shadow.SetRow(rec.Key, rec.Row, rec.Version, rec.State)
+			if rec.SafeStep > w.meta.SafeStep[rec.Key] {
+				w.meta.SafeStep[rec.Key] = rec.SafeStep
+			}
+			if rec.Version > w.meta.Versions[rec.Key] {
+				w.meta.Versions[rec.Key] = rec.Version
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if segWM > w.meta.Watermark {
+			w.meta.Watermark = segWM
+		}
+	}
+	if err := w.writeBase(to, w.shadow, w.meta); err != nil {
+		return err
+	}
+	oldBase := w.baseSeq
+	atomic.StoreInt64(&w.baseSeq, to)
+	w.compactions.Add(1)
+	// Cleanup is best-effort: stray files never confuse ListDir, which
+	// keys on the highest base.
+	os.Remove(filepath.Join(w.opt.Dir, fmt.Sprintf("base-%010d.ckpt", oldBase)))
+	os.Remove(filepath.Join(w.opt.Dir, fmt.Sprintf("base-%010d.meta", oldBase)))
+	for seq := from; seq <= to; seq++ {
+		os.Remove(filepath.Join(w.opt.Dir, fmt.Sprintf("seg-%010d.dlog", seq)))
+	}
+	return nil
+}
+
+// writeBase writes a base checkpoint (slab via the runtime codec) and
+// its sidecar, both sealed by rename.
+func (w *Writer) writeBase(seq int64, host *runtime.Host, m Meta) error {
+	base := filepath.Join(w.opt.Dir, fmt.Sprintf("base-%010d.ckpt", seq))
+	tmp := base + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	err = host.Save(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: base %d: %w", seq, err)
+	}
+	if m.SafeStep != nil {
+		if err := WriteMeta(filepath.Join(w.opt.Dir, fmt.Sprintf("base-%010d.meta", seq)), m); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+	}
+	return os.Rename(tmp, base)
+}

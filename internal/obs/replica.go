@@ -1,0 +1,63 @@
+package obs
+
+import "sync/atomic"
+
+// ReplicaObs counts a serve follower's replication apply path. One
+// goroutine applies (the tailer), many read — plain atomics suffice, no
+// sharding needed.
+type ReplicaObs struct {
+	segments atomic.Int64
+	records  atomic.Int64
+	resyncs  atomic.Int64
+	salvaged atomic.Int64
+}
+
+// NewReplicaObs builds the counters.
+func NewReplicaObs() *ReplicaObs { return &ReplicaObs{} }
+
+// Segment records one applied segment with n row images.
+func (r *ReplicaObs) Segment(n int64) {
+	if r == nil {
+		return
+	}
+	r.segments.Add(1)
+	r.records.Add(n)
+}
+
+// Resync records a full base reload (the tailer fell behind compaction).
+func (r *ReplicaObs) Resync() {
+	if r == nil {
+		return
+	}
+	r.resyncs.Add(1)
+}
+
+// Salvage records n row images recovered from an unsealed segment at
+// promotion.
+func (r *ReplicaObs) Salvage(n int64) {
+	if r == nil {
+		return
+	}
+	r.salvaged.Add(n)
+}
+
+// ReplicaSnapshot is a point-in-time copy of the replication counters.
+type ReplicaSnapshot struct {
+	SegmentsApplied int64 `json:"segmentsApplied"`
+	RecordsApplied  int64 `json:"recordsApplied"`
+	Resyncs         int64 `json:"resyncs"`
+	Salvaged        int64 `json:"salvaged"`
+}
+
+// Snapshot copies the counters (nil-safe: zero snapshot).
+func (r *ReplicaObs) Snapshot() ReplicaSnapshot {
+	if r == nil {
+		return ReplicaSnapshot{}
+	}
+	return ReplicaSnapshot{
+		SegmentsApplied: r.segments.Load(),
+		RecordsApplied:  r.records.Load(),
+		Resyncs:         r.resyncs.Load(),
+		Salvaged:        r.salvaged.Load(),
+	}
+}

@@ -120,6 +120,51 @@ func (h *Host) ReadRowLocked(key uint64, dst []float32) {
 // Version returns the row's update counter.
 func (h *Host) Version(key uint64) uint64 { return h.versions[key].Load() }
 
+// ReadRowState copies row `key` into dst under the row lock and returns
+// the row version and the optimizer-state accumulator observed with the
+// copy (0 when no state slab is enabled). The delta-checkpoint writer
+// uses it to capture a torn-free (row, state, version) triple in one
+// critical section.
+func (h *Host) ReadRowState(key uint64, dst []float32) (uint64, float32) {
+	l := h.lock(key)
+	l.Lock()
+	tensor.Copy(dst, h.row(key))
+	v := h.versions[key].Load()
+	var s float32
+	if h.state != nil {
+		s = h.state[key]
+	}
+	l.Unlock()
+	return v, s
+}
+
+// SetRow replaces row `key` with a full row image at the given version —
+// the replica apply path, where updates arrive as recorded row states
+// rather than deltas. The write is skipped when the stored version is
+// already past `version` (a late or duplicate log record: newer content
+// wins); replaying records in log order is therefore idempotent. state
+// replaces the optimizer accumulator when one is enabled.
+func (h *Host) SetRow(key uint64, row []float32, version uint64, state float32) {
+	l := h.lock(key)
+	l.Lock()
+	if h.versions[key].Load() <= version {
+		tensor.Copy(h.row(key), row)
+		if h.state != nil {
+			h.state[key] = state
+		}
+		h.versions[key].Store(version)
+	}
+	l.Unlock()
+}
+
+// SetVersion restores a row's version counter — replica bootstrap only
+// (a compacted base carries its version vector in a sidecar; the slab
+// codec itself never persists versions). Call before serving starts.
+func (h *Host) SetVersion(key uint64, v uint64) { h.versions[key].Store(v) }
+
+// HasOptState reports whether the optimizer-state slab is enabled.
+func (h *Host) HasOptState() bool { return h.state != nil }
+
 // EnableOptimizerState allocates the per-row optimizer accumulator slab
 // (row-wise Adagrad). Must be called before training starts.
 func (h *Host) EnableOptimizerState() {

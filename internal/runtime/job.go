@@ -286,17 +286,17 @@ type Job struct {
 	cfg Config
 	// slab is the parameter store the step loop reads and writes — the
 	// job's own *Host unless Config.Slab overrode it.
-	slab    RowStore
-	host    *Host // job-owned host slab; nil under a Config.Slab override
-	caches  []*cache.Cache
+	slab   RowStore
+	host   *Host // job-owned host slab; nil under a Config.Slab override
+	caches []*cache.Cache
 	// prefetchers is the per-worker lookahead fill stage (prefetch.go);
 	// nil unless Config.Prefetch.
 	prefetchers []*prefetcher
 	ctrl        *p2f.Controller
-	trace   *data.PayloadTrace[stepPayload]
-	barrier *Barrier
-	steps   int64
-	samples int // per global step, for throughput accounting
+	trace       *data.PayloadTrace[stepPayload]
+	barrier     *Barrier
+	steps       int64
+	samples     int // per global step, for throughput accounting
 	// rowPool recycles per-key delta rows across steps (DESIGN.md §5d).
 	// Shared by all trainers; EngineFrugal's flush sink returns buffers here
 	// after the host apply.

@@ -154,7 +154,7 @@ func TestPrefetchPinStressFullSets(t *testing.T) {
 		job, err := NewMicro(Config{
 			Engine: engine, NumGPUs: 4, Rows: 300, Dim: 4,
 			CacheRatio: 0.01, // 3 rows → clamped to one Ways-wide set per GPU
-			LR: 0.02, Seed: 5, CheckConsistency: true, FlushThreads: 3,
+			LR:         0.02, Seed: 5, CheckConsistency: true, FlushThreads: 3,
 			Prefetch: true, PrefetchDepth: 4,
 		}, trace, 0)
 		if err != nil {

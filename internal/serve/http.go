@@ -37,6 +37,9 @@ import (
 //	                   after the flusher pool catches up
 //	shard_unavailable  (503) a shard RPC failed (node down, connection
 //	                   lost) — retry once the shard recovers
+//	replica_lag        (503) a follower replica could not satisfy the
+//	                   level after catching its log up — retry, lower the
+//	                   level, or route to the primary
 //
 // The 429/503 responses also carry the matching Retry-After header.
 //
@@ -117,6 +120,7 @@ const (
 	codeDeadline         = "deadline"
 	codeTooStale         = "too_stale"
 	codeShardUnavailable = "shard_unavailable"
+	codeReplicaLag       = "replica_lag"
 )
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -131,7 +135,14 @@ func writeError(w http.ResponseWriter, err error) {
 	var stale *ErrTooStale
 	var shed *ErrShed
 	var shardDown *store.ShardUnavailableError
+	var replica *ErrReplica
 	switch {
+	case errors.As(err, &replica):
+		// Retryable: the follower will catch up (or be promoted); clients
+		// can also lower the level or route to the primary.
+		status = http.StatusServiceUnavailable
+		resp.Code = codeReplicaLag
+		resp.RetryAfterMS = retryAfterMS(time.Second)
 	case errors.As(err, &shed):
 		// Overload: the client must back off, not retry immediately.
 		status = http.StatusTooManyRequests
@@ -278,7 +289,7 @@ func (e *Engine) handleTopK(w http.ResponseWriter, r *http.Request) {
 }
 
 func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status": "ok",
 		"rows":   e.Rows(),
 		"dim":    e.Dim(),
@@ -286,5 +297,9 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"level":  e.DefaultLevel().String(),
 		"index":  e.IndexStats(),
 		"shards": e.NumShards(),
-	})
+	}
+	if rs, ok := e.st.(interface{ ReplicaStats() FollowerStats }); ok {
+		body["replica"] = rs.ReplicaStats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }

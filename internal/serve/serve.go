@@ -230,6 +230,13 @@ func (o *Options) normalize() error {
 	return nil
 }
 
+// replicaStore is the surface a serve-follower store adds to store.Store:
+// applying more of the delta-checkpoint log is the replica's only freshness
+// lever (the primary's pending write sets are out of reach).
+type replicaStore interface {
+	CatchUp() error
+}
+
 // ErrTooStale reports a Bounded read refused under Options.RejectStale:
 // the row's pending writes lagged the watermark by Staleness > Bound.
 type ErrTooStale struct {
@@ -295,11 +302,16 @@ type Engine struct {
 	// store.Store.TopK (per-shard scan + merge) instead.
 	host        *runtime.Host
 	coordinated bool // the store has a P²F gate (watermark is meaningful)
-	opt         Options
-	static      bool // no live writers: top-K may scan the slab unlocked
-	sobs        *obs.ServeObs
-	adm         *admission // nil: admission control disabled
-	idx         *ivfIndex  // nil: flat scans only
+	// replica is non-nil when the store is a serve follower tailing a
+	// delta-checkpoint log: it cannot flush the primary's pending writes,
+	// only apply more of the log. The consistency paths then substitute
+	// CatchUp for FlushKey (see resolve).
+	replica replicaStore
+	opt     Options
+	static  bool // no live writers: top-K may scan the slab unlocked
+	sobs    *obs.ServeObs
+	adm     *admission // nil: admission control disabled
+	idx     *ivfIndex  // nil: flat scans only
 
 	scratch sync.Pool // *topkScratch
 }
@@ -349,6 +361,9 @@ func newEngine(st store.Store, opt Options, static bool) (*Engine, error) {
 	e := &Engine{st: st, coordinated: st.Coordinated(), opt: opt, static: static, sobs: obs.NewServeObs(opt.Shards)}
 	if sb, ok := st.(interface{ Host() *runtime.Host }); ok {
 		e.host = sb.Host()
+	}
+	if rs, ok := st.(replicaStore); ok {
+		e.replica = rs
 	}
 	if opt.MaxInflight > 0 {
 		e.adm = newAdmission(int64(opt.MaxInflight), opt.AdmitWait, opt.MaxWaiters)
@@ -637,6 +652,23 @@ func (e *Engine) resolve(key uint64, lvl Level) (RowMeta, error) {
 		if lag <= lvl.Bound {
 			return RowMeta{Watermark: wm, Staleness: lag}, nil
 		}
+		if e.replica != nil {
+			// A replica cannot force-flush: catch the log up once and
+			// re-probe. Still over the bound means the primary has not
+			// sealed the needed segments — refuse (RejectStale or not,
+			// there is nothing the replica can flush).
+			if err := e.replica.CatchUp(); err != nil {
+				return RowMeta{}, err
+			}
+			lag, wm, err = e.st.RowStaleness(key)
+			if err != nil {
+				return RowMeta{}, err
+			}
+			if lag > lvl.Bound {
+				return RowMeta{}, &ErrTooStale{Key: key, Staleness: lag, Bound: lvl.Bound, Watermark: wm}
+			}
+			return RowMeta{Watermark: wm, Staleness: lag}, nil
+		}
 		if e.opt.RejectStale {
 			return RowMeta{}, &ErrTooStale{Key: key, Staleness: lag, Bound: lvl.Bound, Watermark: wm}
 		}
@@ -649,6 +681,22 @@ func (e *Engine) resolve(key uint64, lvl Level) (RowMeta, error) {
 		e.sobs.Refreshed(int(key))
 		return RowMeta{Watermark: wm, Staleness: 0, Refreshed: true}, nil
 	default: // KindFresh
+		if e.replica != nil {
+			// Fresh on a replica: catch the log up; any residual lag only
+			// the primary can close, so it is an honest refusal. A
+			// promoted replica is authoritative — lag is 0 by definition.
+			if err := e.replica.CatchUp(); err != nil {
+				return RowMeta{}, err
+			}
+			lag, wm, err := e.st.RowStaleness(key)
+			if err != nil {
+				return RowMeta{}, err
+			}
+			if lag > 0 {
+				return RowMeta{}, &ErrReplica{Key: key, Staleness: lag, Watermark: wm}
+			}
+			return RowMeta{Watermark: wm, Staleness: 0}, nil
+		}
 		wm := e.st.Watermark()
 		refreshed, err := e.st.FlushKey(key)
 		if err != nil {
@@ -915,6 +963,17 @@ func (e *Engine) rescore(query []float32, c Candidate, lvl Level, row []float32)
 		}
 		if lag <= lvl.Bound {
 			c.Meta = RowMeta{Watermark: wm, Staleness: lag}
+		} else if e.replica != nil {
+			// Candidates are never dropped (that would silently change the
+			// result set): catch the log up and report the honest residual
+			// lag instead of a flush the replica cannot perform.
+			if err := e.replica.CatchUp(); err != nil {
+				return c, err
+			}
+			if lag, wm, err = e.st.RowStaleness(c.Key); err != nil {
+				return c, err
+			}
+			c.Meta = RowMeta{Watermark: wm, Staleness: lag}
 		} else {
 			if _, err := e.st.FlushKey(c.Key); err != nil {
 				return c, err
@@ -923,6 +982,20 @@ func (e *Engine) rescore(query []float32, c Candidate, lvl Level, row []float32)
 			c.Meta = RowMeta{Watermark: wm, Staleness: 0, Refreshed: true}
 		}
 	default: // KindFresh
+		if e.replica != nil {
+			if err := e.replica.CatchUp(); err != nil {
+				return c, err
+			}
+			lag, wm, err := e.st.RowStaleness(c.Key)
+			if err != nil {
+				return c, err
+			}
+			if lag > 0 {
+				return c, &ErrReplica{Key: c.Key, Staleness: lag, Watermark: wm}
+			}
+			c.Meta = RowMeta{Watermark: wm, Staleness: 0}
+			break
+		}
 		wm := e.st.Watermark()
 		refreshed, err := e.st.FlushKey(c.Key)
 		if err != nil {

@@ -98,7 +98,7 @@ func readFrameInto(r io.Reader, buf []byte) (op byte, payload []byte, err error)
 // decoder latches its first error so call sites chain reads and check
 // once at the end.
 
-func appendU8(b []byte, v byte) []byte  { return append(b, v) }
+func appendU8(b []byte, v byte) []byte { return append(b, v) }
 func appendU32(b []byte, v uint32) []byte {
 	return binary.LittleEndian.AppendUint32(b, v)
 }
@@ -109,6 +109,7 @@ func appendI64(b []byte, v int64) []byte { return appendU64(b, uint64(v)) }
 func appendF32(b []byte, v float32) []byte {
 	return appendU32(b, math.Float32bits(v))
 }
+
 // appendF32s bulk-encodes a float slice: one capacity reservation, then
 // direct stores — the per-element append bookkeeping is measurable on
 // gather-sized payloads (thousands of rows × dim floats).

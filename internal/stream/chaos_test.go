@@ -1,0 +1,333 @@
+package stream_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"frugal/internal/ckpt"
+	"frugal/internal/data"
+	"frugal/internal/fault"
+	"frugal/internal/p2f"
+	"frugal/internal/runtime"
+	"frugal/internal/serve"
+	"frugal/internal/stream"
+)
+
+// hotStream wraps a stream.Source so the first `gpus` slots of every
+// batch are the hot key — NewMicro shards keys round-robin, so every
+// trainer commits exactly one update for the hot key at every step and
+// its host version is exactly gpus·steps once everything is flushed.
+type hotStream struct {
+	src  *stream.Source
+	hot  uint64
+	gpus int
+}
+
+func (h *hotStream) Next() ([]uint64, bool) {
+	keys, ok := h.src.Next()
+	if !ok {
+		return nil, false
+	}
+	for i := 0; i < h.gpus && i < len(keys); i++ {
+		keys[i] = h.hot
+	}
+	return keys, true
+}
+
+func (h *hotStream) Steps() int64 { return h.src.Steps() }
+func (h *hotStream) Batch() int   { return h.src.Batch() }
+
+// latSample is one timed read against the follower.
+type latSample struct {
+	at  time.Time
+	lat time.Duration
+}
+
+// TestChaosStreamFailover is the -race acceptance test of the streaming
+// subsystem: a continuously trained job under open-loop load, the delta
+// log cut live off the flush stream, a follower tailing it, a fault plan
+// killing a flusher mid-stream — and then the primary itself dying. It
+// asserts:
+//
+//   - the staleness contract holds throughout on both primary and
+//     follower: every admitted bounded(k) read reports staleness ≤ k and
+//     a row version ≥ G·(watermark+1−staleness), and the hot version
+//     never regresses per reader;
+//   - training never stops for the log: the max gap between consecutive
+//     completed steps stays far below a stop-the-world pause;
+//   - after the primary dies the follower promotes, serves fresh reads
+//     at staleness 0, and its hot row shows every committed update
+//     (version == G·steps);
+//   - the compacted base plus the sealed segments reconstruct a slab
+//     bit-identical to Save of the primary's final host state;
+//   - compaction ran (the log is incremental, not an ever-growing tail).
+func TestChaosStreamFailover(t *testing.T) {
+	const (
+		gpus  = 2
+		rowsN = 128
+		dim   = 8
+		batch = 32
+		hot   = uint64(3)
+		bound = int64(2)
+		// Follower reads tolerate more lag: replication adds sweep
+		// latency on top of the gate bound.
+		flBound = int64(64)
+	)
+	dir := t.TempDir()
+
+	src, err := stream.New(stream.Options{
+		Rate: 6000, Batch: batch, Keys: rowsN,
+		Distribution: data.DistZipf09, Seed: 7, Horizon: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.Parse("crash:flusher=0@batch=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := runtime.Config{
+		Engine: runtime.EngineFrugal, NumGPUs: gpus, Rows: rowsN, Dim: dim,
+		CacheRatio: 0.25, Seed: 7, CheckConsistency: true, FlushThreads: 3,
+		Faults: fault.NewInjector(plan),
+		Recovery: p2f.Recovery{
+			HeartbeatInterval: time.Millisecond,
+			StallTimeout:      50 * time.Millisecond,
+		},
+	}
+	// No stop-the-world: watch the gap between consecutive completed
+	// steps while the delta log is cut alongside.
+	var lastStep, maxGap atomic.Int64
+	lastStep.Store(time.Now().UnixNano())
+	cfg.OnStep = func(runtime.StepStats) {
+		now := time.Now().UnixNano()
+		prev := lastStep.Swap(now)
+		if gap := now - prev; gap > maxGap.Load() {
+			maxGap.Store(gap)
+		}
+	}
+	job, err := runtime.NewMicro(cfg, &hotStream{src: src, hot: hot, gpus: gpus}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ckpt.NewWriter(job.Host(), job.Controller(), ckpt.Options{
+		Dir: dir, SweepInterval: 15 * time.Millisecond, CompactEvery: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Controller().AddFlushHook(w.OnFlush)
+
+	peng, err := serve.New(job.Host(), job.Controller(), serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := serve.NewFollower(dir, serve.FollowerOptions{Poll: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flCtx, stopTail := context.WithCancel(context.Background())
+	defer stopTail()
+	tailDone := make(chan error, 1)
+	go func() { tailDone <- fl.Run(flCtx) }()
+
+	var (
+		wg          sync.WaitGroup
+		primaryDown = make(chan struct{})
+		flDone      = make(chan struct{})
+		ctx         = context.Background()
+	)
+	// Primary readers: bounded reads of the hot key while the trainer,
+	// the flusher crash and the log writer all run.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			dst := make([]float32, dim)
+			var lastVer uint64
+			for {
+				select {
+				case <-primaryDown:
+					return
+				default:
+				}
+				resp, err := peng.Query(ctx, serve.Request{Key: hot, Dst: dst, Level: serve.Bounded(bound)})
+				if err != nil {
+					t.Errorf("primary reader %d: %v", r, err)
+					return
+				}
+				m := resp.Meta
+				if m.Staleness > bound {
+					t.Errorf("primary reader %d: staleness %d over bound %d", r, m.Staleness, bound)
+					return
+				}
+				if floor := m.Watermark + 1 - m.Staleness; floor > 0 && m.Version < gpus*uint64(floor) {
+					t.Errorf("primary reader %d: version %d < %d·(wm %d + 1 − lag %d)",
+						r, m.Version, gpus, m.Watermark, m.Staleness)
+					return
+				}
+				if m.Version < lastVer {
+					t.Errorf("primary reader %d: version regressed %d → %d", r, lastVer, m.Version)
+					return
+				}
+				lastVer = m.Version
+			}
+		}(r)
+	}
+	// Follower reader: the same contract over the replica, plus the
+	// latency timeline the recovery-p99 report is cut from. A read can
+	// honestly exceed the bound right after a resync; it must never
+	// *lie* (admit with meta violating the inequality).
+	samples := make([]latSample, 0, 4096)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		dst := make([]float32, dim)
+		var lastVer uint64
+		var tooStale *serve.ErrTooStale
+		for {
+			select {
+			case <-flDone:
+				return
+			default:
+			}
+			start := time.Now()
+			resp, err := fl.Engine().Query(ctx, serve.Request{Key: hot, Dst: dst, Level: serve.Bounded(flBound)})
+			samples = append(samples, latSample{at: start, lat: time.Since(start)})
+			if err != nil {
+				if errors.As(err, &tooStale) {
+					continue // honest refusal while replication lags
+				}
+				t.Errorf("follower reader: %v", err)
+				return
+			}
+			m := resp.Meta
+			if m.Staleness > flBound {
+				t.Errorf("follower reader: staleness %d over bound %d", m.Staleness, flBound)
+				return
+			}
+			if floor := m.Watermark + 1 - m.Staleness; floor > 0 && m.Version < gpus*uint64(floor) {
+				t.Errorf("follower reader: version %d < %d·(wm %d + 1 − lag %d)",
+					m.Version, gpus, m.Watermark, m.Staleness)
+				return
+			}
+			if m.Version < lastVer {
+				t.Errorf("follower reader: version regressed %d → %d", lastVer, m.Version)
+				return
+			}
+			lastVer = m.Version
+		}
+	}()
+
+	// Run the primary; kill it mid-stream (the event source dies, the
+	// job drains and exits — the crash half of the failover drill).
+	resC := make(chan runtime.Result, 1)
+	errC := make(chan error, 1)
+	go func() {
+		res, err := job.Run()
+		resC <- res
+		errC <- err
+	}()
+	time.Sleep(1200 * time.Millisecond)
+	killedAt := time.Now()
+	src.Close()
+	res, runErr := <-resC, <-errC
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if res.Steps < 20 {
+		t.Fatalf("only %d steps before the kill; the open-loop source is not driving training", res.Steps)
+	}
+	close(primaryDown)
+	// The primary is gone: seal what its flush stream produced (the
+	// writer's final sweep captures the drained host state) and promote
+	// the follower.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	promotedAt := time.Now()
+	close(flDone)
+	stopTail()
+	if err := <-tailDone; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower tail: %v", err)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Promotion: the follower is authoritative — fresh reads at
+	// staleness 0, the hot row carrying every committed update.
+	st := fl.Stats()
+	if st.Role != "primary" {
+		t.Fatalf("follower role %q after promotion, want primary", st.Role)
+	}
+	dst := make([]float32, dim)
+	resp, err := fl.Engine().Query(ctx, serve.Request{Key: hot, Dst: dst, Level: serve.Fresh()})
+	if err != nil {
+		t.Fatalf("fresh read on promoted replica: %v", err)
+	}
+	if resp.Meta.Staleness != 0 {
+		t.Fatalf("promoted replica reports staleness %d, want 0", resp.Meta.Staleness)
+	}
+	if want := uint64(gpus) * uint64(res.Steps); resp.Meta.Version != want {
+		t.Fatalf("promoted hot version %d, want %d (= %d GPUs × %d steps)",
+			resp.Meta.Version, want, gpus, res.Steps)
+	}
+
+	// Bit-identity: base + sealed segments reconstruct the primary's
+	// final slab exactly.
+	rec, err := ckpt.Reconstruct(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got bytes.Buffer
+	if err := job.Host().Save(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Save(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("reconstructed slab differs from the primary's final state (%d vs %d bytes)",
+			got.Len(), want.Len())
+	}
+
+	ws := w.Stats()
+	if ws.Compactions < 1 {
+		t.Fatalf("no compaction in %d segments (CompactEvery 8): the log never folded", ws.Segments)
+	}
+	if res.Recovery.FaultsInjected == 0 || res.Recovery.FlusherCrashes != 1 {
+		t.Fatalf("fault plan did not run: %+v", res.Recovery)
+	}
+	// The log is cut live: a stop-the-world pause would show up as a
+	// multi-second gap between consecutive completed steps.
+	if gap := time.Duration(maxGap.Load()); gap > 2*time.Second {
+		t.Fatalf("max step gap %v: delta checkpointing stalled training", gap)
+	}
+
+	// Recovery report: read latency through the kill → promotion window.
+	var rec99 []time.Duration
+	for _, s := range samples {
+		if s.at.After(killedAt) && s.at.Before(promotedAt) {
+			rec99 = append(rec99, s.lat)
+		}
+	}
+	if len(rec99) > 0 {
+		sort.Slice(rec99, func(i, j int) bool { return rec99[i] < rec99[j] })
+		t.Logf("recovery window %v (kill → promotion): %d follower reads, p99 %v",
+			promotedAt.Sub(killedAt), len(rec99), rec99[(len(rec99)-1)*99/100])
+	}
+	t.Logf("steps %d, events %d, backlog at kill %d, log: %d segments / %d records / %d compactions, max step gap %v",
+		res.Steps, src.Emitted(), src.Backlog(), ws.Segments, ws.Records, ws.Compactions,
+		time.Duration(maxGap.Load()))
+}

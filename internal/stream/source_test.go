@@ -1,0 +1,110 @@
+package stream_test
+
+import (
+	"testing"
+	"time"
+
+	"frugal/internal/stream"
+)
+
+func TestSourceUnpaced(t *testing.T) {
+	src, err := stream.New(stream.Options{Batch: 8, Keys: 100, Seed: 3, Horizon: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Batch() != 8 || src.Steps() != 5 {
+		t.Fatalf("batch %d steps %d, want 8/5", src.Batch(), src.Steps())
+	}
+	for i := 0; i < 5; i++ {
+		keys, ok := src.Next()
+		if !ok || len(keys) != 8 {
+			t.Fatalf("batch %d: ok=%v len=%d", i, ok, len(keys))
+		}
+		for _, k := range keys {
+			if k >= 100 {
+				t.Fatalf("key %d outside the key space", k)
+			}
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("source ran past its horizon")
+	}
+	if src.Emitted() != 40 {
+		t.Fatalf("emitted %d events, want 40", src.Emitted())
+	}
+}
+
+func TestSourceReproducible(t *testing.T) {
+	mk := func() []uint64 {
+		src, err := stream.New(stream.Options{Batch: 16, Keys: 1000, Seed: 9, Horizon: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []uint64
+		for {
+			keys, ok := src.Next()
+			if !ok {
+				return all
+			}
+			all = append(all, keys...)
+		}
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at event %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSourcePacing(t *testing.T) {
+	// 1000 events/s in 50-event batches: one batch per 50ms of arrival.
+	src, err := stream.New(stream.Options{Rate: 1000, Batch: 50, Keys: 100, Seed: 1, Horizon: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if _, ok := src.Next(); !ok {
+			t.Fatalf("batch %d: source closed early", i)
+		}
+	}
+	if el := time.Since(start); el < 150*time.Millisecond {
+		t.Fatalf("4 batches at 1000 ev/s arrived in %v: the open loop is not pacing", el)
+	}
+	// The arrival process is open-loop: not consuming for a while builds
+	// backlog.
+	time.Sleep(120 * time.Millisecond)
+	if src.Backlog() <= 0 {
+		t.Fatalf("backlog %d after an idle consumer, want > 0", src.Backlog())
+	}
+}
+
+func TestSourceCloseUnblocksNext(t *testing.T) {
+	// 1 ev/s with 8-event batches: the first batch would take 8s.
+	src, err := stream.New(stream.Options{Rate: 1, Batch: 8, Keys: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		src.Close()
+	}()
+	start := time.Now()
+	if _, ok := src.Next(); ok {
+		t.Fatal("Next succeeded on a closed source")
+	}
+	if el := time.Since(start); el > 3*time.Second {
+		t.Fatalf("Next took %v to observe Close", el)
+	}
+}
+
+func TestSourceOptionErrors(t *testing.T) {
+	if _, err := stream.New(stream.Options{Batch: 8}); err == nil {
+		t.Fatal("missing key space accepted")
+	}
+	if _, err := stream.New(stream.Options{Keys: 10, Distribution: "bogus"}); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+}

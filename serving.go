@@ -215,6 +215,79 @@ func dialSharded(addrs []string) (*store.ShardedStore, error) {
 	return st, nil
 }
 
+// ErrReplica is returned by a follower server when a consistency demand
+// (fresh, or bounded after catching the log up) needs updates only the
+// primary holds. The HTTP layer maps it to 503 with code "replica_lag".
+type ErrReplica = serve.ErrReplica
+
+// FollowerStats reports a follower server's replication state: role,
+// applied segment position and watermark, and the replication apply
+// counters.
+type FollowerStats = serve.FollowerStats
+
+// FollowOptions shapes a follower server (NewServerFromLog).
+type FollowOptions struct {
+	// Poll is the log-tail interval of Run (default 50ms).
+	Poll time.Duration
+	// WaitForLog keeps construction retrying while the log directory has
+	// no base yet — a follower booted alongside its primary (default:
+	// fail immediately).
+	WaitForLog time.Duration
+	// PromoteAfter makes Run promote the follower once the log stops
+	// growing for this long — the primary is presumed dead (default:
+	// never; call Promote explicitly).
+	PromoteAfter time.Duration
+}
+
+// FollowerServer is a serve replica over a delta-checkpoint log
+// (frugal-train -stream-log): it reconstructs the slab from the latest
+// base, tails sealed segments into its own memory, and serves reads
+// with replication lag reported through the ordinary consistency gate.
+// When the primary dies, Promote (or FollowOptions.PromoteAfter) makes
+// it authoritative. The embedded Server is the full query surface —
+// HTTP handler, load generator, metrics.
+type FollowerServer struct {
+	*Server
+	fl *serve.Follower
+}
+
+// NewServerFromLog builds a follower server tailing the delta-checkpoint
+// log at dir. The IVF index is not available on followers (its repair
+// feed is the primary's flush stream).
+func NewServerFromLog(dir string, opt ServeOptions, fo FollowOptions) (*FollowerServer, error) {
+	fl, err := serve.NewFollower(dir, serve.FollowerOptions{
+		Poll:         fo.Poll,
+		WaitForLog:   fo.WaitForLog,
+		PromoteAfter: fo.PromoteAfter,
+		Engine:       opt.internal(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FollowerServer{Server: &Server{eng: fl.Engine()}, fl: fl}, nil
+}
+
+// Run tails the log until ctx is done, applying newly sealed segments
+// every FollowOptions.Poll and — with PromoteAfter set — promoting once
+// the log goes quiet. Serve queries concurrently from the embedded
+// Server the whole time.
+func (f *FollowerServer) Run(ctx context.Context) error { return f.fl.Run(ctx) }
+
+// CatchUp applies every sealed segment the replica has not seen yet.
+func (f *FollowerServer) CatchUp() error { return f.fl.CatchUp() }
+
+// Promote makes the replica authoritative: apply everything sealed,
+// salvage the complete prefix of an unsealed segment, and flip the role
+// to "primary". Reads then serve at staleness 0 against the promoted
+// watermark.
+func (f *FollowerServer) Promote() error { return f.fl.Promote() }
+
+// Role reports "follower", or "primary" after promotion.
+func (f *FollowerServer) Role() string { return f.fl.Role() }
+
+// ReplicaStats snapshots the replication state.
+func (f *FollowerServer) ReplicaStats() FollowerStats { return f.fl.Stats() }
+
 // ShardSlab is a training slab over remote shard nodes: set it as
 // Config.Slab and the training job's step loop gathers and scatters
 // against the store tier instead of in-process host memory. Close it

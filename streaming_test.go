@@ -1,0 +1,170 @@
+package frugal
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStreamJobEndToEnd: an unpaced stream runs to its horizon with the
+// delta-checkpoint log attached; after the graceful wind-down the log —
+// base plus segments — reconstructs the final slab bit-identically.
+func TestStreamJobEndToEnd(t *testing.T) {
+	dir := t.TempDir() + "/log"
+	sj, err := NewStreamJob(Config{NumGPUs: 2, Seed: 4, CheckConsistency: true}, StreamOptions{
+		Batch: 32, KeySpace: 500, Dim: 8, Horizon: 40,
+		LogDir: dir, SweepInterval: 5 * time.Millisecond, CompactEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sj.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 40 {
+		t.Fatalf("steps = %d, want the 40-step horizon", res.Steps)
+	}
+	if sj.Emitted() != 40*32 {
+		t.Fatalf("emitted = %d events, want %d", sj.Emitted(), 40*32)
+	}
+	ls := sj.LogStats()
+	if ls.Segments < 1 || ls.Records < 1 {
+		t.Fatalf("delta log never swept: %+v", ls)
+	}
+	rec, err := ReconstructLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got bytes.Buffer
+	if err := sj.Host().Save(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Save(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("log reconstruction differs from the final slab")
+	}
+}
+
+// TestStreamJobCancelIsGraceful: canceling Run's context ends an
+// open-loop stream cleanly — a normal Result, not ErrCanceled — with the
+// log's final segment sealed behind the epilogue's drain.
+func TestStreamJobCancelIsGraceful(t *testing.T) {
+	dir := t.TempDir() + "/log"
+	sj, err := NewStreamJob(Config{NumGPUs: 2, Seed: 9, CheckConsistency: true}, StreamOptions{
+		Rate: 5000, Batch: 32, KeySpace: 300, Dim: 4, Horizon: 1 << 12,
+		LogDir: dir, SweepInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	res, err := sj.Run(ctx)
+	if err != nil {
+		t.Fatalf("graceful cancellation returned %v", err)
+	}
+	if res.Steps < 1 {
+		t.Fatal("no steps before cancellation")
+	}
+	rec, err := ReconstructLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got bytes.Buffer
+	if err := sj.Host().Save(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Save(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("log reconstruction differs from the slab after cancellation")
+	}
+}
+
+func TestNewStreamJobValidation(t *testing.T) {
+	if _, err := NewStreamJob(Config{Engine: EngineDirect}, StreamOptions{}); err == nil {
+		t.Fatal("streaming on EngineDirect accepted")
+	}
+	if _, err := NewStreamJob(Config{}, StreamOptions{Distribution: "bogus"}); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+}
+
+// TestStreamingWorkload: the Workload surface runs the same source
+// through New, and refuses the delta log (whose writer lifecycle only
+// NewStreamJob manages).
+func TestStreamingWorkload(t *testing.T) {
+	w := Streaming{Options: StreamOptions{Rate: 1000, Batch: 16, KeySpace: 100, Dim: 4, Horizon: 10}}
+	if w.Kind() != "streaming" || w.Name() == "" {
+		t.Fatalf("kind %q name %q", w.Kind(), w.Name())
+	}
+	job, err := New(Config{NumGPUs: 1, CheckConsistency: true}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 10 {
+		t.Fatalf("steps = %d, want 10", res.Steps)
+	}
+	if _, err := New(Config{}, Streaming{Options: StreamOptions{LogDir: t.TempDir()}}); err == nil {
+		t.Fatal("Workload surface accepted a delta log")
+	}
+}
+
+// TestRestoreCheckpointErrors: the error paths of RestoreCheckpoint at
+// the public API — wrong shape, torn stream, foreign bytes, future
+// format — all fail loudly instead of half-loading the slab.
+func TestRestoreCheckpointErrors(t *testing.T) {
+	mk := func(dim int) *TrainingJob {
+		job, err := New(Config{NumGPUs: 1, Seed: 2},
+			Microbenchmark{Options: MicroOptions{KeySpace: 200, Dim: dim, Batch: 16, Steps: 5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return job
+	}
+	var buf bytes.Buffer
+	if err := mk(16).SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if err := mk(32).RestoreCheckpoint(bytes.NewReader(good)); err == nil ||
+		!strings.Contains(err.Error(), "shape") {
+		t.Fatalf("shape mismatch: %v", err)
+	}
+	if err := mk(16).RestoreCheckpoint(bytes.NewReader(good[:len(good)-9])); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+	if err := mk(16).RestoreCheckpoint(bytes.NewReader(good[:7])); err == nil {
+		t.Fatal("torn header accepted")
+	}
+
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] ^= 0xFF
+	if err := mk(16).RestoreCheckpoint(bytes.NewReader(badMagic)); err == nil ||
+		!strings.Contains(err.Error(), "not a frugal checkpoint") {
+		t.Fatalf("bad magic: %v", err)
+	}
+
+	badVer := append([]byte(nil), good...)
+	badVer[4] = 99
+	if err := mk(16).RestoreCheckpoint(bytes.NewReader(badVer)); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version: %v", err)
+	}
+
+	// And the happy path still round-trips after all that.
+	if err := mk(16).RestoreCheckpoint(bytes.NewReader(good)); err != nil {
+		t.Fatal(err)
+	}
+}

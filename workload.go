@@ -9,11 +9,12 @@ import (
 	"frugal/internal/graph"
 	"frugal/internal/model"
 	"frugal/internal/runtime"
+	"frugal/internal/stream"
 )
 
 // Workload is a training workload New can build: one of the built-in
 // families (Recommendation, KnowledgeGraph, Microbenchmark, GraphLearning,
-// Replay), each carrying its own option struct. The interface is sealed —
+// Replay, Streaming), each carrying its own option struct. The interface is sealed —
 // build is unexported — so the set of workloads is exactly the set this
 // package can train; callers compose behaviour through Config and the
 // option structs instead of implementing new workload types.
@@ -22,7 +23,7 @@ type Workload interface {
 	// (e.g. "Avazu/DLRM", "FB15k/TransE"), with option defaults applied.
 	Name() string
 	// Kind is the workload family: "recommendation", "knowledge-graph",
-	// "microbenchmark", "graph-learning" or "replay".
+	// "microbenchmark", "graph-learning", "replay" or "streaming".
 	Kind() string
 	// build constructs the runtime job (sealed).
 	build(cfg Config) (*runtime.Job, error)
@@ -30,7 +31,7 @@ type Workload interface {
 
 // The built-in workloads satisfy Workload.
 var _ = [...]Workload{
-	Recommendation{}, KnowledgeGraph{}, Microbenchmark{}, GraphLearning{}, Replay{},
+	Recommendation{}, KnowledgeGraph{}, Microbenchmark{}, GraphLearning{}, Replay{}, Streaming{},
 }
 
 // ErrNilWorkload is returned by New when passed a nil Workload.
@@ -247,6 +248,53 @@ func (w GraphLearning) build(cfg Config) (*runtime.Job, error) {
 	rc := cfg.runtimeConfig()
 	rc.Dim = opt.Dim
 	return runtime.NewGNN(rc, g, sampler, opt.Edges, opt.Steps)
+}
+
+// Streaming is the continuous online-training workload: an unbounded,
+// rate-paced event source drives the step loop through the ordinary
+// Workload surface. Built through New it behaves like any other job
+// (RunContext to bound it); build it with NewStreamJob instead to get
+// the streaming controls — graceful source close, backlog accounting,
+// and the delta-checkpoint log (StreamOptions.LogDir is rejected here,
+// because only StreamJob manages the log writer's lifecycle).
+type Streaming struct {
+	Options StreamOptions
+}
+
+// Name implements Workload.
+func (w Streaming) Name() string {
+	opt := w.Options
+	opt.normalize()
+	if opt.Rate > 0 {
+		return fmt.Sprintf("streaming (%s, %d keys, %.0f ev/s)", opt.Distribution, opt.KeySpace, opt.Rate)
+	}
+	return fmt.Sprintf("streaming (%s, %d keys, unpaced)", opt.Distribution, opt.KeySpace)
+}
+
+// Kind implements Workload.
+func (w Streaming) Kind() string { return "streaming" }
+
+func (w Streaming) build(cfg Config) (*runtime.Job, error) {
+	if w.Options.LogDir != "" {
+		return nil, fmt.Errorf("frugal: the delta-checkpoint log needs NewStreamJob (the Workload surface cannot manage the writer's lifecycle)")
+	}
+	opt := w.Options
+	opt.normalize()
+	src, err := stream.New(stream.Options{
+		Rate:         opt.Rate,
+		Batch:        opt.Batch,
+		Keys:         opt.KeySpace,
+		Distribution: data.Distribution(opt.Distribution),
+		Seed:         cfg.Seed + 1,
+		Horizon:      opt.Horizon,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rc := cfg.runtimeConfig()
+	rc.Rows = int64(opt.KeySpace)
+	rc.Dim = opt.Dim
+	return runtime.NewMicro(rc, src, opt.Horizon)
 }
 
 // Replay is the trace-replay workload: a microbenchmark-style job driven
