@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-core serve-stress prefetch-stress serve-demo shard-demo stream-demo bench bench-baseline bench-check check
+.PHONY: build vet test race race-core serve-stress prefetch-stress tier-stress serve-demo shard-demo stream-demo tier-demo bench bench-baseline bench-check check
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,14 @@ prefetch-stress:
 	$(GO) test -race -count=1 -v \
 		-run 'TestPrefetch|TestWindowPin|TestEpochAndWindowPins' \
 		./internal/runtime ./internal/cache
+
+# The tiered-slab suite under the race detector: a cold-tier training
+# run with concurrent readers and the gate invariant checked every step,
+# plus the tier round-trip and delta-log reconstruction tests.
+tier-stress:
+	$(GO) test -race -count=1 -v \
+		-run 'TestTier|TestColdTier|TestCaptureRestoreRow|TestFollowerTieredLog' \
+		./internal/runtime ./internal/ckpt ./internal/serve
 
 # The overload-control suite under the race detector: open-loop shedding,
 # the hot-key refresh storm, admission semantics, and the server
@@ -75,6 +83,17 @@ stream-demo:
 		-loadgen 6s -level 'bounded(8)'; \
 	wait $$TP; \
 	/tmp/frugal-serve-demo -follow /tmp/frugal-stream-log -promote-after 200ms -loadgen 2s -level 'bounded(8)'
+
+# The frequency-aware tiered slab end to end: train on a cold-tier table
+# (2% hot head, int8 cold tail) with the gate invariant checked every
+# step, checkpoint it, then serve the same checkpoint through the tiered
+# store and hammer it with the load generator — the top-K path scans
+# quantized codes and rescores winners at full precision.
+tier-demo: build
+	$(GO) run ./cmd/frugal-train -micro -gpus 2 -steps 300 -keys 20000 \
+		-cold-tier -hot-fraction 0.02 -obs -checkpoint-out /tmp/frugal-tier-demo.ckpt
+	$(GO) run ./cmd/frugal-serve -checkpoint /tmp/frugal-tier-demo.ckpt \
+		-cold-tier -hot-fraction 0.02 -loadgen 5s
 
 # One pass over every benchmark (sanity, not measurement).
 bench:

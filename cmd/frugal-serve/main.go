@@ -72,6 +72,10 @@ func run() int {
 		index       = flag.String("index", "flat", "top-K scan strategy: flat (exhaustive) or ivf (sublinear inverted file)")
 		centroids   = flag.Int("centroids", 0, "IVF partition count (0 = default, about 4 times the square root of the row count)")
 		nprobe      = flag.Int("nprobe", 0, "IVF partitions scanned per query (0 = default 8)")
+		coldTier    = flag.Bool("cold-tier", false,
+			"serve the checkpoint from a tiered slab: hot f32 head + quantized int8 cold tail (requires -checkpoint)")
+		hotFraction = flag.Float64("hot-fraction", 0,
+			"tiered hot-head size as a fraction of the table, in (0, 1] (default 0.1; requires -cold-tier)")
 	)
 	flag.Parse()
 
@@ -82,6 +86,7 @@ func run() int {
 		MaxInflight: *maxInflight, RequestTimeout: *reqTimeout, Drain: *drain,
 		LoadGen: *loadGen, Rate: *rate, Workers: *workers, Zipf: *zipf, TopKFrac: *topkFrac, K: *k,
 		Index: *index, Centroids: *centroids, NProbe: *nprobe,
+		ColdTier: *coldTier, HotFraction: *hotFraction,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "frugal-serve:", err)
@@ -93,6 +98,7 @@ func run() int {
 		Level: lvl, RejectStale: *rejectStale, MaxTopK: *maxTopK,
 		MaxInflight: *maxInflight, RequestTimeout: *reqTimeout,
 		Index: kind, Centroids: *centroids, NProbe: *nprobe,
+		ColdTier: *coldTier, HotFraction: *hotFraction,
 	}
 	var srv *frugal.Server
 	var fsrv *frugal.FollowerServer

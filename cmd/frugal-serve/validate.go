@@ -44,6 +44,8 @@ type options struct {
 	Index          string
 	Centroids      int
 	NProbe         int
+	ColdTier       bool
+	HotFraction    float64
 	statFile       func(string) error // test seam; nil = os.Stat
 }
 
@@ -115,6 +117,17 @@ func validate(o options) (frugal.ServeLevel, frugal.IndexKind, error) {
 		}
 		if kind == frugal.IndexIVF {
 			return fail(fmt.Errorf("-index=ivf needs an in-process slab (-checkpoint); sharded servers scan per shard"))
+		}
+	}
+	if o.HotFraction != 0 && !o.ColdTier {
+		return fail(fmt.Errorf("-hot-fraction requires -cold-tier"))
+	}
+	if o.ColdTier {
+		if o.Checkpoint == "" {
+			return fail(fmt.Errorf("-cold-tier needs an in-process checkpoint slab (-checkpoint)"))
+		}
+		if o.HotFraction < 0 || o.HotFraction > 1 {
+			return fail(fmt.Errorf("-hot-fraction must be in (0, 1] (got %g)", o.HotFraction))
 		}
 	}
 	if o.Checkpoint != "" {

@@ -28,16 +28,16 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		dataset   = flag.String("dataset", "Avazu", "Table 2 dataset name")
-		engine    = flag.String("engine", "frugal", "engine: frugal, frugal-sync, direct")
-		gpus      = flag.Int("gpus", 4, "number of simulated GPUs")
-		steps     = flag.Int64("steps", 200, "training steps")
-		batch     = flag.Int("batch", 0, "global batch size (0 = dataset default)")
-		scale     = flag.Int64("scale", 0, "dataset scale-down factor (0 = sensible default)")
-		cache     = flag.Float64("cache", 0.05, "per-GPU cache ratio")
-		lr        = flag.Float64("lr", 0.05, "embedding learning rate")
-		threads   = flag.Int("flush-threads", 8, "P2F flushing threads")
-		prefetch  = flag.Bool("prefetch", false,
+		dataset  = flag.String("dataset", "Avazu", "Table 2 dataset name")
+		engine   = flag.String("engine", "frugal", "engine: frugal, frugal-sync, direct")
+		gpus     = flag.Int("gpus", 4, "number of simulated GPUs")
+		steps    = flag.Int64("steps", 200, "training steps")
+		batch    = flag.Int("batch", 0, "global batch size (0 = dataset default)")
+		scale    = flag.Int64("scale", 0, "dataset scale-down factor (0 = sensible default)")
+		cache    = flag.Float64("cache", 0.05, "per-GPU cache ratio")
+		lr       = flag.Float64("lr", 0.05, "embedding learning rate")
+		threads  = flag.Int("flush-threads", 8, "P2F flushing threads")
+		prefetch = flag.Bool("prefetch", false,
 			"overlap cache fills with compute: prefetch upcoming batches' rows and window-pin them (cached engines only)")
 		prefetchDepth = flag.Int("prefetch-depth", 0,
 			"max future batches prefetched but not yet trained (0 = lookahead depth; requires -prefetch)")
@@ -65,6 +65,10 @@ func run() int {
 			"degrade the frugal engine to write-through after this long with zero flush progress (0 = 5s default, negative disables the watchdog)")
 		maxRespawns = flag.Int("max-respawns", 0,
 			"flusher respawn budget (0 = 16 default, negative disables self-healing so a dead pool degrades)")
+		coldTier = flag.Bool("cold-tier", false,
+			"allocate the embedding table as a frequency-aware tiered slab: hot f32 head + quantized int8 cold tail")
+		hotFraction = flag.Float64("hot-fraction", 0,
+			"hot-head size as a fraction of the table, in (0, 1] (default 0.1; requires -cold-tier)")
 		ckptOut    = flag.String("checkpoint-out", "", "save the trained host slab as a checkpoint to this file after the run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
@@ -77,6 +81,7 @@ func run() int {
 		StreamLog: *streamLog, Duration: *duration,
 		FaultPlan: *faultPlan, GateTimeout: *gateTimeout,
 		MaxRespawns: *maxRespawns, Prefetch: *prefetch, PrefetchDepth: *prefetchDepth,
+		ColdTier: *coldTier, HotFraction: *hotFraction,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "frugal-train:", err)
@@ -113,6 +118,8 @@ func run() int {
 		PrefetchDepth:    *prefetchDepth,
 		Seed:             *seed,
 		Observability:    frugal.ObsOptions{Enabled: *obsOn},
+		ColdTier:         *coldTier,
+		HotFraction:      *hotFraction,
 		FaultPlan:        plan,
 		Recovery:         frugal.Recovery{MaxRespawns: *maxRespawns, GateTimeout: *gateTimeout},
 	}
@@ -404,5 +411,9 @@ func reportObs(s frugal.Snapshot) {
 	fmt.Printf("pq ops:           %d enqueue, %d dequeue, %d adjust, %d stale-pop\n",
 		s.PQEnqueues, s.PQDequeues, s.PQAdjusts, s.PQStalePops)
 	fmt.Printf("step wall mean:   %v over %d steps\n", s.StepWall.Mean(), s.StepsCompleted)
+	if s.TierPromotions+s.TierDemotions+s.TierColdWrites > 0 {
+		fmt.Printf("tier:             %d promotions, %d demotions (%d declined), %d cold writes, %d dequant reads\n",
+			s.TierPromotions, s.TierDemotions, s.TierDeclined, s.TierColdWrites, s.TierDequantReads)
+	}
 	fmt.Printf("trace:            %d events (%d overwritten)\n", s.TraceEvents, s.TraceDropped)
 }

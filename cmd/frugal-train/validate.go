@@ -23,6 +23,8 @@ type options struct {
 	MaxRespawns   int
 	Prefetch      bool
 	PrefetchDepth int
+	ColdTier      bool
+	HotFraction   float64
 }
 
 // validate rejects invalid flag combinations up front with a usage error —
@@ -76,6 +78,12 @@ func validate(o options) (frugal.FaultPlan, error) {
 	}
 	if o.PrefetchDepth > 0 && !o.Prefetch {
 		return frugal.FaultPlan{}, fmt.Errorf("-prefetch-depth requires -prefetch")
+	}
+	if o.HotFraction != 0 && !o.ColdTier {
+		return frugal.FaultPlan{}, fmt.Errorf("-hot-fraction requires -cold-tier")
+	}
+	if o.ColdTier && (o.HotFraction < 0 || o.HotFraction > 1) {
+		return frugal.FaultPlan{}, fmt.Errorf("-hot-fraction must be in (0, 1] (got %g)", o.HotFraction)
 	}
 	plan, err := frugal.ParseFaultPlan(o.FaultPlan)
 	if err != nil {

@@ -129,6 +129,16 @@ type Config struct {
 	// blocked by it). Use it for progress bars, loss curves, or feeding
 	// an external metrics pipeline.
 	OnStep func(StepStats)
+	// ColdTier allocates the embedding table as a frequency-aware tiered
+	// slab: a hot head of full-precision f32 rows plus a quantized int8
+	// cold tail (per-row affine scale/zero, dequantized on read and
+	// requantized on write). Promotion and demotion are driven by decayed
+	// access frequency at P²F flush boundaries, so tier moves land at
+	// consistency points the gate already covers. Incompatible with Slab.
+	ColdTier bool
+	// HotFraction sizes the hot head as a fraction of the table (default
+	// 0.1). Requires ColdTier; must be in (0, 1].
+	HotFraction float64
 	// Slab overrides the job's parameter slab with an external row store —
 	// typically DialShardSlab over uncoordinated frugal-shard nodes, which
 	// places the embedding table on the store tier instead of in-process
@@ -263,6 +273,8 @@ func (c Config) runtimeConfig() runtime.Config {
 		Seed:             c.Seed,
 		OnStep:           c.OnStep,
 		Recovery:         c.Recovery,
+		ColdTier:         c.ColdTier,
+		HotFraction:      c.HotFraction,
 		Slab:             c.Slab,
 	}
 	if !c.FaultPlan.Empty() {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -99,11 +100,18 @@ func perfSuite() []perfEntry {
 		{"serve/lookup-zipf", "", benchServeLookup, nil},
 		{"serve/topk-16", "", benchServeTopK, nil},
 		{"serve/topk-ivf-16", "", benchServeTopKIVF, nil},
+		{"serve/topk-quantized-rescore", "", benchServeTopKQuantized, nil},
 		{"store/gather-1shard", "", benchShardGather(1), nil},
 		{"store/gather-3shard", "", benchShardGather(3), nil},
 		{"steploop/frugal-sgd-g1", stepIters, benchStepLoop(runtime.Config{Engine: runtime.EngineFrugal}, nil), nil},
 		{"steploop/frugal-adagrad-g1", stepIters, benchStepLoop(runtime.Config{Engine: runtime.EngineFrugal, Optimizer: runtime.OptAdagrad}, nil), nil},
 		{"steploop/frugal-sync-g1", stepIters, benchStepLoop(runtime.Config{Engine: runtime.EngineFrugalSync}, nil), nil},
+		// The cold-tier row: the frugal step loop on a tiered slab (5% hot
+		// head, int8 cold tail). Read against steploop/frugal-sgd-g1 — the
+		// identical workload all-f32 — it prices the cold path's
+		// dequantize-apply-requantize cycle and the flush-boundary tier
+		// maintenance.
+		{"train/step-cold-tier", stepIters, benchStepLoop(runtime.Config{Engine: runtime.EngineFrugal, ColdTier: true, HotFraction: 0.05}, nil), nil},
 		{"steploop/direct-g1", stepIters, benchStepLoop(runtime.Config{Engine: runtime.EngineDirect}, nil), nil},
 		// The prefetch pair: identical workload, prefetch off vs on. Read
 		// together they show what the lookahead fill stage buys — the demand
@@ -316,12 +324,14 @@ const (
 	ivfBenchQueries   = 64
 )
 
-// ivfBenchState memoizes the mixture slab and both engines: the k-means
-// build is a one-time cost shared by the latency and recall rows.
+// ivfBenchState memoizes the mixture slab and all three engines: the
+// k-means build and the tiered conversion are one-time costs shared by
+// the latency and recall rows.
 var ivfBenchState struct {
 	once    sync.Once
 	ivf     *serve.Engine
 	flat    *serve.Engine
+	tiered  *serve.Engine
 	queries [][]float32
 }
 
@@ -355,6 +365,22 @@ func ivfBench() (ivf, flat *serve.Engine, queries [][]float32) {
 		if err != nil {
 			panic(err)
 		}
+		// The quantized rows serve the same slab through the cold tier:
+		// checkpoint the flat host and reload it tiered (5% hot head) —
+		// the exact conversion frugal-serve -cold-tier performs. Scans
+		// score cold rows on their int8 codes; the winners are rescored
+		// from full-precision dequantized reads.
+		var buf bytes.Buffer
+		if err := h.Save(&buf); err != nil {
+			panic(err)
+		}
+		ht, err := runtime.LoadHostTiered(&buf, 0.05)
+		if err != nil {
+			panic(err)
+		}
+		if s.tiered, err = serve.NewStatic(ht, serve.Options{}); err != nil {
+			panic(err)
+		}
 		qrng := rand.New(rand.NewSource(9))
 		s.queries = make([][]float32, ivfBenchQueries)
 		for q := range s.queries {
@@ -366,6 +392,23 @@ func ivfBench() (ivf, flat *serve.Engine, queries [][]float32) {
 		}
 	})
 	return s.ivf, s.flat, s.queries
+}
+
+// benchServeTopKQuantized measures one k=16 exhaustive query over the
+// tiered (95% int8) mixture slab — the quantized scan-then-rescore path.
+// Its companion row serve/topk-quantized-recall16 reports the accuracy
+// of exactly this configuration against the all-f32 scan.
+func benchServeTopKQuantized(b *testing.B) {
+	ivfBench()
+	eng := ivfBenchState.tiered
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(ctx, serve.Request{Vector: ivfBenchState.queries[i%len(ivfBenchState.queries)], K: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // benchServeTopKIVF measures one k=16 query through the IVF index on the
@@ -390,33 +433,52 @@ func benchServeTopKIVF(b *testing.B) {
 // skipping partitions only counts while the answers stay right.
 func ivfRecallRow() PerfBench {
 	ivf, flat, queries := ivfBench()
+	return PerfBench{
+		Name:   "serve/topk-ivf-recall16",
+		Recall: recallAt16(ivf, flat, queries),
+	}
+}
+
+// quantRecallRow computes recall@16 of the quantized scan-then-rescore
+// path against the all-f32 exhaustive scan on the same slab and query
+// set. Like the IVF recall row it is fully deterministic, so ComparePerf
+// gates on it: the memory bought by quantizing the cold tail only counts
+// while the answers stay right.
+func quantRecallRow() PerfBench {
+	_, flat, queries := ivfBench()
+	return PerfBench{
+		Name:   "serve/topk-quantized-recall16",
+		Recall: recallAt16(ivfBenchState.tiered, flat, queries),
+	}
+}
+
+// recallAt16 scores `got`'s k=16 answers against `truth`'s over the
+// fixed query set.
+func recallAt16(got, truth *serve.Engine, queries [][]float32) float64 {
 	ctx := context.Background()
 	var recall float64
 	for _, q := range queries {
-		truth, err := flat.Query(ctx, serve.Request{Vector: q, K: 16})
+		exact, err := truth.Query(ctx, serve.Request{Vector: q, K: 16})
 		if err != nil {
 			panic(err)
 		}
-		got, err := ivf.Query(ctx, serve.Request{Vector: q, K: 16})
+		approx, err := got.Query(ctx, serve.Request{Vector: q, K: 16})
 		if err != nil {
 			panic(err)
 		}
-		want := make(map[uint64]bool, len(truth.Results))
-		for _, c := range truth.Results {
+		want := make(map[uint64]bool, len(exact.Results))
+		for _, c := range exact.Results {
 			want[c.Key] = true
 		}
 		hit := 0
-		for _, c := range got.Results {
+		for _, c := range approx.Results {
 			if want[c.Key] {
 				hit++
 			}
 		}
-		recall += float64(hit) / float64(len(truth.Results))
+		recall += float64(hit) / float64(len(exact.Results))
 	}
-	return PerfBench{
-		Name:   "serve/topk-ivf-recall16",
-		Recall: recall / float64(len(queries)),
-	}
+	return recall / float64(len(queries))
 }
 
 // The shard gather rows measure one 4096-row batched gather through the
@@ -736,7 +798,7 @@ func RunPerf(quick bool) PerfReport {
 		}
 		rep.Benchmarks = append(rep.Benchmarks, pb)
 	}
-	rep.Benchmarks = append(rep.Benchmarks, ivfRecallRow(), loadgenRow(quick), openLoopRow(quick))
+	rep.Benchmarks = append(rep.Benchmarks, ivfRecallRow(), quantRecallRow(), loadgenRow(quick), openLoopRow(quick))
 	if row, ok := shardSpeedupRow(rep.Benchmarks); ok {
 		rep.Benchmarks = append(rep.Benchmarks, row)
 	}

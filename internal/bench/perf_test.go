@@ -65,10 +65,10 @@ func TestRunPerfQuick(t *testing.T) {
 		t.Skip("perf suite in -short mode")
 	}
 	rep := RunPerf(true)
-	// The suite rows plus the appended recall, loadgen latency, open-loop,
-	// shard-speedup and prefetch-speedup rows.
-	if len(rep.Benchmarks) != len(perfSuite())+5 {
-		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(perfSuite())+5)
+	// The suite rows plus the appended IVF-recall, quantized-recall,
+	// loadgen latency, open-loop, shard-speedup and prefetch-speedup rows.
+	if len(rep.Benchmarks) != len(perfSuite())+6 {
+		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(perfSuite())+6)
 	}
 	var missOff, missOn float64
 	for _, pb := range rep.Benchmarks {

@@ -34,6 +34,16 @@ type Meta struct {
 	// their fate — hit (served at least one demand lookup), late (went stale
 	// before any use), wasted (evicted before any use).
 	prefFills, prefHits, prefLate, prefWasted int64
+	// fillsSinceAge schedules frequency aging: every time it reaches the
+	// directory capacity (one full turnover's worth of fills), every slot's
+	// freq is halved. Without decay, frequencies only ever rise, so after a
+	// distribution shift the stale-hot residents are effectively
+	// unevictable — a new key enters with freq 1 and is always the next
+	// victim, thrashing against its own working set. Deliberately separate
+	// from the resettable `inserted` stat so ResetStats cannot perturb the
+	// aging cadence. agings counts completed halving passes (tests, Stats).
+	fillsSinceAge int64
+	agings        int64
 
 	// obs mirrors the counters into the job's observability layer so a
 	// live Snapshot can read them race-free while the owning trainer runs
@@ -136,7 +146,7 @@ func (m *Meta) probe(key uint64, wantVersion uint64) int {
 			m.obs.Miss(m.gpu, key, true)
 			return -1
 		}
-		s.freq++
+		bumpFreq(s)
 		s.epoch = m.epoch
 		if s.pf {
 			s.pfUsed = true
@@ -188,7 +198,7 @@ func (m *Meta) fill(key uint64, version uint64, prefetch bool) (slotIdx int, evi
 		s := &m.slots[i]
 		if s.key == key {
 			s.version = version
-			s.freq++
+			bumpFreq(s)
 			if !prefetch {
 				s.epoch = m.epoch
 			}
@@ -248,8 +258,37 @@ func (m *Meta) fill(key uint64, version uint64, prefetch bool) (slotIdx int, evi
 		m.evicted++
 	}
 	m.obs.Insert(m.gpu, key, evicted, wasEviction)
+	if m.fillsSinceAge++; m.fillsSinceAge >= int64(len(m.slots)) {
+		m.fillsSinceAge = 0
+		m.age()
+	}
 	return victim, evicted, wasEviction
 }
+
+// bumpFreq is the saturating frequency increment: a counter that wrapped
+// to 0 would turn the hottest slot of its set into the next eviction
+// victim, so the top value sticks (aging halves it back into range).
+func bumpFreq(s *slot) {
+	if s.freq != ^uint32(0) {
+		s.freq++
+	}
+}
+
+// age halves every slot's frequency — the periodic decay that lets a
+// post-shift working set outcompete stale-hot residents. Scheduled by
+// fill after every capacity's worth of inserts, so the amortised cost is
+// O(1) per insert and a static workload (no fills) never pays it; the
+// relative LFU order within a set is preserved across a pass.
+func (m *Meta) age() {
+	for i := range m.slots {
+		m.slots[i].freq >>= 1
+	}
+	m.agings++
+}
+
+// Agings reports how many frequency-halving passes have run (tests and
+// diagnostics; see age).
+func (m *Meta) Agings() int64 { return m.agings }
 
 // Fill records key at version (the slab-less insert used by the
 // simulator). It returns the evicted key, if any. With every slot of the

@@ -99,3 +99,61 @@ func TestMetaAndCacheAgree(t *testing.T) {
 		t.Fatalf("stats diverged: meta=%+v cache=%+v", meta.Stats(), c.Stats())
 	}
 }
+
+func TestLFUFreqSaturates(t *testing.T) {
+	// A wrapped counter would turn the hottest slot of its set into the
+	// next eviction victim; the increment must stick at the ceiling.
+	s := slot{freq: ^uint32(0) - 1}
+	bumpFreq(&s)
+	if s.freq != ^uint32(0) {
+		t.Fatalf("freq = %d, want max", s.freq)
+	}
+	bumpFreq(&s)
+	if s.freq != ^uint32(0) {
+		t.Fatalf("freq wrapped to %d", s.freq)
+	}
+}
+
+// TestLFUAgingDistributionShift is the regression test for the
+// ever-growing-frequency pathology: entrench working set A, then shift
+// the distribution to a disjoint working set B of the same size. Without
+// periodic aging A's frequencies are unreachable — every B insert
+// enters at freq 1 and is always the set's next victim, so B thrashes
+// through one slot per set (~1/Ways residency) while stale-hot A squats
+// on the rest forever. With aging, A decays and B wins residency.
+func TestLFUAgingDistributionShift(t *testing.T) {
+	m := MustNewMeta(256)
+	capacity := uint64(m.Rows())
+
+	// Phase 1: A = [0, capacity) fills the directory and runs hot.
+	for k := uint64(0); k < capacity; k++ {
+		m.Fill(k, 0)
+	}
+	for r := 0; r < 64; r++ {
+		for k := uint64(0); k < capacity; k++ {
+			m.Probe(k, 0)
+		}
+	}
+
+	// Phase 2: the shift — only B = [capacity, 2·capacity) is accessed.
+	for r := 0; r < 100; r++ {
+		for k := capacity; k < 2*capacity; k++ {
+			if !m.Probe(k, 0) {
+				m.Fill(k, 0)
+			}
+		}
+	}
+
+	resident := 0
+	for k := capacity; k < 2*capacity; k++ {
+		if m.Contains(k) {
+			resident++
+		}
+	}
+	if got := float64(resident) / float64(capacity); got < 0.5 {
+		t.Fatalf("new-hot working set holds %.0f%% of the directory after the shift, want ≥ 50%% (stale-hot squatting — frequency aging broken)", got*100)
+	}
+	if m.Agings() == 0 {
+		t.Fatal("aging never ran during a full-capacity churn")
+	}
+}

@@ -52,14 +52,30 @@ import (
 	"strings"
 
 	"frugal/internal/runtime"
+	"frugal/internal/tensor"
 )
 
 // Segment and sidecar magics. The base slab itself reuses the runtime
 // checkpoint codec (and its own magic) unchanged.
+//
+// Segment format 2 is cut when the primary's host is tiered: each record
+// carries a tier tag, and a cold row's payload is its verbatim quantized
+// representation — (scale, zero) plus dim int8 codes, a quarter of the
+// float32 image — with the dequantized Row still materialized on read so
+// format-1 consumers of the Record see what they always saw. Verbatim
+// codes are what make tiered reconstruction bit-identical: no
+// dequantize→requantize round trip on either side of the log.
 const (
-	segMagic  = uint32(0xD17A5E60)
-	metaMagic = uint32(0xD17A5E61)
-	fmtVer    = uint32(1)
+	segMagic     = uint32(0xD17A5E60)
+	metaMagic    = uint32(0xD17A5E61)
+	fmtVer       = uint32(1)
+	fmtVerTiered = uint32(2)
+)
+
+// Tier tags in a format-2 record.
+const (
+	recTagCold = byte(0)
+	recTagHot  = byte(1)
 )
 
 // segHeader opens every delta segment. Records — the count is fixed at
@@ -74,22 +90,60 @@ type segHeader struct {
 	Watermark int64 // primary committed-step watermark at sweep time
 }
 
-// Record is one logged row image.
+// Record is one logged row image. Row always holds the full-precision
+// view (dequantized for a cold record); Cold, Scale, Zero and Q carry
+// the verbatim quantized representation when the record came from a
+// tiered host's cold tier (format 2 only).
 type Record struct {
 	Key      uint64
 	Version  uint64
 	SafeStep int64 // image contains every update committed at step ≤ SafeStep
 	State    float32
 	Row      []float32
+	Cold     bool
+	Scale    float32
+	Zero     float32
+	Q        []int8
 }
 
-// recordSize is the on-disk size of one record for dimension dim.
+// Image adapts the record to the runtime's tier-aware restore surface.
+// The returned image aliases the record's buffers, which ReadSegment
+// reuses — consume it before the next record.
+func (rec *Record) Image() runtime.RowImage {
+	return runtime.RowImage{
+		Version: rec.Version, State: rec.State,
+		Cold: rec.Cold, Scale: rec.Scale, Zero: rec.Zero,
+		Row: rec.Row, Q: rec.Q,
+	}
+}
+
+// recordSize is the on-disk size of one format-1 record for dimension
+// dim.
 func recordSize(dim int, hasState bool) int {
 	n := 8 + 8 + 8 + 4*dim
 	if hasState {
 		n += 4
 	}
 	return n
+}
+
+// recordFixed is the size of a record's tag-inclusive fixed prefix in
+// format 2; the payload (4·dim hot, 8+dim cold) follows.
+func recordFixed(hasState bool) int {
+	if hasState {
+		return 8 + 8 + 8 + 4 + 1
+	}
+	return 8 + 8 + 8 + 1
+}
+
+// maxRecordSize sizes a scratch buffer that fits any record of either
+// format.
+func maxRecordSize(dim int, hasState bool) int {
+	payload := 4 * dim
+	if 8+dim > payload {
+		payload = 8 + dim
+	}
+	return recordFixed(hasState) + payload
 }
 
 // SegmentInfo describes one sealed segment found in a log directory.
@@ -194,14 +248,13 @@ func ReadSegment(path string, dim int, fn func(*Record) error) (watermark int64,
 	if err != nil {
 		return 0, fmt.Errorf("ckpt: segment %s: %w", filepath.Base(path), err)
 	}
-	rec := Record{Row: make([]float32, dim)}
-	buf := make([]byte, recordSize(dim, hdr.HasState == 1))
+	rec := Record{Row: make([]float32, dim), Q: make([]int8, dim)}
+	buf := make([]byte, maxRecordSize(dim, hdr.HasState == 1))
 	for i := int64(0); i < hdr.Records; i++ {
-		if _, err := io.ReadFull(br, buf); err != nil {
+		if err := readRecord(br, &hdr, buf, &rec); err != nil {
 			return 0, fmt.Errorf("ckpt: segment %s: record %d/%d: %w",
 				filepath.Base(path), i, hdr.Records, err)
 		}
-		decodeRecord(buf, hdr.HasState == 1, &rec)
 		if err := fn(&rec); err != nil {
 			return 0, err
 		}
@@ -225,13 +278,12 @@ func Salvage(path string, dim int, fn func(*Record) error) (records int64, err e
 	if err != nil {
 		return 0, nil // not even a complete header: nothing to salvage
 	}
-	rec := Record{Row: make([]float32, dim)}
-	buf := make([]byte, recordSize(dim, hdr.HasState == 1))
+	rec := Record{Row: make([]float32, dim), Q: make([]int8, dim)}
+	buf := make([]byte, maxRecordSize(dim, hdr.HasState == 1))
 	for i := int64(0); i < hdr.Records; i++ {
-		if _, err := io.ReadFull(br, buf); err != nil {
+		if err := readRecord(br, &hdr, buf, &rec); err != nil {
 			return records, nil // torn tail: keep the complete prefix
 		}
-		decodeRecord(buf, hdr.HasState == 1, &rec)
 		if err := fn(&rec); err != nil {
 			return records, err
 		}
@@ -248,7 +300,7 @@ func readSegHeader(r io.Reader, dim int) (segHeader, error) {
 	if hdr.Magic != segMagic {
 		return hdr, fmt.Errorf("not a delta segment (magic %#x)", hdr.Magic)
 	}
-	if hdr.Version != fmtVer {
+	if hdr.Version != fmtVer && hdr.Version != fmtVerTiered {
 		return hdr, fmt.Errorf("unsupported segment version %d", hdr.Version)
 	}
 	if int(hdr.Dim) != dim {
@@ -288,6 +340,88 @@ func decodeRecord(buf []byte, hasState bool, rec *Record) {
 	for i := range rec.Row {
 		rec.Row[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off+4*i:]))
 	}
+}
+
+// encodeRecordTiered lays out a format-2 record and returns its size.
+func encodeRecordTiered(buf []byte, hasState bool, rec *Record) int {
+	binary.LittleEndian.PutUint64(buf[0:], rec.Key)
+	binary.LittleEndian.PutUint64(buf[8:], rec.Version)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(rec.SafeStep))
+	off := 24
+	if hasState {
+		binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(rec.State))
+		off += 4
+	}
+	if rec.Cold {
+		buf[off] = recTagCold
+		off++
+		binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(rec.Scale))
+		binary.LittleEndian.PutUint32(buf[off+4:], math.Float32bits(rec.Zero))
+		off += 8
+		for i, c := range rec.Q {
+			buf[off+i] = byte(c)
+		}
+		return off + len(rec.Q)
+	}
+	buf[off] = recTagHot
+	off++
+	for i, v := range rec.Row {
+		binary.LittleEndian.PutUint32(buf[off+4*i:], math.Float32bits(v))
+	}
+	return off + 4*len(rec.Row)
+}
+
+// readRecord streams one record of either format into rec. rec.Row (and,
+// for format 2, rec.Q) must be pre-sized to the segment's dim; buf must
+// hold maxRecordSize bytes. A short read — including a tear between the
+// fixed prefix and the payload — surfaces as an io error.
+func readRecord(r io.Reader, hdr *segHeader, buf []byte, rec *Record) error {
+	hasState := hdr.HasState == 1
+	if hdr.Version == fmtVer {
+		n := recordSize(int(hdr.Dim), hasState)
+		if _, err := io.ReadFull(r, buf[:n]); err != nil {
+			return err
+		}
+		decodeRecord(buf[:n], hasState, rec)
+		rec.Cold = false
+		return nil
+	}
+	fixed := recordFixed(hasState)
+	if _, err := io.ReadFull(r, buf[:fixed]); err != nil {
+		return err
+	}
+	rec.Key = binary.LittleEndian.Uint64(buf[0:])
+	rec.Version = binary.LittleEndian.Uint64(buf[8:])
+	rec.SafeStep = int64(binary.LittleEndian.Uint64(buf[16:]))
+	rec.State = 0
+	if hasState {
+		rec.State = math.Float32frombits(binary.LittleEndian.Uint32(buf[24:]))
+	}
+	dim := int(hdr.Dim)
+	switch buf[fixed-1] {
+	case recTagHot:
+		if _, err := io.ReadFull(r, buf[:4*dim]); err != nil {
+			return err
+		}
+		rec.Cold, rec.Scale, rec.Zero = false, 0, 0
+		for i := range rec.Row {
+			rec.Row[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	case recTagCold:
+		if _, err := io.ReadFull(r, buf[:8+dim]); err != nil {
+			return err
+		}
+		rec.Cold = true
+		rec.Scale = math.Float32frombits(binary.LittleEndian.Uint32(buf[0:]))
+		rec.Zero = math.Float32frombits(binary.LittleEndian.Uint32(buf[4:]))
+		for i := 0; i < dim; i++ {
+			rec.Q[i] = int8(buf[8+i])
+		}
+		tensor.DequantizeRow(rec.Q, rec.Scale, rec.Zero, rec.Row)
+	default:
+		return fmt.Errorf("invalid tier tag %d", buf[fixed-1])
+	}
+	return nil
 }
 
 // Meta is a base checkpoint's sidecar: the per-row replication vectors a
@@ -384,7 +518,8 @@ func Reconstruct(dir string) (*runtime.Host, error) {
 	}
 	for _, seg := range st.Segments {
 		_, err := ReadSegment(seg.Path, host.Dim(), func(rec *Record) error {
-			host.SetRow(rec.Key, rec.Row, rec.Version, rec.State)
+			img := rec.Image()
+			host.RestoreRow(rec.Key, &img)
 			return nil
 		})
 		if err != nil {

@@ -333,3 +333,183 @@ func TestMetaRoundtrip(t *testing.T) {
 		t.Fatal("sidecar row-count mismatch accepted")
 	}
 }
+
+// TestWriterEarlyRunHighLag covers the SafeStep corner at the start of a
+// run, where residual lag can exceed the watermark and kwm − lag would
+// reach −1 — the Meta sidecar's "never written" sentinel, making a
+// logged row indistinguishable from one the log never captured.
+func TestWriterEarlyRunHighLag(t *testing.T) {
+	dir := t.TempDir()
+	h := newHost(t, 8, 4)
+	pr := &fakeProber{}
+	w := newTestWriter(t, h, pr, dir, 0)
+	defer w.Close()
+
+	// Nothing committed anywhere (watermark −1): the record's claim
+	// "every update committed at step ≤ 0 is present" is vacuously true,
+	// so the writer clamps to 0 instead of emitting the sentinel.
+	touch(h, w, 1, 1)
+	pr.set(-1, nil)
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	recs := readAllRecords(t, dir, h.Dim())
+	rec, ok := recs[1]
+	if !ok {
+		t.Fatal("key 1 missing from the first segment")
+	}
+	if rec.SafeStep != 0 {
+		t.Fatalf("key 1 SafeStep %d, want 0 (clamped)", rec.SafeStep)
+	}
+
+	// Watermark 2 with residual lag 5: a committed write is still
+	// pending and no SafeStep ≥ 0 would be honest, so the key must be
+	// deferred — absent from this segment, carried to the next sweep.
+	touch(h, w, 2, 1)
+	pr.set(2, map[uint64]int64{2: 5})
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if recs = readAllRecords(t, dir, h.Dim()); len(recs) != 1 {
+		t.Fatalf("deferred key was logged anyway: %d records on disk", len(recs))
+	}
+
+	// The flush lands (lag drops below the watermark): the carried-over
+	// key is captured with an honest bound, with no further OnFlush.
+	pr.set(3, map[uint64]int64{2: 1})
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	recs = readAllRecords(t, dir, h.Dim())
+	rec, ok = recs[2]
+	if !ok {
+		t.Fatal("deferred key never resurfaced on the next sweep")
+	}
+	if rec.SafeStep != 2 {
+		t.Fatalf("key 2 SafeStep %d, want 2 (wm 3 − lag 1)", rec.SafeStep)
+	}
+	for _, r := range recs {
+		if r.SafeStep < 0 {
+			t.Fatalf("record with SafeStep %d escaped to disk", r.SafeStep)
+		}
+	}
+}
+
+// readAllRecords folds every sealed segment's records by key
+// (last-writer-wins, like the follower).
+func readAllRecords(t *testing.T, dir string, dim int) map[uint64]ckpt.Record {
+	t.Helper()
+	st, err := ckpt.ListDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[uint64]ckpt.Record{}
+	for _, seg := range st.Segments {
+		_, err := ckpt.ReadSegment(seg.Path, dim, func(rec *ckpt.Record) error {
+			c := *rec
+			c.Row = append([]float32(nil), rec.Row...)
+			out[rec.Key] = c
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// newTieredHost builds a small tiered host with a distinguishable fill.
+func newTieredHost(t *testing.T, rows int64, dim int, hotFrac float64) *runtime.Host {
+	t.Helper()
+	h, err := runtime.NewTieredHost(rows, dim, hotFrac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Init(func(k uint64, row []float32) {
+		for i := range row {
+			row[i] = float32(k)*0.5 + float32(i)*0.125
+		}
+	})
+	return h
+}
+
+func TestTieredWriterLogRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	h := newTieredHost(t, 64, 8, 0.1) // 6 hot slots: rows 0–5
+	pr := &fakeProber{}
+	pr.set(5, nil)
+	w := newTestWriter(t, h, pr, dir, 0)
+
+	touch(h, w, 2, 1)  // hot row
+	touch(h, w, 40, 1) // cold row: requantized by SetRow
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive a tier move. The promotion (and the demotion it forces) must
+	// re-mark the moved keys dirty via the tier-move hook — no explicit
+	// OnFlush here — or the final images would hold pre-move bytes.
+	for i := 0; i < 4 && h.TierStats().Promotions == 0; i++ {
+		h.TierMaintain(40, false)
+	}
+	if h.TierStats().Promotions == 0 || h.TierStats().Demotions == 0 {
+		t.Fatal("tier move did not happen; test drives nothing")
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reconstructEqual(t, dir, h)
+
+	// The log must carry the cold tier natively: tier-tagged records with
+	// verbatim codes, not blanket float32 images.
+	var sawCold, sawHot bool
+	st, err := ckpt.ListDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range st.Segments {
+		if _, err := ckpt.ReadSegment(seg.Path, h.Dim(), func(rec *ckpt.Record) error {
+			if rec.Cold {
+				sawCold = true
+			} else {
+				sawHot = true
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawCold || !sawHot {
+		t.Fatalf("tiered log should hold both record flavors (cold=%v hot=%v)", sawCold, sawHot)
+	}
+}
+
+func TestTieredWriterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	h := newTieredHost(t, 48, 8, 0.125) // 6 hot slots
+	pr := &fakeProber{}
+	w := newTestWriter(t, h, pr, dir, 2)
+
+	ver := uint64(0)
+	for sweep := 0; sweep < 5; sweep++ {
+		pr.set(int64(sweep+1), nil)
+		ver++
+		touch(h, w, uint64(sweep), ver)    // hot head keys
+		touch(h, w, uint64(20+sweep), ver) // cold tail keys
+		h.TierMaintain(uint64(20+sweep), false)
+		h.TierMaintain(uint64(20+sweep), false)
+		if err := w.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().Compactions == 0 {
+		t.Fatal("compaction never ran")
+	}
+	reconstructEqual(t, dir, h)
+}

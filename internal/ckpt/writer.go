@@ -96,9 +96,12 @@ type Writer struct {
 
 	// Reusable sweep buffers: steady-state sweeps allocate only the
 	// segment file machinery.
-	keys   []uint64
-	rowBuf []float32
-	recBuf []byte
+	keys     []uint64
+	safeBuf  []int64
+	deferBuf []uint64
+	rowBuf   []float32
+	recBuf   []byte
+	img      runtime.RowImage // tiered capture target (aliases rowBuf)
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -143,9 +146,18 @@ func NewWriter(host *runtime.Host, pr Prober, opt Options) (*Writer, error) {
 		kick:   make(chan struct{}, 1),
 		lastWM: -1,
 		rowBuf: make([]float32, host.Dim()),
-		recBuf: make([]byte, recordSize(host.Dim(), host.HasOptState())),
+		recBuf: make([]byte, maxRecordSize(host.Dim(), host.HasOptState())),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
+	}
+	w.img = runtime.RowImage{Row: w.rowBuf, Q: make([]int8, host.Dim())}
+	if host.Tiered() {
+		// A demotion requantizes a row's authoritative bytes without
+		// bumping its version, outside the flush hook's sight. The move
+		// hook re-marks the key dirty so the next sweep re-captures it —
+		// without this, the log's last image of a moved row would hold the
+		// pre-move representation and reconstruction would drift.
+		host.SetTierMoveHook(w.OnFlush)
 	}
 	if err := w.writeBase(0, host, Meta{Watermark: -1}); err != nil {
 		return nil, err
@@ -277,14 +289,26 @@ func (w *Writer) sweep() {
 	}
 	clear(swept)
 
-	if err := w.writeSegment(w.seq+1, wm, w.keys); err != nil {
+	deferred, err := w.writeSegment(w.seq+1, wm, w.keys)
+	if err != nil {
 		w.setErr(err)
 		return
+	}
+	if len(deferred) > 0 {
+		// Keys whose staleness probe could bound nothing yet (a committed
+		// write still pending with the watermark barely started) carry to
+		// the next sweep — by then the flush has landed and the record
+		// gets an honest SafeStep.
+		w.mu.Lock()
+		for _, k := range deferred {
+			w.dirty[k] = struct{}{}
+		}
+		w.mu.Unlock()
 	}
 	w.seq++
 	w.lastWM = wm
 	w.segments.Add(1)
-	w.records.Add(int64(len(w.keys)))
+	w.records.Add(int64(len(w.keys) - len(deferred)))
 	w.sinceFold++
 	if w.opt.CompactEvery > 0 && w.sinceFold >= w.opt.CompactEvery {
 		if err := w.compact(); err != nil {
@@ -298,34 +322,79 @@ func (w *Writer) sweep() {
 // writeSegment captures one record per key and seals the segment via
 // rename. Per record: the one-sided staleness probe first, then the
 // locked (row, state, version) snapshot — the copy can only be fresher
-// than the probe promised.
-func (w *Writer) writeSegment(seq, wm int64, keys []uint64) error {
+// than the probe promised. Keys whose probe cannot bound anything yet
+// are returned as deferred (the caller re-marks them dirty) rather than
+// logged with a lying SafeStep; the returned slice is reused across
+// sweeps.
+func (w *Writer) writeSegment(seq, wm int64, keys []uint64) (deferred []uint64, err error) {
+	// Partition before the header is written, so its record count is
+	// exact. SafeStep = watermark − lag is the step through which the
+	// image is guaranteed complete; early in a run residual lag can
+	// exceed the watermark, driving it to −1 — which is exactly the
+	// Meta sidecar's "never written" sentinel, so the logged row would
+	// read back as never-logged. Two sub-cases:
+	//   - watermark == −1: nothing is committed anywhere, so "every
+	//     update committed at step ≤ 0 is present" is vacuously true —
+	//     clamp to 0.
+	//   - watermark ≥ 0: a committed write (step 0) is still pending,
+	//     so *no* SafeStep ≥ 0 would be honest. Defer the key to the
+	//     next sweep, which sees the flush land and bounds it properly.
+	w.deferBuf = w.deferBuf[:0]
+	w.safeBuf = w.safeBuf[:0]
+	kept := keys[:0] // filtered in place: write index never passes read index
+	for _, key := range keys {
+		lag, kwm := w.pr.RowStaleness(key)
+		safe := kwm - lag
+		if safe < 0 {
+			if kwm >= 0 {
+				w.deferBuf = append(w.deferBuf, key)
+				continue
+			}
+			safe = 0
+		}
+		kept = append(kept, key)
+		w.safeBuf = append(w.safeBuf, safe)
+	}
+
 	open := filepath.Join(w.opt.Dir, fmt.Sprintf("seg-%010d.open", seq))
 	f, err := os.Create(open)
 	if err != nil {
-		return fmt.Errorf("ckpt: %w", err)
+		return nil, fmt.Errorf("ckpt: %w", err)
 	}
 	bw := bufio.NewWriterSize(f, 1<<16)
 	hasState := w.host.HasOptState()
+	tiered := w.host.Tiered()
 	hdr := segHeader{
 		Magic: segMagic, Version: fmtVer,
-		Dim: int32(w.host.Dim()), Records: int64(len(keys)), Watermark: wm,
+		Dim: int32(w.host.Dim()), Records: int64(len(kept)), Watermark: wm,
+	}
+	if tiered {
+		hdr.Version = fmtVerTiered
 	}
 	if hasState {
 		hdr.HasState = 1
 	}
 	err = binary.Write(bw, binary.LittleEndian, hdr)
-	rec := Record{Row: w.rowBuf}
-	for _, key := range keys {
+	rec := Record{Row: w.rowBuf, Q: w.img.Q}
+	for i, key := range kept {
 		if err != nil {
 			break
 		}
-		lag, kwm := w.pr.RowStaleness(key)
 		rec.Key = key
-		rec.SafeStep = kwm - lag
+		rec.SafeStep = w.safeBuf[i]
+		if tiered {
+			// One critical section captures version, state and the row in
+			// its current tier — a cold row's codes verbatim.
+			w.host.CaptureRow(key, &w.img)
+			rec.Version, rec.State = w.img.Version, w.img.State
+			rec.Cold, rec.Scale, rec.Zero = w.img.Cold, w.img.Scale, w.img.Zero
+			n := encodeRecordTiered(w.recBuf, hasState, &rec)
+			_, err = bw.Write(w.recBuf[:n])
+			continue
+		}
 		rec.Version, rec.State = w.host.ReadRowState(key, rec.Row)
 		encodeRecord(w.recBuf, hasState, &rec)
-		_, err = bw.Write(w.recBuf)
+		_, err = bw.Write(w.recBuf[:recordSize(int(hdr.Dim), hasState)])
 	}
 	if err == nil {
 		err = bw.Flush()
@@ -335,9 +404,9 @@ func (w *Writer) writeSegment(seq, wm int64, keys []uint64) error {
 	}
 	if err != nil {
 		os.Remove(open)
-		return fmt.Errorf("ckpt: segment %d: %w", seq, err)
+		return nil, fmt.Errorf("ckpt: segment %d: %w", seq, err)
 	}
-	return os.Rename(open, filepath.Join(w.opt.Dir, fmt.Sprintf("seg-%010d.dlog", seq)))
+	return w.deferBuf, os.Rename(open, filepath.Join(w.opt.Dir, fmt.Sprintf("seg-%010d.dlog", seq)))
 }
 
 // compact folds every sealed segment since the last base into a fresh
@@ -365,7 +434,8 @@ func (w *Writer) compact() error {
 	for seq := from; seq <= to; seq++ {
 		path := filepath.Join(w.opt.Dir, fmt.Sprintf("seg-%010d.dlog", seq))
 		segWM, err := ReadSegment(path, w.shadow.Dim(), func(rec *Record) error {
-			w.shadow.SetRow(rec.Key, rec.Row, rec.Version, rec.State)
+			img := rec.Image()
+			w.shadow.RestoreRow(rec.Key, &img)
 			if rec.SafeStep > w.meta.SafeStep[rec.Key] {
 				w.meta.SafeStep[rec.Key] = rec.SafeStep
 			}

@@ -197,6 +197,55 @@ func (h *Histogram) snapshot() HistSnapshot {
 // ----------------------------------------------------------------------
 // Sub-observers (the instrumentation surfaces handed to each package)
 
+// TierObs instruments the tiered slab: promotion/demotion traffic and
+// the cold tier's quantized read/write paths. Callers shard by key (the
+// events come from flusher threads and serve readers, not a fixed GPU).
+type TierObs struct {
+	promotions, demotions, declined Counter
+	coldWrites, dequantReads        Counter
+}
+
+// TierPromotion records a cold→hot move.
+func (t *TierObs) TierPromotion(key uint64) {
+	if t == nil {
+		return
+	}
+	t.promotions.Add(int(key), 1)
+}
+
+// TierDemotion records a hot→cold move (the row was requantized).
+func (t *TierObs) TierDemotion(key uint64) {
+	if t == nil {
+		return
+	}
+	t.demotions.Add(int(key), 1)
+}
+
+// TierDeclined records a promotion dropped because no strictly colder
+// victim was found in the sweep window.
+func (t *TierObs) TierDeclined(key uint64) {
+	if t == nil {
+		return
+	}
+	t.declined.Add(int(key), 1)
+}
+
+// ColdWrite records a cold-row read-modify-requantize apply.
+func (t *TierObs) ColdWrite(key uint64) {
+	if t == nil {
+		return
+	}
+	t.coldWrites.Add(int(key), 1)
+}
+
+// DequantRead records a row read served by dequantization.
+func (t *TierObs) DequantRead(key uint64) {
+	if t == nil {
+		return
+	}
+	t.dequantReads.Add(int(key), 1)
+}
+
 // CacheObs counts per-GPU embedding-cache traffic. Hit/Miss/Insert are
 // called on the cache probe path, so they must stay branch-cheap.
 type CacheObs struct {
@@ -503,6 +552,7 @@ type Observer struct {
 	pq     PQObs
 	step   StepObs
 	fault  FaultObs
+	tier   TierObs
 	tracer *Tracer
 }
 
@@ -540,6 +590,10 @@ func New(opt Options) *Observer {
 	o.fault = FaultObs{
 		injected: newCounter(n), respawns: newCounter(n), redistributed: newCounter(n),
 		writeRetries: newCounter(n), degradations: newCounter(n), tr: o.tracer,
+	}
+	o.tier = TierObs{
+		promotions: newCounter(n), demotions: newCounter(n), declined: newCounter(n),
+		coldWrites: newCounter(n), dequantReads: newCounter(n),
 	}
 	return o
 }
@@ -591,6 +645,14 @@ func (o *Observer) FaultSink() *FaultObs {
 		return nil
 	}
 	return &o.fault
+}
+
+// TierSink returns the tiered-slab instrumentation surface.
+func (o *Observer) TierSink() *TierObs {
+	if o == nil {
+		return nil
+	}
+	return &o.tier
 }
 
 // TraceSink returns the event tracer (nil when tracing is disabled).
@@ -665,6 +727,13 @@ type Snapshot struct {
 	HostWriteRetries     int64 `json:"hostWriteRetries"`
 	Degradations         int64 `json:"degradations"`
 
+	// Tiered-slab traffic. Zero throughout when the cold tier is off.
+	TierPromotions   int64 `json:"tierPromotions"`
+	TierDemotions    int64 `json:"tierDemotions"`
+	TierDeclined     int64 `json:"tierDeclined"`
+	TierColdWrites   int64 `json:"tierColdWrites"`
+	TierDequantReads int64 `json:"tierDequantReads"`
+
 	// Tracer accounting: events ever emitted, and how many the ring has
 	// overwritten.
 	TraceEvents  int64 `json:"traceEvents"`
@@ -717,6 +786,12 @@ func (o *Observer) Snapshot() Snapshot {
 		RedistributedEntries: o.fault.redistributed.Total(),
 		HostWriteRetries:     o.fault.writeRetries.Total(),
 		Degradations:         o.fault.degradations.Total(),
+
+		TierPromotions:   o.tier.promotions.Total(),
+		TierDemotions:    o.tier.demotions.Total(),
+		TierDeclined:     o.tier.declined.Total(),
+		TierColdWrites:   o.tier.coldWrites.Total(),
+		TierDequantReads: o.tier.dequantReads.Total(),
 	}
 	if o.tracer != nil {
 		s.TraceEvents, s.TraceDropped = o.tracer.Stats()

@@ -56,6 +56,18 @@ type FlushSinkFunc func(key uint64, updates []pq.Update)
 // Flush calls f.
 func (f FlushSinkFunc) Flush(key uint64, updates []pq.Update) { f(key, updates) }
 
+// TierSink is an optional FlushSink extension for sinks that manage a
+// tiered parameter store. When the sink implements it, the controller
+// routes every flush through FlushTiered instead of Flush, passing
+// whether the flush was deferred — drained from the ∞ slot with no
+// reader waiting inside the lookahead window — or urgent. Urgency is
+// evidence of heat, so tier maintenance weighs the two differently.
+// The same retention rules as Flush apply.
+type TierSink interface {
+	FlushSink
+	FlushTiered(key uint64, updates []pq.Update, deferred bool)
+}
+
 // TraceSource provides the upcoming global batches, in training order.
 // Implementations must be safe for use by the single prefetch goroutine.
 type TraceSource interface {
@@ -173,6 +185,11 @@ type Controller struct {
 	queue pq.Queue
 	dir   *lfht.Map[*pq.GEntry]
 
+	// tierSink caches the Sink's TierSink extension (nil when the sink
+	// implements only Flush), so the flush hot path pays a nil check
+	// instead of a per-flush type assertion.
+	tierSink TierSink
+
 	sample chan Batch // the sample queue: capacity = Lookahead
 
 	mu            sync.Mutex
@@ -256,6 +273,7 @@ func NewController(opt Options) (*Controller, error) {
 		tracer:        opt.Obs.TraceSink(),
 		faultObs:      opt.Obs.FaultSink(),
 	}
+	c.tierSink, _ = opt.Sink.(TierSink)
 	c.watermark.Store(-1)
 	c.degradedStep.Store(-1)
 	c.slots = make([]*flusherSlot, opt.FlushThreads)
@@ -616,7 +634,7 @@ func (c *Controller) FlushKey(key uint64) bool {
 		return false
 	}
 	w := g.TakeWrites()
-	c.opt.Sink.Flush(g.Key, w)
+	c.sinkFlush(g.Key, w, false)
 	c.notifyFlush(g.Key)
 	c.flushedUpdates.Add(int64(len(w)))
 	c.urgentFlushes.Add(1)
@@ -627,6 +645,16 @@ func (c *Controller) FlushKey(key uint64) bool {
 	g.Mu.Unlock()
 	c.broadcast() // the gate may have been waiting on exactly this entry
 	return true
+}
+
+// sinkFlush hands a drained write set to the sink, routing through the
+// TierSink extension when the sink implements it.
+func (c *Controller) sinkFlush(key uint64, w []pq.Update, deferred bool) {
+	if c.tierSink != nil {
+		c.tierSink.FlushTiered(key, w, deferred)
+		return
+	}
+	c.opt.Sink.Flush(key, w)
 }
 
 // flushCall is one in-flight FlushKeyShared execution. wm is the
@@ -759,7 +787,7 @@ func (c *Controller) flushEntry(flusher int, g *pq.GEntry, slotPriority int64) b
 		c.fl.Dequeued(flusher, g.Key, len(w))
 		start = time.Now()
 	}
-	c.opt.Sink.Flush(g.Key, w)
+	c.sinkFlush(g.Key, w, deferred)
 	c.notifyFlush(g.Key)
 	c.flushedUpdates.Add(int64(len(w)))
 	// g.Mu has been held since TakeWrites and the sink is done with the

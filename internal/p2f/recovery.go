@@ -233,7 +233,7 @@ func (c *Controller) commitDegraded(s int64, updates []KeyDelta) {
 		g.RemoveRead(s)
 		g.AddWriteState(s, kd.Delta, kd.StateDelta)
 		w := g.TakeWrites()
-		c.opt.Sink.Flush(g.Key, w)
+		c.sinkFlush(g.Key, w, false)
 		c.notifyFlush(g.Key)
 		c.flushedUpdates.Add(int64(len(w)))
 		g.FlushedWrites(w) // Mu held throughout; sink does not retain w

@@ -6,16 +6,39 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"frugal/internal/tensor"
 )
 
-// Checkpoint format: a small binary header followed by the raw row slab
-// and (optionally) the optimizer-state slab, all little-endian float32.
-// Row versions are transient cache-coherence state and are not persisted;
-// caches start cold after a restore, which is always safe (a cold cache
-// merely misses).
+// Checkpoint format: a small binary header followed by the body and
+// (optionally) the optimizer-state slab, all little-endian.
+//
+// Version 1 (untiered hosts): the body is the raw rows×dim float32 slab.
+//
+// Version 2 (tiered hosts): an int64 hot-slot capacity follows the
+// header, then one record per row in key order — a tier tag byte, then
+// either the 4·dim-byte float32 image (hot) or the (scale, zero) pair
+// and dim int8 codes (cold). The serialization is canonical: it carries
+// no slot numbers, so two hosts holding the same rows at the same tiers
+// save identical bytes regardless of how their hot pools are laid out,
+// and cold rows round-trip their codes verbatim (no requantize). Either
+// version loads into either host flavor: a v1 body quantizes the cold
+// tail on the way into a tiered host, and a v2 body dequantizes cold
+// rows into an untiered slab.
+//
+// Row versions and access frequencies are transient cache-coherence and
+// placement state and are not persisted; caches start cold and the tier
+// split re-adapts after a restore, which is always safe.
 const (
-	checkpointMagic   = uint32(0xF21A6A10)
-	checkpointVersion = uint32(1)
+	checkpointMagic         = uint32(0xF21A6A10)
+	checkpointVersion       = uint32(1)
+	checkpointVersionTiered = uint32(2)
+)
+
+// Tier tags in a v2 body.
+const (
+	rowTagCold = byte(0)
+	rowTagHot  = byte(1)
 )
 
 type checkpointHeader struct {
@@ -38,13 +61,23 @@ func (h *Host) Save(w io.Writer) error {
 		Rows:    h.rows,
 		Dim:     int32(h.dim),
 	}
+	if h.tier != nil {
+		hdr.Version = checkpointVersionTiered
+	}
 	if h.state != nil {
 		hdr.HasState = 1
 	}
 	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
 		return fmt.Errorf("runtime: checkpoint header: %w", err)
 	}
-	if err := writeFloats(bw, h.slab); err != nil {
+	if t := h.tier; t != nil {
+		if err := binary.Write(bw, binary.LittleEndian, int64(t.hotCap)); err != nil {
+			return fmt.Errorf("runtime: checkpoint hot capacity: %w", err)
+		}
+		if err := h.saveTieredRows(bw); err != nil {
+			return err
+		}
+	} else if err := writeFloats(bw, h.slab); err != nil {
 		return err
 	}
 	if h.state != nil {
@@ -55,24 +88,85 @@ func (h *Host) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// readCheckpointHeader reads and validates the fixed header.
-func readCheckpointHeader(r io.Reader) (checkpointHeader, error) {
-	var hdr checkpointHeader
-	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
-		return hdr, fmt.Errorf("runtime: checkpoint header: %w", err)
+// tierRecordBuf sizes a scratch buffer that fits either record flavor:
+// 4·dim bytes for a hot image, 8+dim for a cold one (larger at dim < 3).
+func tierRecordBuf(dim int) []byte {
+	n := 4 * dim
+	if 8+dim > n {
+		n = 8 + dim
 	}
-	if hdr.Magic != checkpointMagic {
-		return hdr, fmt.Errorf("runtime: not a frugal checkpoint (magic %#x)", hdr.Magic)
-	}
-	if hdr.Version != checkpointVersion {
-		return hdr, fmt.Errorf("runtime: unsupported checkpoint version %d", hdr.Version)
-	}
-	return hdr, nil
+	return make([]byte, n)
 }
 
-// loadBody fills the host's slabs from the checkpoint body.
+// saveTieredRows writes the v2 per-row body.
+func (h *Host) saveTieredRows(bw *bufio.Writer) error {
+	t := h.tier
+	buf := tierRecordBuf(t.dim)
+	for key := uint64(0); key < uint64(h.rows); key++ {
+		if slot := t.tier[key].Load(); slot > 0 {
+			if err := bw.WriteByte(rowTagHot); err != nil {
+				return fmt.Errorf("runtime: checkpoint write: %w", err)
+			}
+			for i, v := range t.slotRow(slot - 1) {
+				binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+			}
+			if _, err := bw.Write(buf[:4*t.dim]); err != nil {
+				return fmt.Errorf("runtime: checkpoint write: %w", err)
+			}
+			continue
+		}
+		if err := bw.WriteByte(rowTagCold); err != nil {
+			return fmt.Errorf("runtime: checkpoint write: %w", err)
+		}
+		binary.LittleEndian.PutUint32(buf[0:], math.Float32bits(t.qscale[key]))
+		binary.LittleEndian.PutUint32(buf[4:], math.Float32bits(t.qzero[key]))
+		for i, c := range t.qrow(key) {
+			buf[8+i] = byte(c)
+		}
+		if _, err := bw.Write(buf[:8+t.dim]); err != nil {
+			return fmt.Errorf("runtime: checkpoint write: %w", err)
+		}
+	}
+	return nil
+}
+
+// readCheckpointHeader reads and validates the fixed header, plus the
+// v2 hot-capacity sub-header (hotCap is 0 for v1).
+func readCheckpointHeader(r io.Reader) (hdr checkpointHeader, hotCap int64, err error) {
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return hdr, 0, fmt.Errorf("runtime: checkpoint header: %w", err)
+	}
+	if hdr.Magic != checkpointMagic {
+		return hdr, 0, fmt.Errorf("runtime: not a frugal checkpoint (magic %#x)", hdr.Magic)
+	}
+	switch hdr.Version {
+	case checkpointVersion:
+	case checkpointVersionTiered:
+		if err := binary.Read(r, binary.LittleEndian, &hotCap); err != nil {
+			return hdr, 0, fmt.Errorf("runtime: checkpoint hot capacity: %w", err)
+		}
+		if hotCap < 1 || hotCap > hdr.Rows {
+			return hdr, 0, fmt.Errorf("runtime: checkpoint hot capacity %d outside [1, %d]", hotCap, hdr.Rows)
+		}
+	default:
+		return hdr, 0, fmt.Errorf("runtime: unsupported checkpoint version %d", hdr.Version)
+	}
+	return hdr, hotCap, nil
+}
+
+// loadBody fills the host's storage from the checkpoint body, bridging
+// between untiered (v1) and tiered (v2) layouts in either direction.
 func (h *Host) loadBody(r io.Reader, hdr checkpointHeader) error {
-	if err := readFloats(r, h.slab); err != nil {
+	var err error
+	switch {
+	case hdr.Version == checkpointVersion && h.tier == nil:
+		err = readFloats(r, h.slab)
+	case hdr.Version == checkpointVersion:
+		err = h.loadFlatRowsTiered(r)
+	default:
+		err = h.loadTieredRows(r)
+	}
+	if err != nil {
 		return err
 	}
 	if hdr.HasState == 1 {
@@ -82,12 +176,94 @@ func (h *Host) loadBody(r io.Reader, hdr checkpointHeader) error {
 	return nil
 }
 
+// loadFlatRowsTiered streams a v1 float32 body into a tiered host: the
+// default head-hot split stands, and every cold row quantizes on entry.
+func (h *Host) loadFlatRowsTiered(r io.Reader) error {
+	t := h.tier
+	buf := make([]byte, 4*t.dim)
+	row := make([]float32, t.dim)
+	for key := uint64(0); key < uint64(h.rows); key++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("runtime: checkpoint read: %w", err)
+		}
+		for i := range row {
+			row[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		t.writeRow(key, row)
+	}
+	return nil
+}
+
+// loadTieredRows reads a v2 per-row body. On a tiered host the file's
+// tier tags dictate placement: the hot pool is reset and slots are
+// handed out in key order (hot rows beyond this host's capacity — only
+// possible when loading into a smaller hot pool than the file's —
+// degrade to cold with a quantize). On an untiered host every row lands
+// in the slab, cold ones dequantized.
+func (h *Host) loadTieredRows(r io.Reader) error {
+	t := h.tier
+	dim := h.dim
+	buf := tierRecordBuf(dim)
+	row := make([]float32, dim)
+	qbuf := make([]int8, dim)
+	if t != nil {
+		t.resetCold()
+	}
+	for key := uint64(0); key < uint64(h.rows); key++ {
+		if _, err := io.ReadFull(r, buf[:1]); err != nil {
+			return fmt.Errorf("runtime: checkpoint read: %w", err)
+		}
+		switch buf[0] {
+		case rowTagHot:
+			if _, err := io.ReadFull(r, buf[:4*dim]); err != nil {
+				return fmt.Errorf("runtime: checkpoint read: %w", err)
+			}
+			for i := range row {
+				row[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+			}
+			switch {
+			case t == nil:
+				copy(h.row(key), row)
+			case len(t.free) > 0:
+				slot := t.free[len(t.free)-1]
+				t.free = t.free[:len(t.free)-1]
+				copy(t.slotRow(slot), row)
+				t.tier[key].Store(slot + 1)
+				t.owner[slot] = key
+			default:
+				t.qscale[key], t.qzero[key] = tensor.QuantizeRow(row, t.qrow(key))
+			}
+		case rowTagCold:
+			if _, err := io.ReadFull(r, buf[:8+dim]); err != nil {
+				return fmt.Errorf("runtime: checkpoint read: %w", err)
+			}
+			scale := math.Float32frombits(binary.LittleEndian.Uint32(buf[0:]))
+			zero := math.Float32frombits(binary.LittleEndian.Uint32(buf[4:]))
+			if t == nil {
+				for i := 0; i < dim; i++ {
+					qbuf[i] = int8(buf[8+i])
+				}
+				tensor.DequantizeRow(qbuf, scale, zero, h.row(key))
+				continue
+			}
+			codes := t.qrow(key)
+			for i := 0; i < dim; i++ {
+				codes[i] = int8(buf[8+i])
+			}
+			t.qscale[key], t.qzero[key] = scale, zero
+		default:
+			return fmt.Errorf("runtime: checkpoint row %d: invalid tier tag %d", key, buf[0])
+		}
+	}
+	return nil
+}
+
 // Load restores a checkpoint into the host slab. The checkpoint's shape
 // must match exactly; a checkpoint with optimizer state enables the
 // state slab. Call before Run.
 func (h *Host) Load(r io.Reader) error {
 	br := bufio.NewReaderSize(r, 1<<20)
-	hdr, err := readCheckpointHeader(br)
+	hdr, _, err := readCheckpointHeader(br)
 	if err != nil {
 		return err
 	}
@@ -100,14 +276,42 @@ func (h *Host) Load(r io.Reader) error {
 
 // LoadHost reads a checkpoint and returns a freshly allocated Host shaped
 // by its header — checkpoint-only serving, where no training Config
-// exists to dictate the shape.
+// exists to dictate the shape. A v2 (tiered) checkpoint reproduces a
+// tiered host with the file's hot capacity and placement.
 func LoadHost(r io.Reader) (*Host, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	hdr, err := readCheckpointHeader(br)
+	hdr, hotCap, err := readCheckpointHeader(br)
 	if err != nil {
 		return nil, err
 	}
-	h, err := NewHost(hdr.Rows, int(hdr.Dim))
+	var h *Host
+	if hdr.Version == checkpointVersionTiered {
+		h, err = newTieredHost(hdr.Rows, int(hdr.Dim), int(hotCap))
+	} else {
+		h, err = NewHost(hdr.Rows, int(hdr.Dim))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runtime: checkpoint shape: %w", err)
+	}
+	if err := h.loadBody(br, hdr); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// LoadHostTiered reads a checkpoint of either version into a freshly
+// allocated tiered host with the given hot fraction — checkpoint-only
+// serving on a memory budget, where the caller wants the quantized cold
+// tail regardless of how the table was trained. A v1 body quantizes its
+// cold tail on entry (head-hot split); a v2 body keeps the file's tier
+// tags, with hot rows beyond this host's capacity degrading to cold.
+func LoadHostTiered(r io.Reader, hotFraction float64) (*Host, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	hdr, _, err := readCheckpointHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	h, err := NewTieredHost(hdr.Rows, int(hdr.Dim), hotFraction)
 	if err != nil {
 		return nil, fmt.Errorf("runtime: checkpoint shape: %w", err)
 	}

@@ -35,7 +35,8 @@ import (
 type Host struct {
 	rows     int64
 	dim      int
-	slab     []float32
+	slab     []float32 // full-precision rows; nil when the cold tier owns storage
+	tier     *coldTier // frequency-aware tiered storage (NewTieredHost); nil = all-f32
 	state    []float32 // per-row optimizer state (Adagrad accumulator); nil for SGD
 	versions []atomic.Uint64
 	locks    []sync.Mutex // striped by key
@@ -77,7 +78,17 @@ func (h *Host) Rows() int64 { return h.rows }
 func (h *Host) Dim() int { return h.dim }
 
 // Init fills every row using fill(key, row) — e.g. Xavier initialisation.
+// On a tiered host the fill lands in each row's tier (cold rows are
+// quantized immediately); Init is single-threaded, called before traffic.
 func (h *Host) Init(fill func(key uint64, row []float32)) {
+	if t := h.tier; t != nil {
+		scratch := make([]float32, h.dim)
+		for k := int64(0); k < h.rows; k++ {
+			fill(uint64(k), scratch)
+			t.writeRow(uint64(k), scratch)
+		}
+		return
+	}
 	for k := int64(0); k < h.rows; k++ {
 		fill(uint64(k), h.row(uint64(k)))
 	}
@@ -93,8 +104,18 @@ func (h *Host) lock(key uint64) *sync.Mutex { return &h.locks[key%lockStripes] }
 // ReadRowDirect copies row `key` into dst — the UVA zero-copy gather of
 // §3.1. Safe without locking only when the caller holds the P²F gate
 // guarantee (no pending writes for this key); every other reader uses
-// ReadRow.
+// ReadRow. On a tiered host the read takes the stripe lock anyway: the
+// gate covers flusher writes, but a demotion can rewrite any row's
+// authoritative bytes at a flush boundary, so lock-free reads are only
+// sound when storage never moves.
 func (h *Host) ReadRowDirect(key uint64, dst []float32) {
+	if t := h.tier; t != nil {
+		l := h.lock(key)
+		l.Lock()
+		t.readRow(key, dst)
+		l.Unlock()
+		return
+	}
 	tensor.Copy(dst, h.row(key))
 }
 
@@ -106,7 +127,11 @@ func (h *Host) ReadRowDirect(key uint64, dst []float32) {
 func (h *Host) ReadRow(key uint64, dst []float32) uint64 {
 	l := h.lock(key)
 	l.Lock()
-	tensor.Copy(dst, h.row(key))
+	if t := h.tier; t != nil {
+		t.readRow(key, dst)
+	} else {
+		tensor.Copy(dst, h.row(key))
+	}
 	v := h.versions[key].Load()
 	l.Unlock()
 	return v
@@ -128,7 +153,11 @@ func (h *Host) Version(key uint64) uint64 { return h.versions[key].Load() }
 func (h *Host) ReadRowState(key uint64, dst []float32) (uint64, float32) {
 	l := h.lock(key)
 	l.Lock()
-	tensor.Copy(dst, h.row(key))
+	if t := h.tier; t != nil {
+		t.readRow(key, dst)
+	} else {
+		tensor.Copy(dst, h.row(key))
+	}
 	v := h.versions[key].Load()
 	var s float32
 	if h.state != nil {
@@ -148,7 +177,11 @@ func (h *Host) SetRow(key uint64, row []float32, version uint64, state float32) 
 	l := h.lock(key)
 	l.Lock()
 	if h.versions[key].Load() <= version {
-		tensor.Copy(h.row(key), row)
+		if t := h.tier; t != nil {
+			t.writeRow(key, row)
+		} else {
+			tensor.Copy(h.row(key), row)
+		}
 		if h.state != nil {
 			h.state[key] = state
 		}
@@ -214,13 +247,22 @@ func (h *Host) ApplyDelta(key uint64, delta []float32, stateDelta float32) {
 	h.admitWrite()
 	l := h.lock(key)
 	l.Lock()
-	tensor.Axpy(1, delta, h.row(key))
+	if t := h.tier; t != nil {
+		row, cold := t.mutableRow(key)
+		tensor.Axpy(1, delta, row)
+		t.commitRow(key, row, cold)
+	} else {
+		tensor.Axpy(1, delta, h.row(key))
+	}
 	if h.state != nil {
 		h.state[key] += stateDelta
 	}
 	h.versions[key].Add(1)
 	l.Unlock()
 	h.applied.Add(1)
+	// Write-through engines have no flush boundary of their own: the
+	// commit IS the flush, so tier maintenance rides it here.
+	h.TierMaintain(key, false)
 }
 
 // ApplyUpdates applies a g-entry's whole write set to one row under a
@@ -232,12 +274,21 @@ func (h *Host) ApplyUpdates(key uint64, updates []pq.Update) {
 	h.admitWrite()
 	l := h.lock(key)
 	l.Lock()
-	row := h.row(key)
+	var row []float32
+	var cold bool
+	if t := h.tier; t != nil {
+		row, cold = t.mutableRow(key)
+	} else {
+		row = h.row(key)
+	}
 	for _, u := range updates {
 		tensor.Axpy(1, u.Delta, row)
 		if h.state != nil {
 			h.state[key] += u.StateDelta
 		}
+	}
+	if t := h.tier; t != nil {
+		t.commitRow(key, row, cold)
 	}
 	h.versions[key].Add(uint64(len(updates)))
 	l.Unlock()
@@ -274,7 +325,11 @@ func (h *Host) ReadRows(from int64, dst []float32) {
 		key := uint64(from + i)
 		l := h.lock(key)
 		l.Lock()
-		tensor.Copy(dst[i*int64(d):(i+1)*int64(d)], h.row(key))
+		if t := h.tier; t != nil {
+			t.readRow(key, dst[i*int64(d):(i+1)*int64(d)])
+		} else {
+			tensor.Copy(dst[i*int64(d):(i+1)*int64(d)], h.row(key))
+		}
 		l.Unlock()
 	}
 }
@@ -284,6 +339,14 @@ func (h *Host) ReadRows(from int64, dst []float32) {
 // takes no locks: callers must guarantee the range is quiescent (a loaded
 // checkpoint, or a finished job). Live serving uses ScoreRowsLocked.
 func (h *Host) ScoreRows(query []float32, from int64, out []float32) {
+	if t := h.tier; t != nil {
+		// No contiguous f32 slab to hand the batched kernel: score per
+		// row, cold rows through the quantized dot (no materialization).
+		for i := range out {
+			out[i] = t.score(query, uint64(from+int64(i)))
+		}
+		return
+	}
 	d := int64(h.dim)
 	m := tensor.Matrix{Rows: len(out), Cols: h.dim, Data: h.slab[from*d : (from+int64(len(out)))*d]}
 	m.MulVec(query, out)
@@ -293,11 +356,16 @@ func (h *Host) ScoreRows(query []float32, from int64, out []float32) {
 // scored under its stripe lock, so a score never mixes halves of two
 // updates (the same isolation the flusher write path provides).
 func (h *Host) ScoreRowsLocked(query []float32, from int64, out []float32) {
+	t := h.tier
 	for i := range out {
 		key := uint64(from + int64(i))
 		l := h.lock(key)
 		l.Lock()
-		out[i] = tensor.Dot(query, h.row(key))
+		if t != nil {
+			out[i] = t.score(query, key)
+		} else {
+			out[i] = tensor.Dot(query, h.row(key))
+		}
 		l.Unlock()
 	}
 }

@@ -105,6 +105,16 @@ type Config struct {
 	// respawn budget/backoff, and the gate watchdog's degrade timeout.
 	// The zero value enables it with defaults. EngineFrugal only.
 	Recovery p2f.Recovery
+	// ColdTier allocates the job's host slab as a frequency-aware tiered
+	// store: a hot head of full-precision f32 slots plus a quantized int8
+	// cold tail (per-row affine scale/zero). Promotion and demotion ride
+	// the P²F flush path, so tier moves land at consistency points the
+	// gate already covers. Incompatible with Config.Slab (the external
+	// store owns its representation).
+	ColdTier bool
+	// HotFraction sizes the hot head as a fraction of Rows (default 0.1).
+	// Requires ColdTier; must be in (0, 1].
+	HotFraction float64
 	// Slab, when set, overrides the job's parameter slab with an external
 	// row store — e.g. store.TrainSlab over a sharded deployment — and the
 	// step loop reads and writes it instead of allocating host memory.
@@ -197,6 +207,20 @@ func (c *Config) normalize() error {
 		if c.Engine == EngineFrugal && c.PrefetchDepth > c.Lookahead {
 			return fmt.Errorf("runtime: PrefetchDepth %d exceeds Lookahead %d (the sample queue never runs further ahead)",
 				c.PrefetchDepth, c.Lookahead)
+		}
+	}
+	if c.HotFraction != 0 && !c.ColdTier {
+		return errors.New("runtime: HotFraction requires ColdTier")
+	}
+	if c.ColdTier {
+		if c.Slab != nil {
+			return errors.New("runtime: ColdTier is incompatible with Config.Slab (the external store owns its representation)")
+		}
+		if c.HotFraction == 0 {
+			c.HotFraction = 0.1
+		}
+		if c.HotFraction < 0 || c.HotFraction > 1 {
+			return fmt.Errorf("runtime: HotFraction must be in (0, 1], got %g", c.HotFraction)
 		}
 	}
 	switch c.Optimizer {
@@ -367,7 +391,14 @@ func newJob(cfg Config, steps int64, samplesPerStep int,
 		slab = cfg.Slab
 	} else {
 		var err error
-		host, err = NewHost(cfg.Rows, cfg.Dim)
+		if cfg.ColdTier {
+			host, err = NewTieredHost(cfg.Rows, cfg.Dim, cfg.HotFraction)
+			if err == nil {
+				host.SetTierObserver(cfg.Observer.TierSink())
+			}
+		} else {
+			host, err = NewHost(cfg.Rows, cfg.Dim)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -444,13 +475,8 @@ func newJob(cfg Config, steps int64, samplesPerStep int,
 			Faults:           cfg.Faults,
 			Recovery:         cfg.Recovery,
 			OnPrefetch:       onPrefetch,
-			Sink: p2f.FlushSinkFunc(func(key uint64, updates []pq.Update) {
-				slab.ApplyUpdates(key, updates)
-				// The gate guarantees no reader still needs these deltas
-				// once they are applied; recycle them for future commits.
-				j.rowPool.PutUpdates(updates)
-			}),
-			Source: j.trace,
+			Sink:             &frugalSink{job: j, tier: tierHost(host)},
+			Source:           j.trace,
 		})
 		if err != nil {
 			return nil, err
@@ -458,6 +484,40 @@ func newJob(cfg Config, steps int64, samplesPerStep int,
 		j.ctrl = ctrl
 	}
 	return j, nil
+}
+
+// frugalSink is the P²F flush sink for the Frugal engine: it applies a
+// drained write set to the parameter store and recycles the delta
+// buffers (the gate guarantees no reader still needs them once
+// applied). On a tiered host it also feeds the tier maintainer the
+// flush-boundary access signal — promotion and demotion ride the flush
+// path, so tier moves land at a consistency point the gate already
+// covers, with deferred (∞-slot) flushes counting as colder evidence
+// than urgent ones.
+type frugalSink struct {
+	job  *Job
+	tier *Host // non-nil only when the job's own host is tiered
+}
+
+// tierHost returns h when it is tiered, else nil — the sink's guard for
+// Config.Slab overrides and untiered hosts alike.
+func tierHost(h *Host) *Host {
+	if h != nil && h.Tiered() {
+		return h
+	}
+	return nil
+}
+
+func (s *frugalSink) Flush(key uint64, updates []pq.Update) {
+	s.FlushTiered(key, updates, false)
+}
+
+func (s *frugalSink) FlushTiered(key uint64, updates []pq.Update, deferred bool) {
+	s.job.slab.ApplyUpdates(key, updates)
+	s.job.rowPool.PutUpdates(updates)
+	if s.tier != nil {
+		s.tier.TierMaintain(key, deferred)
+	}
 }
 
 // Host exposes the job-owned parameter slab (tests, examples,

@@ -264,9 +264,12 @@ func (f *Follower) resyncLocked(st ckpt.DirState) error {
 			return err
 		}
 	}
-	row := make([]float32, f.host.Dim())
+	img := runtime.RowImage{Row: make([]float32, f.host.Dim()), Q: make([]int8, f.host.Dim())}
 	for k := int64(0); k < f.host.Rows(); k++ {
-		fresh.ReadRowDirect(uint64(k), row)
+		// CaptureRow carries the fresh base's tier tag along with the row
+		// image, so a tiered replica folds the resync in without
+		// reshuffling (or requantizing) its own hot pool row by row.
+		fresh.CaptureRow(uint64(k), &img)
 		var ver uint64
 		var safe int64 = -1
 		if m.Versions != nil {
@@ -274,7 +277,8 @@ func (f *Follower) resyncLocked(st ckpt.DirState) error {
 		}
 		f.fs.apply(&ckpt.Record{
 			Key: uint64(k), Version: ver, SafeStep: safe,
-			State: fresh.OptState(uint64(k)), Row: row,
+			State: img.State, Row: img.Row,
+			Cold: img.Cold, Scale: img.Scale, Zero: img.Zero, Q: img.Q,
 		})
 	}
 	f.fs.advanceWM(m.Watermark)
@@ -371,9 +375,12 @@ func newFollowerStore(host *runtime.Host, fl *Follower) *followerStore {
 }
 
 // apply installs one row image (idempotent, last-writer-wins — see
-// Host.SetRow) and raises the key's safe step.
+// Host.RestoreRow) and raises the key's safe step. Tier-tagged records
+// land in their tier: a cold image's codes install verbatim, so the
+// replica's cold tier stays byte-identical to the primary's.
 func (fs *followerStore) apply(rec *ckpt.Record) {
-	fs.host.SetRow(rec.Key, rec.Row, rec.Version, rec.State)
+	img := rec.Image()
+	fs.host.RestoreRow(rec.Key, &img)
 	for {
 		cur := fs.safe[rec.Key].Load()
 		if rec.SafeStep <= cur || fs.safe[rec.Key].CompareAndSwap(cur, rec.SafeStep) {

@@ -282,3 +282,109 @@ func TestFollowerWaitForLog(t *testing.T) {
 		t.Fatalf("role %q", fl.Role())
 	}
 }
+
+// newTieredLogFixture is newLogFixture over a tiered primary host.
+func newTieredLogFixture(t *testing.T, rows int64, dim int, hotFrac float64, compactEvery int) *logFixture {
+	t.Helper()
+	h, err := runtime.NewTieredHost(rows, dim, hotFrac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Init(func(k uint64, row []float32) {
+		for i := range row {
+			row[i] = float32(k)*0.25 + float32(i)*0.0625
+		}
+	})
+	f := &logFixture{dir: t.TempDir(), host: h, pr: &logProber{}}
+	f.w, err = ckpt.NewWriter(h, f.pr, ckpt.Options{
+		Dir: f.dir, SweepInterval: time.Hour, CompactEvery: compactEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.w.Close() })
+	return f
+}
+
+// TestFollowerTieredLog replays a tiered primary's log into a replica:
+// the replica host must come up tiered, its bytes — hot pool, cold
+// codes, tier map — identical to the primary's, and top-K over the
+// mixed-precision slab must agree with the full-precision ranking on
+// the re-scored winners.
+func TestFollowerTieredLog(t *testing.T) {
+	const rows, dim = 96, 16
+	f := newTieredLogFixture(t, rows, dim, 0.125, 0) // 12 hot slots
+	f.seal(t, 3, 1, 0, nil)                          // hot row
+	f.seal(t, 70, 1, 1, nil)                         // cold row
+
+	// Tier churn between segments: promote 70, demoting a head row; the
+	// move hook marks both keys, the next seal captures the new tags.
+	for i := 0; i < 4 && f.host.TierStats().Promotions == 0; i++ {
+		f.host.TierMaintain(70, false)
+	}
+	if f.host.TierStats().Promotions == 0 {
+		t.Fatal("no promotion: fixture drives nothing")
+	}
+	f.seal(t, 80, 1, 2, nil)
+
+	fl, err := serve.NewFollower(f.dir, serve.FollowerOptions{Poll: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every replica row must equal the primary's exactly — cold rows
+	// dequantize identical codes on both sides, so even the quantization
+	// error is reproduced bit for bit.
+	want := make([]float32, dim)
+	for k := uint64(0); k < rows; k++ {
+		f.host.ReadRow(k, want)
+		got := make([]float32, dim)
+		if _, err := fl.Engine().Query(context.Background(), serve.Request{Key: k, Dst: got, Level: serve.Stale()}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("row %d[%d]: replica %v, primary %v", k, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Quantized scan, full-precision rescore: every returned winner's
+	// score must match a direct dot product against the primary's row.
+	query := make([]float32, dim)
+	for i := range query {
+		query[i] = float32(i%5) * 0.2
+	}
+	resp, err := fl.Engine().Query(context.Background(), serve.Request{Vector: query, K: 8, Level: serve.Stale()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 8 {
+		t.Fatalf("got %d candidates, want 8", len(resp.Results))
+	}
+	row := make([]float32, dim)
+	for _, c := range resp.Results {
+		f.host.ReadRow(c.Key, row)
+		var exact float32
+		for i := range row {
+			exact += query[i] * row[i]
+		}
+		diff := float64(c.Score - exact)
+		if diff < 0 {
+			diff = -diff
+		}
+		tol := 1e-5 * float64(exact)
+		if tol < 0 {
+			tol = -tol
+		}
+		if tol < 1e-4 {
+			tol = 1e-4
+		}
+		if diff > tol {
+			t.Fatalf("key %d: served score %v, exact %v", c.Key, c.Score, exact)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package tensor
+
+// Quantized-row kernels for the cold tier of the tiered slab: per-row
+// affine int8 with a float32 (scale, zero) pair.
+//
+//	q_i  = round((v_i − zero)/scale) − 128 ∈ [−128, 127]
+//	v̂_i = zero + scale·(q_i + 128)
+//
+// with zero = min(v) and scale = (max(v) − min(v))/255, so the codes
+// span the row's full dynamic range and the reconstruction error is
+// bounded by scale/2 = (max − min)/510 per element. An all-equal row
+// (scale 0) encodes every element as −128 and dequantizes to `zero`
+// exactly. Repeated quantize→dequantize cycles contract: each pass's
+// range is a subset of the last, so the codes never walk away — and the
+// checkpoint log sidesteps the question entirely by storing a cold
+// row's (codes, scale, zero) verbatim and restoring them bit-identically
+// without a requantize.
+//
+// Like the float kernels, the loops are unrolled 8-wide with full slice
+// expressions so the compiler can eliminate bounds checks; the quantize
+// pass multiplies by a precomputed 255/range instead of dividing per
+// element.
+
+// QuantizeRow encodes src into q (same length) and returns the row's
+// (scale, zero) pair. Panics if the lengths differ.
+func QuantizeRow(src []float32, q []int8) (scale, zero float32) {
+	if len(src) != len(q) {
+		panic("tensor: QuantizeRow length mismatch")
+	}
+	if len(src) == 0 {
+		return 0, 0
+	}
+	lo, hi := minMax(src)
+	scale, zero = (hi-lo)/255, lo
+	if scale <= 0 {
+		// All-equal (or pathological fp) row: one code, exact zero-point
+		// reconstruction.
+		for i := range q {
+			q[i] = -128
+		}
+		return 0, lo
+	}
+	inv := 255 / (hi - lo)
+	i := 0
+	for ; i+8 <= len(src); i += 8 {
+		s := src[i : i+8 : i+8]
+		d := q[i : i+8 : i+8]
+		d[0] = quantOne(s[0], zero, inv)
+		d[1] = quantOne(s[1], zero, inv)
+		d[2] = quantOne(s[2], zero, inv)
+		d[3] = quantOne(s[3], zero, inv)
+		d[4] = quantOne(s[4], zero, inv)
+		d[5] = quantOne(s[5], zero, inv)
+		d[6] = quantOne(s[6], zero, inv)
+		d[7] = quantOne(s[7], zero, inv)
+	}
+	for ; i < len(src); i++ {
+		q[i] = quantOne(src[i], zero, inv)
+	}
+	return scale, zero
+}
+
+// quantOne maps one element to its code with round-half-up in the
+// non-negative normalized domain [0, 255]; the clamp absorbs the ulp of
+// slack the normalization multiply can introduce at the range ends.
+func quantOne(v, zero, inv float32) int8 {
+	t := int32((v-zero)*inv + 0.5)
+	if t < 0 {
+		t = 0
+	} else if t > 255 {
+		t = 255
+	}
+	return int8(t - 128)
+}
+
+// DequantizeRow decodes q into dst. Panics if the lengths differ.
+func DequantizeRow(q []int8, scale, zero float32, dst []float32) {
+	if len(q) != len(dst) {
+		panic("tensor: DequantizeRow length mismatch")
+	}
+	i := 0
+	for ; i+8 <= len(q); i += 8 {
+		s := q[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		d[0] = zero + scale*float32(int32(s[0])+128)
+		d[1] = zero + scale*float32(int32(s[1])+128)
+		d[2] = zero + scale*float32(int32(s[2])+128)
+		d[3] = zero + scale*float32(int32(s[3])+128)
+		d[4] = zero + scale*float32(int32(s[4])+128)
+		d[5] = zero + scale*float32(int32(s[5])+128)
+		d[6] = zero + scale*float32(int32(s[6])+128)
+		d[7] = zero + scale*float32(int32(s[7])+128)
+	}
+	for ; i < len(q); i++ {
+		dst[i] = zero + scale*float32(int32(q[i])+128)
+	}
+}
+
+// DotQ8 returns the dot product of a float32 query with a quantized
+// row, without materializing the dequantized row:
+//
+//	⟨a, v̂⟩ = zero·Σa_i + scale·Σ a_i·(q_i + 128)
+//
+// Both sums run in one pass with 4 accumulators each (the float Dot
+// kernel's shape). The result matches Dot(a, DequantizeRow(q)) up to
+// float reassociation — the serving scan uses it for candidate ranking
+// and re-reads winners at full precision, so the tiny drift never
+// reaches a served score. Panics if the lengths differ.
+func DotQ8(a []float32, q []int8, scale, zero float32) float32 {
+	if len(a) != len(q) {
+		panic("tensor: DotQ8 length mismatch")
+	}
+	var s0, s1, s2, s3 float32 // Σ a_i
+	var p0, p1, p2, p3 float32 // Σ a_i·(q_i+128)
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		x := a[i : i+4 : i+4]
+		y := q[i : i+4 : i+4]
+		s0 += x[0]
+		s1 += x[1]
+		s2 += x[2]
+		s3 += x[3]
+		p0 += x[0] * float32(int32(y[0])+128)
+		p1 += x[1] * float32(int32(y[1])+128)
+		p2 += x[2] * float32(int32(y[2])+128)
+		p3 += x[3] * float32(int32(y[3])+128)
+	}
+	sum, prod := (s0+s1)+(s2+s3), (p0+p1)+(p2+p3)
+	for ; i < len(a); i++ {
+		sum += a[i]
+		prod += a[i] * float32(int32(q[i])+128)
+	}
+	return zero*sum + scale*prod
+}
+
+// minMax returns the extrema of x in one 8-wide pass.
+func minMax(x []float32) (lo, hi float32) {
+	lo, hi = x[0], x[0]
+	i := 0
+	for ; i+8 <= len(x); i += 8 {
+		s := x[i : i+8 : i+8]
+		for j := 0; j < 8; j++ {
+			v := s[j]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	for ; i < len(x); i++ {
+		v := x[i]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

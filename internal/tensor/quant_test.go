@@ -1,0 +1,126 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQuantizeRoundtripErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		src := make([]float32, n)
+		span := float32(math.Pow(10, float64(rng.Intn(5))-2)) // ranges 1e-2 … 1e2
+		off := (rng.Float32() - 0.5) * 10
+		for i := range src {
+			src[i] = off + (rng.Float32()-0.5)*span
+		}
+		q := make([]int8, n)
+		scale, zero := QuantizeRow(src, q)
+		dst := make([]float32, n)
+		DequantizeRow(q, scale, zero, dst)
+
+		lo, hi := minMax(src)
+		bound := float64(hi-lo)/510*(1+1e-4) + 1e-7
+		for i := range src {
+			if err := math.Abs(float64(src[i] - dst[i])); err > bound {
+				t.Fatalf("trial %d elem %d: |%g − %g| = %g exceeds (max−min)/510 = %g",
+					trial, i, src[i], dst[i], err, bound)
+			}
+			if dst[i] < lo-float32(bound) || dst[i] > hi+float32(bound) {
+				t.Fatalf("trial %d elem %d: dequantized %g escapes the row range [%g, %g]",
+					trial, i, dst[i], lo, hi)
+			}
+		}
+	}
+}
+
+func TestQuantizeAllEqualRowExact(t *testing.T) {
+	src := []float32{3.25, 3.25, 3.25, 3.25, 3.25}
+	q := make([]int8, len(src))
+	scale, zero := QuantizeRow(src, q)
+	if scale != 0 || zero != 3.25 {
+		t.Fatalf("scale %g zero %g, want 0, 3.25", scale, zero)
+	}
+	dst := make([]float32, len(src))
+	DequantizeRow(q, scale, zero, dst)
+	for i, v := range dst {
+		if v != 3.25 {
+			t.Fatalf("elem %d: %g, want exact 3.25", i, v)
+		}
+	}
+}
+
+// TestQuantizeContracts: repeated quantize→dequantize cycles must not
+// walk a row away — every pass reconstructs within the *previous*
+// pass's range, so the drift from the original stays inside the first
+// pass's error bound at every depth.
+func TestQuantizeContracts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		src := make([]float32, n)
+		for i := range src {
+			src[i] = (rng.Float32() - 0.5) * 4
+		}
+		lo, hi := minMax(src)
+		bound := float64(hi-lo)/510*(1+1e-4) + 1e-7
+		cur := append([]float32(nil), src...)
+		q := make([]int8, n)
+		for depth := 0; depth < 5; depth++ {
+			prevLo, prevHi := minMax(cur)
+			scale, zero := QuantizeRow(cur, q)
+			DequantizeRow(q, scale, zero, cur)
+			curLo, curHi := minMax(cur)
+			eps := float32(1e-6) + (prevHi-prevLo)*1e-5
+			if curLo < prevLo-eps || curHi > prevHi+eps {
+				t.Fatalf("trial %d depth %d: range [%g, %g] escaped [%g, %g]",
+					trial, depth, curLo, curHi, prevLo, prevHi)
+			}
+			for i := range cur {
+				if err := math.Abs(float64(cur[i] - src[i])); err > 2*bound {
+					t.Fatalf("trial %d depth %d elem %d: cumulative drift %g exceeds 2×first-pass bound %g",
+						trial, depth, i, err, 2*bound)
+				}
+			}
+		}
+	}
+}
+
+func TestDotQ8MatchesDequantizedDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(300)
+		a := make([]float32, n)
+		v := make([]float32, n)
+		for i := range a {
+			a[i] = (rng.Float32() - 0.5) * 2
+			v[i] = (rng.Float32() - 0.5) * 2
+		}
+		q := make([]int8, n)
+		scale, zero := QuantizeRow(v, q)
+		dec := make([]float32, n)
+		DequantizeRow(q, scale, zero, dec)
+		want := float64(Dot(a, dec))
+		got := float64(DotQ8(a, q, scale, zero))
+		tol := 1e-4 * (1 + math.Abs(want)) * float64(n) / 64
+		if math.Abs(got-want) > tol {
+			t.Fatalf("trial %d: DotQ8 %g vs Dot(dequant) %g (tol %g)", trial, got, want, tol)
+		}
+	}
+}
+
+func TestQuantKernelPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic on length mismatch", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("QuantizeRow", func() { QuantizeRow(make([]float32, 3), make([]int8, 4)) })
+	assertPanics("DequantizeRow", func() { DequantizeRow(make([]int8, 3), 1, 0, make([]float32, 4)) })
+	assertPanics("DotQ8", func() { DotQ8(make([]float32, 3), make([]int8, 4), 1, 0) })
+}

@@ -108,6 +108,14 @@ type ServeOptions struct {
 	// NProbe is the number of partitions an IVF query scans (default 8).
 	// Only valid with Index: IndexIVF.
 	NProbe int
+	// ColdTier loads the checkpoint into a frequency-aware tiered host:
+	// a hot f32 head plus a quantized int8 cold tail. Top-K scans score
+	// cold rows on their codes and rescore the winners from
+	// full-precision dequantized reads. NewServerFromCheckpoint only.
+	ColdTier bool
+	// HotFraction sizes the tiered host's hot head as a fraction of the
+	// table (default 0.1). Requires ColdTier; must be in (0, 1].
+	HotFraction float64
 }
 
 func (o ServeOptions) internal() serve.Options {
@@ -147,9 +155,25 @@ func (j *TrainingJob) Serve(opt ServeOptions) (*Server, error) {
 // NewServerFromCheckpoint serves a checkpoint written by SaveCheckpoint
 // (or frugal-train -checkpoint-out) without constructing a training job.
 // The slab is static, so top-K scans use the unlocked batched kernel and
-// every consistency level is trivially satisfied.
+// every consistency level is trivially satisfied. With Options.ColdTier
+// the checkpoint loads into a tiered host — checkpoints of either flavor
+// convert on the way in — trading a quantization error on cold rows for
+// a fraction of the resident memory.
 func NewServerFromCheckpoint(r io.Reader, opt ServeOptions) (*Server, error) {
-	host, err := runtime.LoadHost(r)
+	if opt.HotFraction != 0 && !opt.ColdTier {
+		return nil, fmt.Errorf("frugal: HotFraction requires ColdTier")
+	}
+	var host *runtime.Host
+	var err error
+	if opt.ColdTier {
+		hf := opt.HotFraction
+		if hf == 0 {
+			hf = 0.1
+		}
+		host, err = runtime.LoadHostTiered(r, hf)
+	} else {
+		host, err = runtime.LoadHost(r)
+	}
 	if err != nil {
 		return nil, err
 	}
